@@ -1,0 +1,84 @@
+"""E7 — the expander property of the allocation graph.
+
+The proof of Theorem 1 shows that the bipartite graph linking stripes to
+the boxes storing them is (w.h.p.) a good expander.  This experiment
+measures it directly on random permutation allocations: for random sets of
+X distinct stripes, the neighbourhood B(X) (union of their holders) must
+be large — the homogeneous Lemma 1 condition is |B(X)| ≥ |X|/(u·c).  The
+table reports the worst expansion ratio found by sampling and the fraction
+of sampled sets that violate the Lemma 1 threshold, per replication k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.allocation import random_permutation_allocation
+from repro.core.parameters import homogeneous_population
+from repro.core.video import Catalog
+
+N, U, D, C, MU = 60, 1.5, 3.0, 5, 1.2
+SET_SIZES = (5, 15, 40)
+SAMPLES = 200
+
+
+def expansion_statistics(k: int, seed: int = 0):
+    catalog = Catalog(num_videos=int(D * N // k), num_stripes=C, duration=30)
+    population = homogeneous_population(N, u=U, d=D)
+    allocation = random_permutation_allocation(catalog, population, k, random_state=seed)
+    rng = np.random.default_rng(seed)
+    threshold = 1.0 / (U * C)  # |B(X)| / |X| must stay above this (Lemma 1).
+    worst = np.inf
+    violations = 0
+    total = 0
+    for size in SET_SIZES:
+        size = min(size, catalog.total_stripes)
+        for _ in range(SAMPLES):
+            stripes = rng.choice(catalog.total_stripes, size=size, replace=False)
+            holders = np.unique(allocation.replica_box.reshape(-1, k)[stripes].ravel())
+            ratio = holders.size / size
+            worst = min(worst, ratio)
+            violations += ratio < threshold
+            total += 1
+    return {
+        "k": k,
+        "catalog": catalog.num_videos,
+        "sampled_sets": total,
+        "worst_expansion |B(X)|/|X|": round(float(worst), 3),
+        "lemma1_threshold 1/(u*c)": round(threshold, 3),
+        "violating_sets": violations,
+    }
+
+
+def test_expander_property_vs_k(benchmark, experiment_header):
+    rows = [expansion_statistics(k) for k in (1, 2, 4, 8)]
+    benchmark.pedantic(expansion_statistics, args=(4,), rounds=1, iterations=1)
+    print_table(
+        rows,
+        title=f"E7 — expansion of the stripe→box allocation graph (n={N}, u={U}, d={D}, c={C})",
+    )
+    # Higher replication → better worst-case expansion.
+    worst = [row["worst_expansion |B(X)|/|X|"] for row in rows]
+    assert worst == sorted(worst)
+    # With k ≥ 2 no sampled set violates the Lemma 1 threshold.
+    for row in rows:
+        if row["k"] >= 2:
+            assert row["violating_sets"] == 0
+
+
+def test_distinct_coverage_distribution(benchmark, experiment_header):
+    """Distribution of the number of distinct holders per stripe (k = 4)."""
+
+    def kernel():
+        catalog = Catalog(num_videos=int(D * N // 4), num_stripes=C, duration=30)
+        population = homogeneous_population(N, u=U, d=D)
+        allocation = random_permutation_allocation(catalog, population, 4, random_state=11)
+        return allocation.distinct_coverage()
+
+    coverage = benchmark(kernel)
+    values, counts = np.unique(coverage, return_counts=True)
+    print_table(
+        [{"distinct_holders": int(v), "stripes": int(c)} for v, c in zip(values, counts)],
+        title="E7 — distinct holders per stripe under permutation allocation (k=4)",
+    )
+    assert coverage.min() >= 2

@@ -1,0 +1,108 @@
+"""E9 — Theorem 2: u*-balanced heterogeneous systems scale with relaying.
+
+Sweeps the fraction of poor boxes in a two-class population and compares
+three configurations on the same demand sequence:
+
+* the relayed strategy with upload compensation (the paper's Section 4);
+* the plain homogeneous strategy on the same heterogeneous population
+  (no relays, no reservations);
+* a poor-only crowd (the intuition behind the ``u > 1 + Δ(1)/n`` bound).
+
+The relayed configuration must stay feasible whenever the population is
+u*-balanced; the unassisted poor-dominated configurations break down.
+"""
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.allocation import random_permutation_allocation
+from repro.core.heterogeneous import (
+    RelayedPreloadingScheduler,
+    compute_compensation_plan,
+    is_balanced,
+)
+from repro.core.parameters import two_class_population
+from repro.core.video import Catalog
+from repro.sim.engine import VodSimulator
+from repro.workloads.flashcrowd import FlashCrowdWorkload
+from repro.workloads.popularity import ZipfDemandWorkload
+
+N, C, K, M, U_STAR = 40, 8, 4, 12, 1.5
+U_RICH, U_POOR = 4.0, 0.5
+
+
+def run_configuration(rich_fraction: float, use_relays: bool, seed: int = 0):
+    population = two_class_population(
+        N,
+        rich_fraction=rich_fraction,
+        u_rich=U_RICH,
+        u_poor=U_POOR,
+        d_rich=U_RICH * 2.5,
+        d_poor=U_POOR * 2.5,
+    )
+    catalog = Catalog(num_videos=M, num_stripes=C, duration=40)
+    allocation = random_permutation_allocation(catalog, population, K, random_state=seed)
+    balanced = is_balanced(population, U_STAR)
+    scheduler = None
+    plan = None
+    if use_relays and balanced:
+        plan = compute_compensation_plan(population, u_star=U_STAR)
+        scheduler = RelayedPreloadingScheduler(catalog, population, plan, mu=1.1)
+    simulator = VodSimulator(
+        allocation, mu=1.1, scheduler=scheduler, compensation_plan=plan
+    )
+    result = simulator.run(ZipfDemandWorkload(arrival_rate=3, random_state=seed), num_rounds=14)
+    return {
+        "rich_fraction": rich_fraction,
+        "avg_upload": round(population.average_upload, 2),
+        "scalability_condition": population.satisfies_scalability_condition(),
+        "u_star_balanced": balanced,
+        "relays": use_relays and balanced,
+        "feasible": result.feasible,
+        "infeasible_rounds": result.metrics.infeasible_rounds,
+        "demands": result.metrics.total_demands,
+    }
+
+
+def test_heterogeneous_scaling_with_and_without_relays(benchmark, experiment_header):
+    rows = []
+    for rich_fraction in (0.75, 0.5, 0.25):
+        rows.append(run_configuration(rich_fraction, use_relays=True))
+        rows.append(run_configuration(rich_fraction, use_relays=False))
+    benchmark.pedantic(run_configuration, args=(0.5, True), rounds=1, iterations=1)
+    print_table(
+        rows,
+        title=f"E9 — Theorem 2: relayed vs unassisted heterogeneous populations (u*={U_STAR})",
+    )
+    # Relayed, balanced configurations are always feasible.
+    for row in rows:
+        if row["relays"]:
+            assert row["feasible"]
+
+
+def test_poor_only_crowd_breaks_without_compensation(benchmark, experiment_header):
+    """The intuition behind u > 1 + Δ(1)/n: poor boxes alone cannot swarm."""
+
+    def kernel():
+        population = two_class_population(
+            34, rich_fraction=2 / 34, u_rich=4.0, u_poor=0.5, d_rich=10.0, d_poor=1.25
+        )
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=40)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=3)
+        simulator = VodSimulator(allocation, mu=2.0, stop_on_infeasible=True)
+        crowd = FlashCrowdWorkload(mu=2.0, target_videos=(0,), random_state=3)
+        return simulator.run(crowd, num_rounds=10)
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    result = kernel()
+    print_table(
+        [
+            {
+                "configuration": "poor-dominated, no compensation",
+                "feasible": result.feasible,
+                "infeasible_rounds": result.metrics.infeasible_rounds,
+            }
+        ],
+        title="E9 — poor-dominated flash crowd without compensation",
+    )
+    assert not result.feasible

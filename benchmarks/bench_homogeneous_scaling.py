@@ -1,0 +1,69 @@
+"""E4 — Theorem 1: linear catalog scaling above the threshold (simulation).
+
+For fixed (u, d, c, k) and a growing number of boxes n, a random
+permutation allocation with catalog m = d·n/k (the storage bound, linear
+in n) is exercised against overlapping flash crowds at maximal growth and
+the least-replicated adversary.  Every run must stay feasible with a
+3-round start-up delay — the empirical counterpart of Theorem 1.  The
+timed kernel is the n = 96 adversarial run.
+"""
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.sim.engine import VodSimulator
+from repro.workloads.adversarial import LeastReplicatedAdversary
+from repro.workloads.flashcrowd import StaggeredFlashCrowdWorkload
+
+from conftest import build_homogeneous_system
+
+U, D, C, K, MU = 2.0, 2.5, 4, 3, 1.5
+N_VALUES = (24, 48, 96)
+
+
+def run_point(n: int, seed: int = 0):
+    m = int(D * n // K)
+    population, catalog, allocation = build_homogeneous_system(
+        n=n, u=U, d=D, m=m, c=C, k=K, seed=seed
+    )
+    simulator = VodSimulator(allocation, mu=MU)
+    crowds = StaggeredFlashCrowdWorkload(
+        mu=MU,
+        target_videos=(0, m // 2, m - 1),
+        start_times=(0, 2, 4),
+        random_state=seed,
+    )
+    crowd_result = simulator.run(crowds, num_rounds=10)
+
+    adversary_sim = VodSimulator(allocation, mu=MU)
+    adversary = LeastReplicatedAdversary(mu=MU, num_target_videos=2, random_state=seed)
+    adversary_result = adversary_sim.run(adversary, num_rounds=10)
+    return {
+        "n": n,
+        "catalog m = d*n/k": m,
+        "catalog_per_box": round(m / n, 3),
+        "flashcrowd_feasible": crowd_result.feasible,
+        "flashcrowd_startup_delay": crowd_result.metrics.max_startup_delay,
+        "adversary_feasible": adversary_result.feasible,
+        "adversary_startup_delay": adversary_result.metrics.max_startup_delay,
+        "peak_utilization": round(
+            max(crowd_result.metrics.peak_utilization, adversary_result.metrics.peak_utilization),
+            3,
+        ),
+    }
+
+
+def test_homogeneous_linear_scaling(benchmark, experiment_header):
+    rows = [run_point(n) for n in N_VALUES]
+    benchmark.pedantic(run_point, args=(N_VALUES[-1],), rounds=1, iterations=1)
+    print_table(
+        rows,
+        title=f"E4 — Theorem 1 scaling: u={U}, d={D}, c={C}, k={K}, mu={MU}, m = d*n/k",
+    )
+    for row in rows:
+        assert row["flashcrowd_feasible"]
+        assert row["adversary_feasible"]
+        assert row["flashcrowd_startup_delay"] == 3
+    # Catalog per box constant → catalog linear in n.
+    per_box = [row["catalog_per_box"] for row in rows]
+    assert max(per_box) - min(per_box) <= 0.05

@@ -1,0 +1,112 @@
+"""E6 — Lemmas 3–4 / Equation 1: obstruction probability vs replication k.
+
+Compares, as a function of the replication factor k:
+
+* the paper's aggregated first-moment bound (proof of Theorem 1);
+* the exact Equation 1 double sum (before the majorizations);
+* a Monte-Carlo estimate of the cold-start obstruction probability of real
+  random allocations (the empirical quantity the bound majorizes).
+
+The union bound is loose at laptop scale — the point of the table is the
+*shape*: all three quantities drop steeply with k, and the k prescribed by
+Theorem 1 drives the analytic bound to O(1/n).  The timed kernel is the
+exact Equation 1 evaluation.
+"""
+
+import pytest
+
+from repro.analysis.montecarlo import estimate_static_obstruction_probability
+from repro.analysis.report import print_table
+from repro.core import obstruction as ob
+from repro.core import thresholds as th
+
+N, U, D, MU, C = 48, 1.5, 3.0, 1.2, 6
+K_VALUES = (1, 2, 4, 8)
+
+
+def analytic_rows():
+    nu = th.nu_homogeneous(U, C, MU)
+    u_prime = th.effective_upload(U, C)
+    d_prime = th.d_prime(D, U)
+    rows = []
+    for k in K_VALUES + (64, 256):
+        m = max(int(D * N // k), 1)
+        rows.append(
+            {
+                "k": k,
+                "catalog": m,
+                "paper_bound": ob.first_moment_bound_paper(N, C, u_prime, d_prime, k, nu),
+                "exact_eq1_bound": ob.first_moment_bound_exact(N, C, m, k, u_prime, nu),
+            }
+        )
+    return rows
+
+
+def test_obstruction_bound_vs_k(benchmark, experiment_header):
+    rows = analytic_rows()
+    # Monte-Carlo estimate for the small-k points (cold-start probe).
+    for row in rows[: len(K_VALUES)]:
+        estimate = estimate_static_obstruction_probability(
+            n=N,
+            u=U,
+            d=D,
+            c=C,
+            k=row["k"],
+            num_cold_videos=[min(row["catalog"], N // 3)],
+            trials=20,
+            random_state=7,
+        )
+        row["montecarlo_estimate"] = estimate.failure_probability
+        row["montecarlo_ci"] = round(estimate.confidence_halfwidth, 3)
+
+    nu = th.nu_homogeneous(U, C, MU)
+    benchmark.pedantic(
+        ob.first_moment_bound_exact,
+        args=(N, C, 8, 8, th.effective_upload(U, C), nu),
+        rounds=3,
+        iterations=1,
+    )
+    print_table(rows, title=f"E6 — obstruction probability vs k (n={N}, u={U}, d={D}, c={C}, mu={MU})")
+
+    paper = [row["paper_bound"] for row in rows]
+    exact = [row["exact_eq1_bound"] for row in rows]
+    assert paper == sorted(paper, reverse=True)
+    assert exact == sorted(exact, reverse=True)
+    # The exact Equation 1 sum is never looser than the paper's majorization.
+    assert all(e <= p + 1e-9 for e, p in zip(exact, paper))
+    # The Monte-Carlo estimate is (statistically) below both bounds whenever
+    # the bounds are informative, and decreases with k.
+    mc = [row["montecarlo_estimate"] for row in rows if "montecarlo_estimate" in row]
+    assert mc == sorted(mc, reverse=True)
+
+
+def test_theorem_prescription_reaches_target(benchmark, experiment_header):
+    """The k prescribed by Theorem 1 drives the bound below 1/n at large n."""
+    u, d, mu, n_large = 2.0, 4.0, 1.3, 100_000
+    c = th.recommended_stripes_homogeneous(u, mu)
+    nu = th.nu_homogeneous(u, c, mu)
+    u_prime = th.effective_upload(u, c)
+    d_prime = th.d_prime(d, u)
+    k_theorem = th.replication_homogeneous(u, d, c, mu)
+
+    def kernel():
+        return ob.first_moment_bound_paper(n_large, c, u_prime, d_prime, k_theorem, nu)
+
+    bound = benchmark(kernel)
+    k_search = ob.minimum_replication_for_failure_probability(
+        n_large, c, u_prime, d_prime, nu, target=1.0 / n_large
+    )
+    print_table(
+        [
+            {
+                "n": n_large,
+                "c (Thm 1)": c,
+                "k (Thm 1)": k_theorem,
+                "bound at k (Thm 1)": bound,
+                "smallest k with bound <= 1/n": k_search,
+            }
+        ],
+        title="E6 — Theorem 1 prescription vs the smallest k achieving P(obstruction) <= 1/n",
+    )
+    assert bound <= 1.0 / n_large
+    assert k_search <= k_theorem

@@ -1,0 +1,56 @@
+"""E10 — the Section 5 trade-off between video quality and catalog size.
+
+With the physical upload bandwidth fixed, increasing the video bitrate
+decreases the normalized upload u = upload/bitrate, and the Theorem 1
+catalog guarantee degrades like (u−1)² log((u+1)/2) ~ (u−1)³ as u → 1,
+vanishing entirely below the threshold.  The experiment regenerates that
+curve and verifies the cubic shape near the threshold.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import quality_tradeoff_table
+from repro.analysis.report import print_table
+from repro.core import thresholds as th
+
+RAW_UPLOAD = 1.0  # physical upload, in units of the *reference* bitrate
+BITRATES = [0.30, 0.40, 0.50, 0.65, 0.80, 0.90, 0.99, 1.00, 1.20]
+
+
+def build_table():
+    return quality_tradeoff_table(
+        bitrates=BITRATES, raw_upload=RAW_UPLOAD, n=10_000, d=4.0, mu=1.3
+    )
+
+
+def test_quality_tradeoff_table(benchmark, experiment_header):
+    rows = benchmark(build_table)
+    print_table(
+        rows,
+        columns=["bitrate", "u", "scalable", "catalog", "asymptotic", "cube_approx"],
+        title="E10 — video quality (bitrate) vs catalog size at fixed physical upload",
+    )
+    # Better quality (higher bitrate) → smaller catalog, collapsing to 0 at u ≤ 1.
+    catalogs = [row["catalog"] for row in rows]
+    assert catalogs == sorted(catalogs, reverse=True)
+    assert all(row["catalog"] == 0 for row in rows if row["u"] <= 1.0)
+    assert all(row["catalog"] > 0 for row in rows if row["u"] >= 1.25)
+
+
+def test_cubic_decay_near_threshold(benchmark, experiment_header):
+    """The bound behaves like (u−1)³ (up to constants) as u → 1."""
+
+    def ratios():
+        out = []
+        for eps in (4e-3, 2e-3, 1e-3):
+            b1 = th.catalog_lower_bound_theorem1(10_000, 1 + eps, 4.0, 1.3)
+            b2 = th.catalog_lower_bound_theorem1(10_000, 1 + 2 * eps, 4.0, 1.3)
+            out.append({"eps": eps, "bound(1+eps)": b1, "bound(1+2eps)": b2, "ratio": b2 / b1})
+        return out
+
+    rows = benchmark(ratios)
+    print_table(rows, title="E10 — doubling (u−1) multiplies the bound by ≈ 2³ = 8 near the threshold")
+    for row in rows:
+        assert row["ratio"] == pytest.approx(8.0, rel=0.1)

@@ -1,0 +1,92 @@
+"""E8 — start-up delay of the preloading strategy.
+
+The preloading strategy guarantees a constant start-up delay of 3 rounds
+(preload at t, postponed requests at t+1, playback at t+2) regardless of
+the workload, as long as the matching stays feasible.  The experiment
+measures the realized delay distribution under four workloads and under
+the heterogeneous relayed strategy (whose poor-box delay is 5 rounds).
+"""
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.heterogeneous import RelayedPreloadingScheduler, compute_compensation_plan
+from repro.core.allocation import random_permutation_allocation
+from repro.core.parameters import two_class_population
+from repro.core.video import Catalog
+from repro.sim.engine import VodSimulator
+from repro.workloads.adversarial import ColdStartAdversary
+from repro.workloads.flashcrowd import FlashCrowdWorkload
+from repro.workloads.popularity import UniformDemandWorkload, ZipfDemandWorkload
+
+from conftest import build_homogeneous_system
+
+MU = 1.5
+
+
+def run_homogeneous(workload_name, workload, rounds=12, seed=0):
+    population, catalog, allocation = build_homogeneous_system(
+        n=60, u=2.0, d=3.0, m=30, c=4, k=4, seed=seed
+    )
+    result = VodSimulator(allocation, mu=MU).run(workload, num_rounds=rounds)
+    metrics = result.metrics
+    return {
+        "strategy": "homogeneous preloading",
+        "workload": workload_name,
+        "feasible": result.feasible,
+        "playbacks": len(result.trace.playback_starts()),
+        "max_startup_delay": metrics.max_startup_delay,
+        "mean_startup_delay": metrics.mean_startup_delay,
+    }
+
+
+def test_startup_delay_across_workloads(benchmark, experiment_header):
+    rows = [
+        run_homogeneous("flash crowd", FlashCrowdWorkload(mu=MU, random_state=1)),
+        run_homogeneous("zipf", ZipfDemandWorkload(arrival_rate=4, random_state=1)),
+        run_homogeneous("uniform", UniformDemandWorkload(arrival_rate=4, random_state=1)),
+        run_homogeneous("cold start", ColdStartAdversary(max_demands_per_round=10, random_state=1)),
+    ]
+    benchmark.pedantic(
+        run_homogeneous,
+        args=("flash crowd", FlashCrowdWorkload(mu=MU, random_state=2)),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(rows, title="E8 — start-up delay of the homogeneous preloading strategy")
+    for row in rows:
+        assert row["feasible"]
+        assert row["playbacks"] > 0
+        assert row["max_startup_delay"] == 3
+        assert row["mean_startup_delay"] == pytest.approx(3.0)
+
+
+def test_startup_delay_relayed_strategy(benchmark, experiment_header):
+    population = two_class_population(
+        32, rich_fraction=0.5, u_rich=4.0, u_poor=0.5, d_rich=10.0, d_poor=1.25
+    )
+    catalog = Catalog(num_videos=10, num_stripes=8, duration=40)
+    allocation = random_permutation_allocation(catalog, population, 4, random_state=5)
+    plan = compute_compensation_plan(population, u_star=1.5)
+
+    def kernel():
+        scheduler = RelayedPreloadingScheduler(catalog, population, plan, mu=1.1)
+        simulator = VodSimulator(allocation, mu=1.1, scheduler=scheduler, compensation_plan=plan)
+        return simulator.run(ZipfDemandWorkload(arrival_rate=2, random_state=5), num_rounds=14)
+
+    result = kernel()
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+    print_table(
+        [
+            {
+                "strategy": "relayed (Theorem 2)",
+                "feasible": result.feasible,
+                "playbacks": len(result.trace.playback_starts()),
+                "max_startup_delay": result.metrics.max_startup_delay,
+                "mean_startup_delay": result.metrics.mean_startup_delay,
+            }
+        ],
+        title="E8 — start-up delay of the relayed strategy (poor boxes pay 2 extra rounds)",
+    )
+    assert result.feasible
+    assert result.metrics.max_startup_delay <= 5

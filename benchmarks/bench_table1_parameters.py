@@ -1,0 +1,62 @@
+"""E1 — Table 1: the parameter model and its consistency relations.
+
+Regenerates the paper's Table 1 as a populated parameter vector for a grid
+of systems and checks the defining relations (k ≈ d·n/m, ℓ = 1/c,
+u' = ⌊u·c⌋/c).  The timed kernel is the construction and validation of the
+full parameter grid.
+"""
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.analysis.sweep import cartesian_grid
+from repro.core.parameters import SystemParameters, homogeneous_population
+
+
+GRID = cartesian_grid(
+    n=[100, 1_000, 10_000],
+    u=[1.2, 2.0],
+    d=[2.0, 8.0],
+    c=[4, 16],
+)
+
+
+def build_grid():
+    rows = []
+    for point in GRID:
+        params = SystemParameters(mu=1.5, k=4, **point)
+        row = params.describe()
+        row["u_prime"] = params.effective_upload
+        rows.append(row)
+    return rows
+
+
+def test_table1_parameter_grid(benchmark, experiment_header):
+    rows = benchmark(build_grid)
+    print_table(
+        rows,
+        columns=["n", "m", "d", "k", "u", "c", "mu", "ell", "T", "u_prime"],
+        title="E1 / Table 1 — parameter vectors (k = 4 replicas per stripe)",
+    )
+    for row in rows:
+        # Defining relations of Table 1.
+        assert row["ell"] == pytest.approx(1.0 / row["c"])
+        assert row["m"] * row["k"] <= row["d"] * row["n"] + 1e-9
+        assert row["u_prime"] <= row["u"] + 1e-9
+
+
+def test_population_aggregates(benchmark, experiment_header):
+    def kernel():
+        population = homogeneous_population(50_000, u=1.5, d=4.0)
+        return {
+            "n": population.n,
+            "u": population.average_upload,
+            "d": population.average_storage,
+            "deficit_at_1": population.upload_deficit(1.0),
+            "homogeneous": population.is_homogeneous(),
+        }
+
+    summary = benchmark(kernel)
+    print_table([summary], title="E1 — population aggregates at n = 50,000")
+    assert summary["homogeneous"]
+    assert summary["deficit_at_1"] == 0.0

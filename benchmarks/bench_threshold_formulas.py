@@ -1,0 +1,69 @@
+"""E5 — Theorem 1 constants: c(u, µ), k(u, d, µ) and the catalog guarantee.
+
+Regenerates the analytic design tables: the stripe-count and replication
+prescriptions, the ν margin and the catalog lower bound, swept over the
+upload capacity u, the swarm growth µ and the storage d.  The timed kernel
+is the full design sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    catalog_bound_vs_n,
+    replication_vs_upload,
+    threshold_design_table,
+)
+from repro.analysis.report import print_table
+
+
+def sweep_designs():
+    return threshold_design_table(
+        n=10_000,
+        d=4.0,
+        mu=1.3,
+        u_values=[1.1, 1.2, 1.5, 2.0, 3.0, 5.0],
+    )
+
+
+def test_design_table_vs_upload(benchmark, experiment_header):
+    rows = benchmark(sweep_designs)
+    print_table(
+        rows,
+        columns=["u", "c", "k", "nu", "u_prime", "d_prime", "catalog_size", "asymptotic_bound"],
+        title="E5 — Theorem 1 design vs upload capacity (n=10,000, d=4, mu=1.3)",
+    )
+    ks = [row["k"] for row in rows]
+    assert ks == sorted(ks, reverse=True)
+    catalogs = [row["catalog_size"] for row in rows]
+    assert catalogs == sorted(catalogs)
+
+
+def test_replication_blowup_near_threshold(benchmark, experiment_header):
+    data = benchmark(
+        replication_vs_upload, [1.05, 1.1, 1.2, 1.5, 2.0, 3.0], 4.0, 1.3
+    )
+    rows = [
+        {"u": float(u), "c": int(c), "k": int(k), "nu": float(nu)}
+        for u, c, k, nu in zip(data["u"], data["c"], data["k"], data["nu"])
+    ]
+    print_table(rows, title="E5 — replication requirement blows up as u → 1")
+    assert rows[0]["k"] > 50 * rows[-1]["k"]
+
+
+def test_catalog_linear_in_n(benchmark, experiment_header):
+    data = benchmark(
+        catalog_bound_vs_n, [1_000, 5_000, 20_000, 100_000], 2.0, 4.0, 1.3
+    )
+    rows = [
+        {
+            "n": int(n),
+            "k": int(k),
+            "catalog": int(m),
+            "catalog_per_box": float(per),
+        }
+        for n, k, m, per in zip(data["n"], data["k"], data["catalog"], data["catalog_per_box"])
+    ]
+    print_table(rows, title="E5 — catalog guarantee grows linearly with n (u=2, d=4, mu=1.3)")
+    per_box = data["catalog_per_box"]
+    assert np.all(np.abs(per_box - per_box[-1]) <= 0.01 + 1.0 / np.asarray(data["n"], dtype=float) * np.asarray(data["k"], dtype=float))

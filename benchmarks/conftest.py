@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark module reproduces one experiment of EXPERIMENTS.md: it
+prints the experiment's table (the "rows the paper reports") and times the
+dominant computational kernel with pytest-benchmark.  The helpers here keep
+the modules short and the instance sizes laptop-friendly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import random_permutation_allocation
+from repro.core.parameters import homogeneous_population
+from repro.core.video import Catalog
+
+
+def build_homogeneous_system(n=48, u=2.0, d=2.5, m=24, c=4, k=3, duration=30, seed=0):
+    """A homogeneous system + random permutation allocation used by several benches."""
+    population = homogeneous_population(n, u=u, d=d)
+    catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
+    allocation = random_permutation_allocation(catalog, population, k, random_state=seed)
+    return population, catalog, allocation
+
+
+@pytest.fixture(scope="session")
+def experiment_header():
+    """Print a one-line reminder of how to read the benchmark output."""
+    print(
+        "\n[repro] Each benchmark prints the table of its experiment "
+        "(see EXPERIMENTS.md) before timing its kernel.\n"
+    )
+    return True

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Catalog scalability of a homogeneous system around the u = 1 threshold.
+
+Reproduces the paper's headline claim on a laptop-scale system:
+
+* **below the threshold** (u < 1) the missing-video adversary defeats any
+  allocation whose catalog exceeds the constant cap ``d_max/ℓ``;
+* **above the threshold** (u > 1) a random permutation allocation serves
+  adversarial demand with a catalog proportional to ``n``.
+
+The script sweeps the normalized upload u and, for each value, measures the
+largest catalog (as a fraction of the storage bound d·n/k) that survives an
+adversarial workload, alongside the analytic Theorem 1 guarantees.
+
+Run with:  python examples/homogeneous_catalog_scaling.py
+"""
+
+from repro import (
+    Catalog,
+    MissingVideoAdversary,
+    VodSimulator,
+    homogeneous_population,
+    random_permutation_allocation,
+)
+from repro.analysis.bounds import catalog_bound_vs_upload
+from repro.analysis.report import print_table
+from repro.baselines.full_replication import max_catalog_full_replication
+from repro.core.negative import build_negative_witness
+
+
+def survives_adversary(n, u, d, m, c, k, mu, rounds=8, seed=0) -> bool:
+    """Whether a random allocation with catalog m survives the adversary."""
+    population = homogeneous_population(n, u=u, d=d)
+    catalog = Catalog(num_videos=m, num_stripes=c, duration=30)
+    allocation = random_permutation_allocation(catalog, population, k, random_state=seed)
+    simulator = VodSimulator(allocation, mu=mu, stop_on_infeasible=True)
+    adversary = MissingVideoAdversary(
+        respect_growth=(u > 1.0), mu=mu, max_demands_per_round=max(n // 4, 4),
+        random_state=seed,
+    )
+    return simulator.run(adversary, num_rounds=rounds).feasible
+
+
+def max_surviving_catalog(n, u, d, c, k, mu) -> int:
+    """Largest catalog (by bisection) that survives the adversarial run."""
+    lo, hi = 1, int(d * n // k)
+    best = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if survives_adversary(n, u, d, mid, c, k, mu):
+            best, lo = mid, mid + 1
+        else:
+            hi = mid - 1
+    return best
+
+
+def main() -> None:
+    n, d, c, k, mu = 48, 2.5, 4, 3, 1.5
+    rows = []
+    for u in (0.6, 0.8, 0.95, 1.2, 1.5, 2.0, 3.0):
+        catalog = max_surviving_catalog(n, u, d, c, k, mu)
+        population = homogeneous_population(n, u=u, d=d)
+        # The negative-result witness for a big catalog at this u.
+        big = Catalog(num_videos=int(d * n // k), num_stripes=c, duration=30)
+        witness = build_negative_witness(
+            random_permutation_allocation(big, population, k, random_state=0)
+        )
+        rows.append(
+            {
+                "u": u,
+                "scalable_regime": u > 1.0,
+                "max_surviving_catalog": catalog,
+                "storage_cap (d*n/k)": int(d * n // k),
+                "full_replication_cap (d*c)": max_catalog_full_replication(d, c),
+                "adversary_wins_on_full_storage_catalog": witness.infeasible,
+            }
+        )
+    print_table(rows, title=f"Empirical catalog scalability (n={n}, d={d}, c={c}, k={k}, mu={mu})")
+
+    analytic = catalog_bound_vs_upload([1.2, 1.5, 2.0, 3.0], n=10_000, d=4.0, mu=mu)
+    print_table(
+        [
+            {
+                "u": float(u),
+                "c (Thm 1)": int(cc),
+                "k (Thm 1)": int(kk),
+                "catalog guarantee": int(m),
+            }
+            for u, cc, kk, m in zip(
+                analytic["u"], analytic["c"], analytic["k"], analytic["catalog"]
+            )
+        ],
+        title="Theorem 1 guarantees at n = 10,000 (worst-case constants)",
+    )
+    print(
+        "Reading: below u = 1 the surviving catalog collapses toward the\n"
+        "full-replication cap d*c; above u = 1 it jumps to the storage bound\n"
+        "d*n/k, i.e. linear in n — the threshold behaviour of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

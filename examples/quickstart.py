@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: build a small fully-distributed VoD system and serve a flash crowd.
+
+The script walks through the paper's pipeline end to end:
+
+1. describe the system with the Table 1 parameters (n boxes, upload u,
+   storage d, c stripes per video, swarm growth µ);
+2. place the catalog with a *random permutation allocation* (k replicas of
+   every stripe);
+3. run the round-based simulator against a flash crowd growing at the
+   maximal rate µ, with the preloading request strategy and the per-round
+   max-flow connection matching;
+4. print the metrics: every round feasible, start-up delay of 3 rounds.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Catalog,
+    FlashCrowdWorkload,
+    VodSimulator,
+    design_homogeneous,
+    homogeneous_population,
+    random_permutation_allocation,
+)
+from repro.analysis.report import print_table
+
+
+def main() -> None:
+    # ----------------------------------------------------------------- #
+    # 1. System parameters (Table 1)
+    # ----------------------------------------------------------------- #
+    n = 80          # number of boxes
+    u = 2.0         # normalized upload capacity (video bitrate = 1)
+    d = 4.0         # storage per box, in videos
+    mu = 1.5        # maximal swarm growth per round
+    c = 5           # stripes per video
+    k = 4           # replicas per stripe (empirical; see note below)
+    m = 40          # catalog size (videos)
+    duration = 40   # video duration T, in rounds
+
+    # The replication prescribed by Theorem 1 carries worst-case proof
+    # constants; print it for comparison with the empirical k we simulate.
+    design = design_homogeneous(n=n, u=u, d=d, mu=mu)
+    print(
+        f"Theorem 1 prescription for (n={n}, u={u}, d={d}, mu={mu}): "
+        f"c={design.c}, k={design.k} (catalog guarantee {design.catalog_size}); "
+        f"simulating with the much smaller empirical k={k}, m={m}."
+    )
+
+    # ----------------------------------------------------------------- #
+    # 2. Population, catalog, random allocation
+    # ----------------------------------------------------------------- #
+    population = homogeneous_population(n, u=u, d=d)
+    catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
+    allocation = random_permutation_allocation(catalog, population, k, random_state=42)
+    print_table([allocation.describe()], title="Random permutation allocation")
+
+    # ----------------------------------------------------------------- #
+    # 3. Simulate a flash crowd at maximal growth µ
+    # ----------------------------------------------------------------- #
+    simulator = VodSimulator(allocation, mu=mu)
+    workload = FlashCrowdWorkload(mu=mu, target_videos=(0, 7), random_state=42)
+    result = simulator.run(workload, num_rounds=12)
+
+    # ----------------------------------------------------------------- #
+    # 4. Report
+    # ----------------------------------------------------------------- #
+    print_table([result.metrics.describe()], title="Simulation metrics")
+    print(f"All rounds feasible: {result.feasible}")
+    print(f"Start-up delay (max): {result.metrics.max_startup_delay} rounds "
+          f"(the preloading strategy guarantees 3)")
+    print(f"Swarm growth violations: {result.metrics.swarm_growth_violations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (metadata lives in setup.cfg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,183 @@
+"""repro — reproduction of *An Upload Bandwidth Threshold for Peer-to-Peer
+Video-on-Demand Scalability* (Boufkhad, Mathieu, de Montgolfier, Perino,
+Viennot — IEEE IPDPS 2009).
+
+The package provides, as a library:
+
+* the paper's system model — ``(n, u, d)``-video systems, striped videos,
+  boxes with storage, upload and a playback cache (:mod:`repro.core`);
+* the random allocation schemes, the preloading request strategy, the
+  max-flow connection matching of Lemma 1 and the heterogeneous relaying
+  of Section 4 (:mod:`repro.core`, :mod:`repro.flow`);
+* the threshold and obstruction numerics of Theorems 1–2 and Lemmas 2–4
+  (:mod:`repro.core.thresholds`, :mod:`repro.core.obstruction`);
+* a round-based discrete-event simulator exercising the whole pipeline
+  against adversarial and benign workloads (:mod:`repro.sim`,
+  :mod:`repro.workloads`);
+* the baselines the paper contrasts with (:mod:`repro.baselines`) and the
+  analysis/Monte-Carlo harness regenerating every experiment table
+  (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import (
+...     Catalog, homogeneous_population, random_permutation_allocation,
+...     VodSimulator, FlashCrowdWorkload,
+... )
+>>> population = homogeneous_population(60, u=2.0, d=4.0)      # n=60 boxes, u>1
+>>> catalog = Catalog(num_videos=40, num_stripes=5, duration=40)
+>>> allocation = random_permutation_allocation(catalog, population, replicas_per_stripe=4,
+...                                             random_state=0)
+>>> sim = VodSimulator(allocation, mu=1.3)
+>>> result = sim.run(FlashCrowdWorkload(mu=1.3, random_state=0), num_rounds=10)
+>>> result.feasible
+True
+
+Note that the replication prescribed by Theorem 1
+(:func:`repro.design_homogeneous`) carries the proof's worst-case
+constants and is far larger than what simulations need; the experiments
+use small empirical ``k`` and compare against the theorem's guarantee.
+"""
+
+from repro.core import (
+    Allocation,
+    AllocationError,
+    Box,
+    BoxPopulation,
+    Catalog,
+    CompensationError,
+    CompensationPlan,
+    ConnectionMatcher,
+    ConnectionMatching,
+    Demand,
+    ImmediateRequestScheduler,
+    PlaybackCache,
+    PossessionIndex,
+    PreloadingScheduler,
+    RELAYED_START_UP_DELAY_ROUNDS,
+    RelayedPreloadingScheduler,
+    RequestSet,
+    START_UP_DELAY_ROUNDS,
+    Stripe,
+    StripeRequest,
+    SystemParameters,
+    Video,
+    check_feasibility_hall,
+    compute_compensation_plan,
+    direct_stripe_budget,
+    homogeneous_population,
+    is_balanced,
+    is_upload_compensable,
+    pareto_population,
+    proportional_population,
+    random_independent_allocation,
+    random_permutation_allocation,
+    round_robin_allocation,
+    two_class_population,
+)
+from repro.core.thresholds import (
+    ThresholdDesign,
+    catalog_lower_bound_theorem1,
+    catalog_lower_bound_theorem2,
+    design_heterogeneous,
+    design_homogeneous,
+    recommended_stripes_heterogeneous,
+    recommended_stripes_homogeneous,
+)
+from repro.core import negative, obstruction, thresholds
+from repro.sim import SimulationResult, VodSimulator
+from repro.workloads import (
+    ColdStartAdversary,
+    FlashCrowdWorkload,
+    LeastReplicatedAdversary,
+    MissingVideoAdversary,
+    SequentialViewingWorkload,
+    StaggeredFlashCrowdWorkload,
+    StaticDemandSchedule,
+    UniformDemandWorkload,
+    ZipfDemandWorkload,
+)
+from repro.baselines import (
+    CentralServerModel,
+    SourcingOnlyPossessionIndex,
+    full_replication_allocation,
+    max_catalog_full_replication,
+    sourcing_capacity_bound,
+)
+from repro import analysis, baselines, flow, sim, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core model
+    "Allocation",
+    "AllocationError",
+    "Box",
+    "BoxPopulation",
+    "Catalog",
+    "CompensationError",
+    "CompensationPlan",
+    "ConnectionMatcher",
+    "ConnectionMatching",
+    "Demand",
+    "ImmediateRequestScheduler",
+    "PlaybackCache",
+    "PossessionIndex",
+    "PreloadingScheduler",
+    "RELAYED_START_UP_DELAY_ROUNDS",
+    "RelayedPreloadingScheduler",
+    "RequestSet",
+    "START_UP_DELAY_ROUNDS",
+    "Stripe",
+    "StripeRequest",
+    "SystemParameters",
+    "Video",
+    "check_feasibility_hall",
+    "compute_compensation_plan",
+    "direct_stripe_budget",
+    "homogeneous_population",
+    "is_balanced",
+    "is_upload_compensable",
+    "pareto_population",
+    "proportional_population",
+    "random_independent_allocation",
+    "random_permutation_allocation",
+    "round_robin_allocation",
+    "two_class_population",
+    # thresholds
+    "ThresholdDesign",
+    "catalog_lower_bound_theorem1",
+    "catalog_lower_bound_theorem2",
+    "design_heterogeneous",
+    "design_homogeneous",
+    "recommended_stripes_heterogeneous",
+    "recommended_stripes_homogeneous",
+    "thresholds",
+    "obstruction",
+    "negative",
+    # simulator + workloads
+    "SimulationResult",
+    "VodSimulator",
+    "ColdStartAdversary",
+    "FlashCrowdWorkload",
+    "LeastReplicatedAdversary",
+    "MissingVideoAdversary",
+    "SequentialViewingWorkload",
+    "StaggeredFlashCrowdWorkload",
+    "StaticDemandSchedule",
+    "UniformDemandWorkload",
+    "ZipfDemandWorkload",
+    # baselines
+    "CentralServerModel",
+    "SourcingOnlyPossessionIndex",
+    "full_replication_allocation",
+    "max_catalog_full_replication",
+    "sourcing_capacity_bound",
+    # subpackages
+    "analysis",
+    "baselines",
+    "flow",
+    "sim",
+    "workloads",
+]

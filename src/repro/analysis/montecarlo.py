@@ -1,0 +1,309 @@
+"""Monte-Carlo estimation of obstruction probability and catalog feasibility.
+
+The proofs bound the probability that a *random allocation* admits an
+obstruction; these estimators measure the same quantity empirically:
+
+* :func:`estimate_simulation_failure_probability` — draw allocations,
+  run the full round-based simulator against a chosen workload and count
+  the fraction of runs with at least one infeasible round;
+* :func:`estimate_static_obstruction_probability` — a cheaper static
+  probe: draw allocations and check the Lemma 1 condition for the
+  cold-start request profile (every stripe of ``j`` distinct videos
+  requested once, for a sweep of ``j``), which needs no simulation;
+* :func:`find_max_feasible_catalog` — binary-search the largest catalog
+  ``m`` for which the failure estimate stays below a tolerance; the
+  empirical analogue of "achievable catalog size".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import (
+    Allocation,
+    AllocationError,
+    random_independent_allocation,
+    random_permutation_allocation,
+)
+from repro.core.matching import ConnectionMatcher, PossessionIndex, RequestSet, StripeRequest
+from repro.core.parameters import BoxPopulation, homogeneous_population
+from repro.core.video import Catalog
+from repro.sim.engine import VodSimulator
+from repro.util.rng import RandomState, spawn_generators
+from repro.util.validation import check_positive_integer, check_probability
+from repro.workloads.base import DemandGenerator
+
+__all__ = [
+    "MonteCarloResult",
+    "estimate_static_obstruction_probability",
+    "estimate_simulation_failure_probability",
+    "find_max_feasible_catalog",
+]
+
+AllocatorFn = Callable[[Catalog, BoxPopulation, int, object], Allocation]
+WorkloadFactory = Callable[[np.random.Generator], DemandGenerator]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of a Monte-Carlo estimation.
+
+    Attributes
+    ----------
+    trials:
+        Number of trials run.
+    failures:
+        Number of trials exhibiting at least one obstruction / infeasible
+        round.
+    failure_probability:
+        ``failures / trials``.
+    confidence_halfwidth:
+        Half-width of the 95% normal-approximation confidence interval.
+    details:
+        Optional per-trial payload (kept small).
+    """
+
+    trials: int
+    failures: int
+    failure_probability: float
+    confidence_halfwidth: float
+    details: Tuple[Dict[str, float], ...] = ()
+
+    def describe(self) -> Dict[str, float]:
+        """Flat dictionary view for tables."""
+        return {
+            "trials": self.trials,
+            "failures": self.failures,
+            "failure_probability": self.failure_probability,
+            "confidence_halfwidth": self.confidence_halfwidth,
+        }
+
+
+def _confidence_halfwidth(successes: int, trials: int) -> float:
+    if trials == 0:
+        return float("nan")
+    p = successes / trials
+    return 1.96 * math.sqrt(max(p * (1.0 - p), 1e-12) / trials)
+
+
+def _allocator(scheme: str) -> Callable:
+    if scheme == "permutation":
+        return random_permutation_allocation
+    if scheme == "independent":
+        return random_independent_allocation
+    raise ValueError(f"unknown allocation scheme {scheme!r}")
+
+
+def estimate_static_obstruction_probability(
+    n: int,
+    u: float,
+    d: float,
+    c: int,
+    k: int,
+    num_cold_videos: Sequence[int],
+    trials: int = 50,
+    scheme: str = "permutation",
+    random_state: RandomState = None,
+    duration: int = 120,
+) -> MonteCarloResult:
+    """Probability that a random allocation fails the cold-start sourcing test.
+
+    For each trial a fresh allocation is drawn on a homogeneous
+    ``(n, u, d)`` population with catalog ``m = ⌊d·n/k⌋``.  For every
+    ``j ∈ num_cold_videos`` the probe requests all ``c`` stripes of ``j``
+    distinct videos (one viewer per video, no cache help) and checks the
+    Lemma 1 feasibility through max flow.  A trial fails if any probe is
+    infeasible — i.e. the allocation admits a cold-start obstruction.
+    """
+    check_positive_integer(trials, "trials")
+    m = int(d * n // k)
+    if m <= 0:
+        raise ValueError(f"storage d·n={d * n} cannot hold k={k} replicas of any catalog")
+    catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
+    population = homogeneous_population(n, u, d)
+    allocate = _allocator(scheme)
+    generators = spawn_generators(random_state, trials)
+    upload_slots = population.upload_slots(c)
+
+    failures = 0
+    details: List[Dict[str, float]] = []
+    for trial, gen in enumerate(generators):
+        allocation = allocate(catalog, population, k, gen)
+        possession = PossessionIndex(allocation, cache_window=duration)
+        matcher = ConnectionMatcher(upload_slots)
+        trial_failed = False
+        worst_unmatched = 0
+        for j in num_cold_videos:
+            j = int(j)
+            if j <= 0 or j > min(m, n):
+                raise ValueError(
+                    f"num_cold_videos entries must lie in [1, min(m, n)] = "
+                    f"[1, {min(m, n)}], got {j}"
+                )
+            videos = gen.choice(m, size=j, replace=False)
+            viewers = gen.choice(n, size=j, replace=False)
+            requests = RequestSet()
+            for video, viewer in zip(videos, viewers):
+                for stripe_index in range(c):
+                    requests.add(
+                        StripeRequest(
+                            stripe_id=int(video) * c + stripe_index,
+                            request_time=0,
+                            box_id=int(viewer),
+                        )
+                    )
+            matching = matcher.match(requests, possession, current_time=0)
+            if not matching.feasible:
+                trial_failed = True
+                worst_unmatched = max(
+                    worst_unmatched, len(requests) - matching.matched
+                )
+        if trial_failed:
+            failures += 1
+        details.append(
+            {"trial": trial, "failed": float(trial_failed), "worst_unmatched": worst_unmatched}
+        )
+    return MonteCarloResult(
+        trials=trials,
+        failures=failures,
+        failure_probability=failures / trials,
+        confidence_halfwidth=_confidence_halfwidth(failures, trials),
+        details=tuple(details),
+    )
+
+
+def estimate_simulation_failure_probability(
+    population: BoxPopulation,
+    catalog: Catalog,
+    k: int,
+    mu: float,
+    workload_factory: WorkloadFactory,
+    num_rounds: int,
+    trials: int = 20,
+    scheme: str = "permutation",
+    random_state: RandomState = None,
+    scheduler_factory: Optional[Callable[[Allocation], object]] = None,
+    compensation_plan=None,
+) -> MonteCarloResult:
+    """Probability that a random allocation yields an infeasible simulated run.
+
+    For each trial a fresh allocation is drawn, a fresh workload is created
+    from ``workload_factory(rng)`` and the full simulator is run for
+    ``num_rounds`` rounds; the trial fails if any round's matching is
+    infeasible.
+    """
+    check_positive_integer(trials, "trials")
+    check_positive_integer(num_rounds, "num_rounds")
+    allocate = _allocator(scheme)
+    generators = spawn_generators(random_state, 2 * trials)
+    failures = 0
+    details: List[Dict[str, float]] = []
+    for trial in range(trials):
+        alloc_gen = generators[2 * trial]
+        workload_gen = generators[2 * trial + 1]
+        allocation = allocate(catalog, population, k, alloc_gen)
+        scheduler = scheduler_factory(allocation) if scheduler_factory else None
+        simulator = VodSimulator(
+            allocation,
+            mu=mu,
+            scheduler=scheduler,
+            compensation_plan=compensation_plan,
+            stop_on_infeasible=True,
+        )
+        workload = workload_factory(workload_gen)
+        result = simulator.run(workload, num_rounds)
+        failed = not result.feasible
+        if failed:
+            failures += 1
+        details.append(
+            {
+                "trial": trial,
+                "failed": float(failed),
+                "infeasible_rounds": result.metrics.infeasible_rounds,
+                "demands": result.metrics.total_demands,
+            }
+        )
+    return MonteCarloResult(
+        trials=trials,
+        failures=failures,
+        failure_probability=failures / trials,
+        confidence_halfwidth=_confidence_halfwidth(failures, trials),
+        details=tuple(details),
+    )
+
+
+def find_max_feasible_catalog(
+    n: int,
+    u: float,
+    d: float,
+    c: int,
+    k: int,
+    mu: float,
+    workload_factory: WorkloadFactory,
+    num_rounds: int,
+    trials_per_point: int = 5,
+    tolerance: float = 0.0,
+    duration: int = 120,
+    scheme: str = "permutation",
+    random_state: RandomState = None,
+    m_min: int = 1,
+    m_max: Optional[int] = None,
+) -> Dict[str, float]:
+    """Binary-search the largest catalog whose empirical failure rate ≤ ``tolerance``.
+
+    Returns a dictionary with the located catalog, the failure rate at
+    that point and the search bounds.  The storage constraint
+    ``m ≤ ⌊d·n/k⌋`` caps the search range.
+    """
+    check_probability(tolerance, "tolerance")
+    storage_cap = int(d * n // k)
+    if storage_cap < 1:
+        raise ValueError("storage cannot hold even one video at this replication")
+    hi = storage_cap if m_max is None else min(m_max, storage_cap)
+    lo = max(m_min, 1)
+    if lo > hi:
+        raise ValueError(f"empty search range [{lo}, {hi}]")
+    population = homogeneous_population(n, u, d)
+
+    def failure_rate(m: int, seed_offset: int) -> float:
+        catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
+        result = estimate_simulation_failure_probability(
+            population=population,
+            catalog=catalog,
+            k=k,
+            mu=mu,
+            workload_factory=workload_factory,
+            num_rounds=num_rounds,
+            trials=trials_per_point,
+            scheme=scheme,
+            random_state=None if random_state is None else int(random_state) + seed_offset,
+        )
+        return result.failure_probability
+
+    best_m = 0
+    best_rate = 1.0
+    offset = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        rate = failure_rate(mid, offset)
+        offset += 1
+        if rate <= tolerance:
+            best_m, best_rate = mid, rate
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return {
+        "max_feasible_catalog": best_m,
+        "failure_rate": best_rate,
+        "storage_cap": storage_cap,
+        "n": n,
+        "u": u,
+        "d": d,
+        "c": c,
+        "k": k,
+        "mu": mu,
+    }

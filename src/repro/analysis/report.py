@@ -1,0 +1,101 @@
+"""Table rendering for experiment reports.
+
+The benchmark harness prints every reproduced table in a fixed-width ASCII
+(or Markdown) format so that the "rows/series the paper reports" are
+visible directly in the benchmark output and can be pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_value", "render_table", "render_markdown_table", "print_table"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Human-readable rendering of a cell value."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _normalize(rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]]) -> tuple:
+    if not rows:
+        return list(columns or []), []
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    table = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    return list(columns), table
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cols, table = _normalize(rows, columns)
+    if not cols:
+        return title or "(empty table)"
+    widths = [len(str(col)) for col in cols]
+    for line in table:
+        for idx, cell in enumerate(line):
+            widths[idx] = max(widths[idx], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    header = " | ".join(str(col).ljust(w) for col, w in zip(cols, widths))
+    body_lines = [
+        " | ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in table
+    ]
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(header)
+    parts.append(sep)
+    parts.extend(body_lines)
+    return "\n".join(parts)
+
+
+def render_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    cols, table = _normalize(rows, columns)
+    if not cols:
+        return f"**{title}**\n\n(empty table)" if title else "(empty table)"
+    header = "| " + " | ".join(str(c) for c in cols) + " |"
+    divider = "| " + " | ".join("---" for _ in cols) + " |"
+    body = ["| " + " | ".join(line) + " |" for line in table]
+    parts: List[str] = []
+    if title:
+        parts.append(f"**{title}**")
+        parts.append("")
+    parts.append(header)
+    parts.append(divider)
+    parts.extend(body)
+    return "\n".join(parts)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> None:
+    """Print an ASCII table (convenience wrapper used by the benchmarks)."""
+    print()
+    print(render_table(rows, columns=columns, title=title))
+    print()

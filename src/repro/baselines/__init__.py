@@ -1,0 +1,26 @@
+"""Baselines the paper compares against (conceptually).
+
+* Full replication / Push-to-Peer (Suh et al. [22]) — constant catalog,
+  pure sourcing (:mod:`repro.baselines.full_replication`);
+* Sourcing-only random allocation (the authors' preliminary work [3]) —
+  swarming disabled (:mod:`repro.baselines.sourcing_only`);
+* Centralized / peer-assisted server (:mod:`repro.baselines.central_server`).
+"""
+
+from repro.baselines.central_server import CentralServerModel
+from repro.baselines.full_replication import (
+    full_replication_allocation,
+    max_catalog_full_replication,
+)
+from repro.baselines.sourcing_only import (
+    SourcingOnlyPossessionIndex,
+    sourcing_capacity_bound,
+)
+
+__all__ = [
+    "CentralServerModel",
+    "full_replication_allocation",
+    "max_catalog_full_replication",
+    "SourcingOnlyPossessionIndex",
+    "sourcing_capacity_bound",
+]

@@ -1,0 +1,84 @@
+"""Centralized-server reference model.
+
+The paper positions the fully distributed system as an alternative to
+centralized (or peer-assisted) VoD, where a server farm stores the whole
+catalog and its uplink is the bottleneck.  This tiny analytical model
+provides the comparison points used in the baseline experiment:
+
+* a pure server of capacity ``U`` (in stream units) serves at most ``U``
+  simultaneous viewers regardless of the catalog size;
+* a *peer-assisted* server additionally harvests the upload of the ``n``
+  viewing boxes, serving up to ``U + Σ_b u_b`` concurrent streams, but
+  still stores the whole catalog centrally (so the catalog is bounded by
+  server storage, not by ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["CentralServerModel"]
+
+
+@dataclass(frozen=True)
+class CentralServerModel:
+    """A centralized (optionally peer-assisted) VoD server.
+
+    Attributes
+    ----------
+    upload_capacity:
+        Server uplink in units of the video bitrate.
+    storage_capacity:
+        Server storage in number of videos (the catalog it can offer).
+    peer_assisted:
+        Whether viewing boxes contribute their upload to the service.
+    """
+
+    upload_capacity: float
+    storage_capacity: float
+    peer_assisted: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.upload_capacity, "upload_capacity")
+        check_positive(self.storage_capacity, "storage_capacity")
+
+    @property
+    def catalog_size(self) -> int:
+        """Catalog offered by the server (its storage, in videos)."""
+        return int(self.storage_capacity)
+
+    def max_concurrent_viewers(self, peer_upload_total: float = 0.0) -> float:
+        """Maximum simultaneous unit-rate streams the system can sustain.
+
+        ``peer_upload_total`` is the aggregate upload of the currently
+        viewing boxes; it only counts when the server is peer-assisted.
+        """
+        check_non_negative(peer_upload_total, "peer_upload_total")
+        if self.peer_assisted:
+            return self.upload_capacity + peer_upload_total
+        return self.upload_capacity
+
+    def can_serve(self, num_viewers: int, peer_upload_total: float = 0.0) -> bool:
+        """Whether ``num_viewers`` simultaneous viewers can be served."""
+        if num_viewers < 0:
+            raise ValueError("num_viewers must be non-negative")
+        return num_viewers <= self.max_concurrent_viewers(peer_upload_total) + 1e-9
+
+    def required_server_upload(self, num_viewers: int, peer_upload_total: float = 0.0) -> float:
+        """Server upload needed to serve ``num_viewers`` given peer assistance."""
+        if num_viewers < 0:
+            raise ValueError("num_viewers must be non-negative")
+        assist = peer_upload_total if self.peer_assisted else 0.0
+        return max(float(num_viewers) - assist, 0.0)
+
+    def describe(self) -> Dict[str, float]:
+        """Flat dictionary view for tables."""
+        return {
+            "upload_capacity": self.upload_capacity,
+            "storage_capacity": self.storage_capacity,
+            "peer_assisted": self.peer_assisted,
+            "catalog_size": self.catalog_size,
+        }

@@ -1,0 +1,99 @@
+"""Full-replication baseline (Push-to-Peer style, Suh et al. [22]).
+
+The seminal server-free proposal replicates the catalog so widely that all
+requests are satisfied from *original copies* (pure sourcing): each box
+stores a constant portion of every video.  With per-box storage ``d``
+videos and minimal chunk size ``ℓ = 1/c``, a box can hold data of at most
+``d·c`` videos, so the catalog is capped at ``m ≤ d·c`` — **constant**,
+independent of ``n``.  This is exactly the regime the paper improves on
+(catalog ``Ω(n)`` instead of ``O(1)`` as soon as ``u > 1``).
+
+The module builds the corresponding allocation (every video striped across
+all boxes, each box holding one stripe of each video in a rotating
+pattern) so the same simulator and workloads can be run against it in the
+baseline-comparison experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import Allocation, AllocationError
+from repro.core.parameters import BoxPopulation
+from repro.core.video import Catalog
+from repro.util.validation import check_positive, check_positive_integer
+
+__all__ = ["max_catalog_full_replication", "full_replication_allocation"]
+
+
+def max_catalog_full_replication(d: float, c: int) -> int:
+    """Largest catalog a full-replication system supports: ``⌊d·c⌋`` videos.
+
+    Every box must store at least one stripe (chunk of size ``1/c``) of
+    every video, so the per-box storage of ``d·c`` stripe slots caps the
+    catalog at ``⌊d·c⌋`` — a constant independent of the system size.
+    """
+    d = check_positive(d, "d")
+    c = check_positive_integer(c, "c")
+    return int(np.floor(d * c + 1e-9))
+
+
+def full_replication_allocation(
+    catalog: Catalog,
+    population: BoxPopulation,
+    replicas_per_stripe: Optional[int] = None,
+) -> Allocation:
+    """Build the Push-to-Peer-style allocation: every box holds a stripe of every video.
+
+    Box ``b`` stores stripe ``(b + v) mod c`` of every video ``v`` (the
+    rotation spreads stripes evenly), repeated so that each stripe reaches
+    ``k = replicas_per_stripe`` distinct holders (default: ``⌊n/c⌋``, the
+    natural value when every box stores exactly one stripe per video).
+
+    Raises
+    ------
+    AllocationError
+        If the catalog exceeds the per-box storage (``m > ⌊d_min·c⌋``) or
+        the requested replication cannot be met.
+    """
+    c = catalog.num_stripes_per_video
+    n = population.n
+    m = catalog.num_videos
+    slots = population.storage_slots(c)
+    if np.any(slots < m):
+        offender = int(np.argmin(slots))
+        raise AllocationError(
+            f"full replication requires every box to store one stripe of each of the "
+            f"{m} videos, but box {offender} has only {int(slots[offender])} stripe slots "
+            f"(catalog cap is {int(slots.min())} videos)"
+        )
+    if replicas_per_stripe is None:
+        replicas_per_stripe = max(n // c, 1)
+    k = check_positive_integer(replicas_per_stripe, "replicas_per_stripe")
+    if k > n:
+        raise AllocationError(
+            f"cannot place {k} distinct replicas of a stripe on {n} boxes"
+        )
+
+    replica_box = np.empty(m * c * k, dtype=np.int64)
+    for video_id in range(m):
+        for stripe_index in range(c):
+            stripe_id = video_id * c + stripe_index
+            # Boxes holding this stripe: those with (b + video) ≡ stripe (mod c),
+            # cycled until k replicas are placed.
+            base_boxes = [
+                b for b in range(n) if (b + video_id) % c == stripe_index
+            ]
+            if not base_boxes:
+                base_boxes = list(range(n))
+            holders = [base_boxes[j % len(base_boxes)] for j in range(k)]
+            replica_box[stripe_id * k: (stripe_id + 1) * k] = holders
+    return Allocation(
+        catalog=catalog,
+        population=population,
+        replicas_per_stripe=k,
+        replica_box=replica_box,
+        scheme="full_replication",
+    )

@@ -1,0 +1,358 @@
+"""Random allocation of stripe replicas onto boxes (Section 2.1).
+
+An *allocation* statically places ``k`` replicas of each of the ``m·c``
+stripes into the storage slots of the ``n`` boxes.  The paper analyses two
+randomized schemes:
+
+* **random permutation allocation** — the ``k·m·c`` stripe replicas are
+  mapped to the ``⌊d·n·c⌋`` storage slots through a uniformly random
+  permutation (replica ``i`` goes to slot ``π(i)``); every box ends up
+  with exactly its ``⌊d_b·c⌋`` slots worth of replicas, so storage loads
+  are perfectly balanced by construction;
+* **random independent allocation** — each replica independently picks a
+  box with probability proportional to the box storage capacity.  Storage
+  loads may then be unbalanced; the paper notes that avoiding overflow
+  w.h.p. additionally requires ``c = Ω(log n)``.
+
+The :class:`Allocation` container stores the placement as flat NumPy
+arrays with CSR-style indexes in both directions (stripe → boxes and
+box → stripes), which is what the Monte-Carlo obstruction experiments and
+the per-round scheduler iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.parameters import BoxPopulation
+from repro.core.video import Catalog, StripeId
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive_integer
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "random_permutation_allocation",
+    "random_independent_allocation",
+    "round_robin_allocation",
+]
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation cannot be constructed (e.g. storage overflow)."""
+
+
+@dataclass(frozen=True, eq=False)
+class Allocation:
+    """A static placement of stripe replicas onto boxes.
+
+    Attributes
+    ----------
+    catalog:
+        The catalog whose stripes are being placed.
+    population:
+        The box population receiving the replicas.
+    replicas_per_stripe:
+        The replication factor ``k``.
+    replica_box:
+        Flat array of length ``m·c·k``; ``replica_box[s·k + j]`` is the box
+        holding the ``j``-th replica of stripe ``s``.
+    scheme:
+        Human-readable name of the scheme that produced the allocation.
+    """
+
+    catalog: Catalog
+    population: BoxPopulation
+    replicas_per_stripe: int
+    replica_box: np.ndarray
+    scheme: str = "custom"
+
+    def __post_init__(self) -> None:
+        expected = self.catalog.total_stripes * self.replicas_per_stripe
+        replica_box = np.asarray(self.replica_box, dtype=np.int64)
+        if replica_box.ndim != 1 or replica_box.size != expected:
+            raise ValueError(
+                f"replica_box must be a flat array of length m*c*k = {expected}, "
+                f"got shape {replica_box.shape}"
+            )
+        if replica_box.size and (
+            replica_box.min() < 0 or replica_box.max() >= self.population.n
+        ):
+            raise ValueError("replica_box references boxes outside the population")
+        object.__setattr__(self, "replica_box", replica_box)
+        # Pre-compute the box -> stripes CSR index.
+        order = np.argsort(replica_box, kind="stable")
+        sorted_boxes = replica_box[order]
+        stripe_of_replica = order // self.replicas_per_stripe
+        counts = np.bincount(sorted_boxes, minlength=self.population.n)
+        offsets = np.zeros(self.population.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        object.__setattr__(self, "_box_offsets", offsets)
+        object.__setattr__(self, "_box_stripes", stripe_of_replica.astype(np.int64))
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_boxes(self) -> int:
+        """Number of boxes ``n``."""
+        return self.population.n
+
+    @property
+    def catalog_size(self) -> int:
+        """Number of distinct videos ``m``."""
+        return self.catalog.num_videos
+
+    @property
+    def num_stripes(self) -> int:
+        """Number of distinct stripes ``m·c``."""
+        return self.catalog.total_stripes
+
+    @property
+    def total_replicas(self) -> int:
+        """Number of placed replicas ``k·m·c``."""
+        return int(self.replica_box.size)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def boxes_with_stripe(self, stripe_id: StripeId) -> np.ndarray:
+        """Boxes storing a replica of ``stripe_id`` (possibly with duplicates removed)."""
+        stripe_id = int(stripe_id)
+        if not 0 <= stripe_id < self.num_stripes:
+            raise ValueError(f"stripe_id {stripe_id} out of range")
+        k = self.replicas_per_stripe
+        return np.unique(self.replica_box[stripe_id * k: (stripe_id + 1) * k])
+
+    def replica_boxes_of_stripe(self, stripe_id: StripeId) -> np.ndarray:
+        """The ``k`` replica holders of ``stripe_id`` (duplicates preserved)."""
+        stripe_id = int(stripe_id)
+        if not 0 <= stripe_id < self.num_stripes:
+            raise ValueError(f"stripe_id {stripe_id} out of range")
+        k = self.replicas_per_stripe
+        return self.replica_box[stripe_id * k: (stripe_id + 1) * k].copy()
+
+    def stripes_on_box(self, box_id: int) -> np.ndarray:
+        """Stripes of which ``box_id`` stores at least one replica."""
+        if not 0 <= box_id < self.num_boxes:
+            raise ValueError(f"box_id {box_id} out of range")
+        offsets = self._box_offsets  # type: ignore[attr-defined]
+        stripes = self._box_stripes  # type: ignore[attr-defined]
+        return np.unique(stripes[offsets[box_id]: offsets[box_id + 1]])
+
+    def box_loads(self) -> np.ndarray:
+        """Number of replicas stored on each box."""
+        return np.bincount(self.replica_box, minlength=self.num_boxes).astype(np.int64)
+
+    def stripe_sets_by_box(self) -> List[Set[int]]:
+        """Per-box sets of stored stripe identifiers (for simulator setup)."""
+        return [set(self.stripes_on_box(b).tolist()) for b in range(self.num_boxes)]
+
+    # ------------------------------------------------------------------ #
+    # Validation and statistics
+    # ------------------------------------------------------------------ #
+    def storage_slack(self) -> np.ndarray:
+        """Per-box free slots: ``⌊d_b·c⌋ − load_b`` (negative means overflow)."""
+        capacity = self.population.storage_slots(self.catalog.num_stripes_per_video)
+        return capacity - self.box_loads()
+
+    def overflowing_boxes(self) -> np.ndarray:
+        """Indices of boxes whose storage capacity is exceeded."""
+        return np.flatnonzero(self.storage_slack() < 0).astype(np.int64)
+
+    def respects_storage(self) -> bool:
+        """Whether no box stores more replicas than its capacity allows."""
+        return bool(self.overflowing_boxes().size == 0)
+
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of per-box replica loads (1.0 = perfectly balanced)."""
+        loads = self.box_loads().astype(np.float64)
+        mean = loads.mean()
+        if mean == 0:
+            return 0.0
+        return float(loads.max() / mean)
+
+    def distinct_coverage(self) -> np.ndarray:
+        """For each stripe, the number of *distinct* boxes holding it."""
+        k = self.replicas_per_stripe
+        grid = self.replica_box.reshape(self.num_stripes, k)
+        # Count distinct entries row-wise.
+        sorted_grid = np.sort(grid, axis=1)
+        distinct = np.ones(self.num_stripes, dtype=np.int64)
+        if k > 1:
+            distinct += (sorted_grid[:, 1:] != sorted_grid[:, :-1]).sum(axis=1)
+        return distinct
+
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics used in experiment reports."""
+        loads = self.box_loads()
+        return {
+            "scheme": self.scheme,
+            "n": self.num_boxes,
+            "m": self.catalog_size,
+            "c": self.catalog.num_stripes_per_video,
+            "k": self.replicas_per_stripe,
+            "total_replicas": self.total_replicas,
+            "max_load": int(loads.max()) if loads.size else 0,
+            "mean_load": float(loads.mean()) if loads.size else 0.0,
+            "load_imbalance": self.load_imbalance(),
+            "respects_storage": self.respects_storage(),
+            "min_distinct_coverage": int(self.distinct_coverage().min())
+            if self.num_stripes
+            else 0,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Allocation schemes
+# ---------------------------------------------------------------------- #
+def _slot_owner_array(population: BoxPopulation, c: int) -> np.ndarray:
+    """Array mapping each storage slot of the system to its owning box.
+
+    Box ``b`` owns ``⌊d_b·c⌋`` consecutive slots (the paper's "the d·c
+    first slots fall into the first box, the d·c next slots into the
+    second box, and so on").
+    """
+    slots_per_box = population.storage_slots(c)
+    return np.repeat(np.arange(population.n, dtype=np.int64), slots_per_box)
+
+
+def random_permutation_allocation(
+    catalog: Catalog,
+    population: BoxPopulation,
+    replicas_per_stripe: int,
+    random_state: RandomState = None,
+) -> Allocation:
+    """Random permutation allocation (Section 2.1).
+
+    The ``k·m·c`` replicas are assigned to the ``Σ_b ⌊d_b·c⌋`` storage
+    slots through a uniformly random permutation; the slot index determines
+    the owning box.  Raises :class:`AllocationError` when the system does
+    not have enough storage slots for the requested replication.
+    """
+    k = check_positive_integer(replicas_per_stripe, "replicas_per_stripe")
+    slot_owner = _slot_owner_array(population, catalog.num_stripes_per_video)
+    total_replicas = catalog.total_stripes * k
+    if total_replicas > slot_owner.size:
+        raise AllocationError(
+            f"not enough storage: {total_replicas} replicas requested but only "
+            f"{slot_owner.size} slots available "
+            f"(m={catalog.num_videos}, c={catalog.num_stripes_per_video}, k={k})"
+        )
+    gen = as_generator(random_state)
+    chosen_slots = gen.permutation(slot_owner.size)[:total_replicas]
+    replica_box = slot_owner[chosen_slots]
+    return Allocation(
+        catalog=catalog,
+        population=population,
+        replicas_per_stripe=k,
+        replica_box=replica_box,
+        scheme="permutation",
+    )
+
+
+def random_independent_allocation(
+    catalog: Catalog,
+    population: BoxPopulation,
+    replicas_per_stripe: int,
+    random_state: RandomState = None,
+    on_full: str = "redraw",
+    max_redraws: int = 1000,
+) -> Allocation:
+    """Random independent allocation (Section 2.1).
+
+    Each replica independently selects a box with probability proportional
+    to the box storage capacity.  The paper stops the process as soon as a
+    replica falls into a completely filled-up box; in practice three
+    policies are useful and selectable through ``on_full``:
+
+    * ``"fail"``  — raise :class:`AllocationError` (the paper's literal reading);
+    * ``"redraw"`` — redraw the box until a non-full one is found (default);
+    * ``"ignore"`` — keep the placement even if it overflows the box, so
+      that the *unbalanced-load* phenomenon the paper warns about
+      (requiring ``c = Ω(log n)``) can be measured directly.
+    """
+    k = check_positive_integer(replicas_per_stripe, "replicas_per_stripe")
+    if on_full not in ("fail", "redraw", "ignore"):
+        raise ValueError(f"on_full must be 'fail', 'redraw' or 'ignore', got {on_full!r}")
+    c = catalog.num_stripes_per_video
+    capacities = population.storage_slots(c)
+    total_replicas = catalog.total_stripes * k
+    if on_full != "ignore" and total_replicas > int(capacities.sum()):
+        raise AllocationError(
+            f"not enough storage: {total_replicas} replicas requested but only "
+            f"{int(capacities.sum())} slots available"
+        )
+    weights = population.storages.astype(np.float64)
+    if weights.sum() <= 0:
+        raise AllocationError("population has no storage capacity")
+    probs = weights / weights.sum()
+    gen = as_generator(random_state)
+
+    replica_box = gen.choice(population.n, size=total_replicas, replace=True, p=probs)
+    if on_full == "ignore":
+        return Allocation(catalog, population, k, replica_box, scheme="independent")
+
+    loads = np.zeros(population.n, dtype=np.int64)
+    out = np.empty(total_replicas, dtype=np.int64)
+    for i in range(total_replicas):
+        box = int(replica_box[i])
+        if loads[box] >= capacities[box]:
+            if on_full == "fail":
+                raise AllocationError(
+                    f"replica {i} fell into full box {box} "
+                    f"(load {loads[box]} / capacity {capacities[box]})"
+                )
+            redraws = 0
+            while loads[box] >= capacities[box]:
+                box = int(gen.choice(population.n, p=probs))
+                redraws += 1
+                if redraws > max_redraws:
+                    raise AllocationError(
+                        f"exceeded {max_redraws} redraws while placing replica {i}; "
+                        "storage is too tight for independent allocation"
+                    )
+        out[i] = box
+        loads[box] += 1
+    return Allocation(catalog, population, k, out, scheme="independent")
+
+
+def round_robin_allocation(
+    catalog: Catalog,
+    population: BoxPopulation,
+    replicas_per_stripe: int,
+    offset: int = 0,
+) -> Allocation:
+    """Deterministic round-robin allocation.
+
+    Places replica ``j`` of stripe ``s`` on box ``(s·k + j + offset) mod n``,
+    skipping boxes whose storage is already full.  Not analysed by the
+    paper; provided as a deterministic control for tests and as a
+    structured baseline in the allocation-balance experiment.
+    """
+    k = check_positive_integer(replicas_per_stripe, "replicas_per_stripe")
+    c = catalog.num_stripes_per_video
+    capacities = population.storage_slots(c)
+    total_replicas = catalog.total_stripes * k
+    if total_replicas > int(capacities.sum()):
+        raise AllocationError(
+            f"not enough storage: {total_replicas} replicas requested but only "
+            f"{int(capacities.sum())} slots available"
+        )
+    loads = np.zeros(population.n, dtype=np.int64)
+    out = np.empty(total_replicas, dtype=np.int64)
+    cursor = offset % population.n
+    for i in range(total_replicas):
+        attempts = 0
+        while loads[cursor] >= capacities[cursor]:
+            cursor = (cursor + 1) % population.n
+            attempts += 1
+            if attempts > population.n:
+                raise AllocationError("no box with free storage found")
+        out[i] = cursor
+        loads[cursor] += 1
+        cursor = (cursor + 1) % population.n
+    return Allocation(catalog, population, k, out, scheme="round_robin")

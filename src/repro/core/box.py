@@ -1,0 +1,224 @@
+"""Boxes: storage slots and the playback cache.
+
+A *box* combines three resources (Section 1.1):
+
+* **static storage** — ``⌊d_b·c⌋`` stripe-sized slots filled once and for
+  all by the allocation (Section 2.1);
+* **playback cache** — a sliding window of the data most recently viewed,
+  of total size one video; when a box plays videos one after another the
+  cache straddles the end of the previous video and the beginning of the
+  current one;
+* **upload capacity** — ``u_b`` full video streams, i.e. ``⌊u_b·c⌋``
+  stripes per round.
+
+The feasibility analysis only needs to know, at round ``t``, whether box
+``b`` *possesses* the data at position ``t − t_i`` of stripe ``s_i``; this
+is the case when either ``b`` stores the stripe statically, or ``b``
+itself requested the stripe at some earlier time ``t_j`` with
+``t − T ≤ t_j < t_i`` (it is further ahead in the same playback and still
+holds the data in its cache).  :class:`PlaybackCache` implements exactly
+that predicate; :class:`Box` bundles it with the static storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.video import StripeId
+from repro.util.intmath import floor_to_stripe_units
+from repro.util.validation import (
+    check_non_negative,
+    check_non_negative_integer,
+    check_positive_integer,
+)
+
+__all__ = ["PlaybackCache", "Box"]
+
+
+class PlaybackCache:
+    """Sliding-window cache of recently requested stripes.
+
+    The cache records, for every stripe the box has requested, the time of
+    that request.  Entries older than ``window`` rounds are evicted (the
+    cache holds at most one video worth of data, i.e. ``T`` rounds).
+
+    Parameters
+    ----------
+    window:
+        Cache window ``T`` in rounds (the common video duration).
+    """
+
+    def __init__(self, window: int):
+        self._window = check_positive_integer(window, "window")
+        # stripe_id -> list of request times still inside the window,
+        # kept sorted in insertion (hence chronological) order.
+        self._entries: Dict[StripeId, List[int]] = {}
+
+    @property
+    def window(self) -> int:
+        """Cache window ``T`` in rounds."""
+        return self._window
+
+    def record_request(self, stripe_id: StripeId, time: int) -> None:
+        """Record that the owning box requested ``stripe_id`` at ``time``."""
+        check_non_negative_integer(time, "time")
+        self._entries.setdefault(int(stripe_id), []).append(int(time))
+
+    def evict_older_than(self, current_time: int) -> None:
+        """Drop entries that have left the ``T``-round window at ``current_time``."""
+        check_non_negative_integer(current_time, "current_time")
+        horizon = current_time - self._window
+        stale: List[StripeId] = []
+        for stripe_id, times in self._entries.items():
+            kept = [t for t in times if t >= horizon]
+            if kept:
+                self._entries[stripe_id] = kept
+            else:
+                stale.append(stripe_id)
+        for stripe_id in stale:
+            del self._entries[stripe_id]
+
+    def can_serve(self, stripe_id: StripeId, request_time: int, current_time: int) -> bool:
+        """Whether the cache can serve a request for ``stripe_id`` issued at ``request_time``.
+
+        Per Section 2.2 the data at position ``t − t_i`` is possessed by a
+        box that requested the same stripe at ``t_j`` with
+        ``t − T ≤ t_j < t_i``.
+        """
+        times = self._entries.get(int(stripe_id))
+        if not times:
+            return False
+        horizon = current_time - self._window
+        return any(horizon <= t_j < request_time for t_j in times)
+
+    def cached_stripes(self) -> Set[StripeId]:
+        """Set of stripe identifiers currently present in the cache."""
+        return set(self._entries)
+
+    def earliest_request(self, stripe_id: StripeId) -> Optional[int]:
+        """Earliest recorded request time for ``stripe_id`` (or ``None``)."""
+        times = self._entries.get(int(stripe_id))
+        return min(times) if times else None
+
+    def __contains__(self, stripe_id: StripeId) -> bool:
+        return int(stripe_id) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Empty the cache."""
+        self._entries.clear()
+
+
+@dataclass
+class Box:
+    """One box of the system.
+
+    Attributes
+    ----------
+    box_id:
+        Index of the box, ``0 ≤ box_id < n``.
+    upload:
+        Normalized upload capacity ``u_b``.
+    storage:
+        Storage capacity ``d_b`` in videos.
+    num_stripes:
+        Stripe count ``c`` (needed to convert capacities to stripe units).
+    cache_window:
+        Playback-cache window ``T`` in rounds.
+    """
+
+    box_id: int
+    upload: float
+    storage: float
+    num_stripes: int
+    cache_window: int = 120
+    stored_stripes: Set[StripeId] = field(default_factory=set)
+    cache: PlaybackCache = field(init=False)
+    #: Stripes this box relays/caches on behalf of poor boxes (Section 4).
+    relay_cached_stripes: Set[StripeId] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        check_non_negative_integer(self.box_id, "box_id")
+        check_non_negative(self.upload, "upload")
+        check_non_negative(self.storage, "storage")
+        check_positive_integer(self.num_stripes, "num_stripes")
+        check_positive_integer(self.cache_window, "cache_window")
+        self.cache = PlaybackCache(self.cache_window)
+
+    # ------------------------------------------------------------------ #
+    # Capacities in stripe units
+    # ------------------------------------------------------------------ #
+    @property
+    def upload_slots(self) -> int:
+        """Stripes this box can upload per round, ``⌊u_b·c⌋``."""
+        return floor_to_stripe_units(self.upload, self.num_stripes)
+
+    @property
+    def effective_upload(self) -> float:
+        """Effective upload ``u'_b = ⌊u_b·c⌋ / c``."""
+        return self.upload_slots / self.num_stripes
+
+    @property
+    def storage_slots(self) -> int:
+        """Stripe-sized storage slots, ``⌊d_b·c⌋``."""
+        return floor_to_stripe_units(self.storage, self.num_stripes)
+
+    @property
+    def free_storage_slots(self) -> int:
+        """Remaining storage slots given the stripes already allocated."""
+        return self.storage_slots - len(self.stored_stripes)
+
+    # ------------------------------------------------------------------ #
+    # Static storage
+    # ------------------------------------------------------------------ #
+    def store_stripe(self, stripe_id: StripeId) -> None:
+        """Statically store a replica of ``stripe_id`` on this box."""
+        if self.free_storage_slots <= 0 and int(stripe_id) not in self.stored_stripes:
+            raise ValueError(
+                f"box {self.box_id} storage full "
+                f"({self.storage_slots} slots) — cannot store stripe {stripe_id}"
+            )
+        self.stored_stripes.add(int(stripe_id))
+
+    def stores(self, stripe_id: StripeId) -> bool:
+        """Whether the box statically stores ``stripe_id``."""
+        return int(stripe_id) in self.stored_stripes
+
+    def store_many(self, stripe_ids: Iterable[StripeId]) -> None:
+        """Store a batch of stripe replicas (allocation helper)."""
+        for stripe_id in stripe_ids:
+            self.store_stripe(stripe_id)
+
+    # ------------------------------------------------------------------ #
+    # Possession predicate (Section 2.2)
+    # ------------------------------------------------------------------ #
+    def possesses(
+        self, stripe_id: StripeId, request_time: int, current_time: int
+    ) -> bool:
+        """Whether this box can serve a request for ``stripe_id`` made at ``request_time``.
+
+        True when the box stores the stripe statically, relays/caches it on
+        behalf of a poor box, or has itself requested it early enough that
+        the needed position is still in its playback cache.
+        """
+        sid = int(stripe_id)
+        if sid in self.stored_stripes or sid in self.relay_cached_stripes:
+            return True
+        return self.cache.can_serve(sid, request_time, current_time)
+
+    def record_playback_request(self, stripe_id: StripeId, time: int) -> None:
+        """Record in the playback cache that this box requested ``stripe_id`` at ``time``."""
+        self.cache.record_request(stripe_id, time)
+
+    def advance_to(self, current_time: int) -> None:
+        """Evict playback-cache entries that fell out of the ``T``-round window."""
+        self.cache.evict_older_than(current_time)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Box(id={self.box_id}, u={self.upload}, d={self.storage}, "
+            f"stored={len(self.stored_stripes)}/{self.storage_slots})"
+        )

@@ -1,0 +1,345 @@
+"""Connection matching: requests, possession index and Lemma 1 feasibility.
+
+At every round ``t`` the set of *stripe requests* not yet wired,
+``Y = {(s_1, t_1, b_1), …, (s_p, t_p, b_p)}``, must be matched against the
+boxes that possess the corresponding data so that each box ``b`` serves at
+most ``⌊u_b·c⌋`` stripes (Section 2.2).  Wiring connections according to
+such a matching serves every request at round ``t+1``, since each stripe
+has rate ``1/c``.
+
+This module provides:
+
+* :class:`StripeRequest` / :class:`RequestSet` — the request multiset ``Y``;
+* :class:`PossessionIndex` — the "who possesses what" relation ``B(·)``,
+  combining the static allocation with playback caches and relay caches;
+* :class:`ConnectionMatcher` — builds the bipartite graph ``G`` from ``Y``
+  to the boxes and solves the connection matching through max flow;
+* :func:`check_feasibility_hall` — the direct (exponential) form of
+  Lemma 1's condition ``∀X ⊆ Y : U_{B(X)} ≥ |X|/c``, used on small
+  instances to validate the flow-based answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.video import StripeId
+from repro.flow.bipartite import BMatchingResult, solve_b_matching
+from repro.util.validation import check_non_negative_integer, check_positive_integer
+
+__all__ = [
+    "StripeRequest",
+    "RequestSet",
+    "PossessionIndex",
+    "ConnectionMatching",
+    "ConnectionMatcher",
+    "check_feasibility_hall",
+]
+
+
+@dataclass(frozen=True, order=True)
+class StripeRequest:
+    """A request ``(s_i, t_i, b_i)`` for stripe ``s_i`` made by box ``b_i`` at time ``t_i``."""
+
+    stripe_id: int
+    request_time: int
+    box_id: int
+    #: Whether this is a preloading request (vs a postponed one); only used
+    #: for reporting, the matching treats both identically.
+    is_preload: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative_integer(self.stripe_id, "stripe_id")
+        check_non_negative_integer(self.request_time, "request_time")
+        check_non_negative_integer(self.box_id, "box_id")
+
+
+class RequestSet:
+    """The multiset ``Y`` of stripe requests pending at a given round."""
+
+    def __init__(self, requests: Iterable[StripeRequest] = ()):
+        self._requests: List[StripeRequest] = list(requests)
+
+    def add(self, request: StripeRequest) -> None:
+        """Append a request to the multiset."""
+        self._requests.append(request)
+
+    def extend(self, requests: Iterable[StripeRequest]) -> None:
+        """Append several requests."""
+        self._requests.extend(requests)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self):
+        return iter(self._requests)
+
+    def __getitem__(self, index: int) -> StripeRequest:
+        return self._requests[index]
+
+    @property
+    def requests(self) -> Tuple[StripeRequest, ...]:
+        """The requests as an immutable tuple."""
+        return tuple(self._requests)
+
+    def stripe_multiset(self) -> List[int]:
+        """The multiset ``S(Y)`` of requested stripe identifiers."""
+        return [r.stripe_id for r in self._requests]
+
+    def distinct_stripes(self) -> Set[int]:
+        """The set of pairwise distinct requested stripes."""
+        return {r.stripe_id for r in self._requests}
+
+    def by_video(self, num_stripes_per_video: int) -> Dict[int, List[StripeRequest]]:
+        """Group requests by the video their stripe belongs to."""
+        check_positive_integer(num_stripes_per_video, "num_stripes_per_video")
+        groups: Dict[int, List[StripeRequest]] = {}
+        for request in self._requests:
+            groups.setdefault(request.stripe_id // num_stripes_per_video, []).append(request)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RequestSet(size={len(self._requests)}, distinct={len(self.distinct_stripes())})"
+
+
+class PossessionIndex:
+    """The relation "box ``b`` possesses the data needed by request ``x``".
+
+    A box possesses the data needed by request ``(s, t_i, b_i)`` at the
+    current round ``t`` when any of the following holds (Section 2.2 and
+    the relay extension of Section 4):
+
+    * it statically stores a replica of ``s`` (random allocation);
+    * it caches ``s`` as the relay of a poor box;
+    * it itself requested ``s`` at some ``t_j`` with ``t − T ≤ t_j < t_i``
+      (playback cache: it is further ahead in the same stripe).
+    """
+
+    def __init__(self, allocation: Allocation, cache_window: int):
+        self._allocation = allocation
+        self._window = check_positive_integer(cache_window, "cache_window")
+        # stripe_id -> list of (box_id, request_time) of boxes downloading it.
+        self._swarm: Dict[int, List[Tuple[int, int]]] = {}
+        # stripe_id -> set of boxes relay-caching it (Section 4).
+        self._relays: Dict[int, Set[int]] = {}
+
+    @property
+    def allocation(self) -> Allocation:
+        """The underlying static allocation."""
+        return self._allocation
+
+    @property
+    def cache_window(self) -> int:
+        """Playback-cache window ``T`` in rounds."""
+        return self._window
+
+    # ------------------------------------------------------------------ #
+    # Dynamic state maintenance
+    # ------------------------------------------------------------------ #
+    def record_download(self, stripe_id: StripeId, box_id: int, time: int) -> None:
+        """Record that ``box_id`` requested/downloads ``stripe_id`` starting at ``time``."""
+        self._swarm.setdefault(int(stripe_id), []).append((int(box_id), int(time)))
+
+    def record_relay_cache(self, stripe_id: StripeId, box_id: int) -> None:
+        """Record that ``box_id`` relay-caches ``stripe_id`` for a poor box."""
+        self._relays.setdefault(int(stripe_id), set()).add(int(box_id))
+
+    def evict_before(self, current_time: int) -> None:
+        """Drop cache entries older than ``current_time − T``."""
+        horizon = current_time - self._window
+        stale: List[int] = []
+        for stripe_id, entries in self._swarm.items():
+            kept = [(b, t) for (b, t) in entries if t >= horizon]
+            if kept:
+                self._swarm[stripe_id] = kept
+            else:
+                stale.append(stripe_id)
+        for stripe_id in stale:
+            del self._swarm[stripe_id]
+
+    # ------------------------------------------------------------------ #
+    # Possession queries
+    # ------------------------------------------------------------------ #
+    def cache_servers(
+        self, stripe_id: StripeId, request_time: int, current_time: int
+    ) -> Set[int]:
+        """Boxes able to serve ``stripe_id`` from their playback cache."""
+        horizon = current_time - self._window
+        entries = self._swarm.get(int(stripe_id), [])
+        return {b for (b, t_j) in entries if horizon <= t_j < request_time}
+
+    def servers_for(self, request: StripeRequest, current_time: int) -> Set[int]:
+        """The neighbourhood ``B(x)`` of a request in the bipartite graph ``G``."""
+        servers: Set[int] = set(
+            int(b) for b in self._allocation.boxes_with_stripe(request.stripe_id)
+        )
+        servers |= self._relays.get(int(request.stripe_id), set())
+        servers |= self.cache_servers(request.stripe_id, request.request_time, current_time)
+        return servers
+
+    def swarm_size(self, video_id: int, num_stripes_per_video: int) -> int:
+        """Number of distinct boxes currently downloading any stripe of a video."""
+        base = video_id * num_stripes_per_video
+        boxes: Set[int] = set()
+        for stripe_id in range(base, base + num_stripes_per_video):
+            boxes.update(b for (b, _t) in self._swarm.get(stripe_id, []))
+        return len(boxes)
+
+
+@dataclass(frozen=True)
+class ConnectionMatching:
+    """Result of wiring the requests of one round.
+
+    Attributes
+    ----------
+    feasible:
+        Whether every request could be assigned a server.
+    assignment:
+        For each request (in the order of the request set), the box serving
+        it, or ``-1`` when infeasible and left unmatched.
+    matched:
+        Number of matched requests.
+    request_set:
+        The request multiset that was matched.
+    obstruction_witness:
+        When infeasible, indices (into the request set) of a subset ``X``
+        violating the Lemma 1 condition ``U_{B(X)} ≥ |X|/c``.
+    box_load:
+        Per-box number of stripes served under the returned assignment.
+    """
+
+    feasible: bool
+    assignment: np.ndarray
+    matched: int
+    request_set: RequestSet
+    obstruction_witness: Optional[Tuple[int, ...]]
+    box_load: np.ndarray
+
+
+class ConnectionMatcher:
+    """Builds the bipartite graph ``G`` and solves the connection matching.
+
+    Parameters
+    ----------
+    upload_slots:
+        Per-box number of stripes uploadable per round, ``⌊u_b·c⌋``,
+        possibly already reduced by statically reserved relay capacity
+        (Section 4).
+    """
+
+    def __init__(self, upload_slots: Sequence[int]):
+        slots = np.asarray(upload_slots, dtype=np.int64)
+        if slots.ndim != 1 or slots.size == 0:
+            raise ValueError("upload_slots must be a non-empty 1-D sequence")
+        if np.any(slots < 0):
+            raise ValueError("upload_slots must be non-negative")
+        self._slots = slots
+
+    @property
+    def upload_slots(self) -> np.ndarray:
+        """Per-box stripe-upload capacity used for the matching."""
+        return self._slots
+
+    def match(
+        self,
+        requests: RequestSet,
+        possession: PossessionIndex,
+        current_time: int,
+        busy_slots: Optional[Sequence[int]] = None,
+    ) -> ConnectionMatching:
+        """Wire the requests of round ``current_time``.
+
+        ``busy_slots`` optionally gives, per box, the number of upload
+        slots already consumed by connections carried over from previous
+        rounds (ongoing stripe transfers); they are subtracted from the
+        capacity available to new requests.
+        """
+        n = self._slots.size
+        capacities = self._slots.copy()
+        if busy_slots is not None:
+            busy = np.asarray(busy_slots, dtype=np.int64)
+            if busy.shape != capacities.shape:
+                raise ValueError("busy_slots must have one entry per box")
+            if np.any(busy < 0):
+                raise ValueError("busy_slots must be non-negative")
+            capacities = np.maximum(capacities - busy, 0)
+
+        request_list = list(requests)
+        if not request_list:
+            return ConnectionMatching(
+                feasible=True,
+                assignment=np.empty(0, dtype=np.int64),
+                matched=0,
+                request_set=requests,
+                obstruction_witness=None,
+                box_load=np.zeros(n, dtype=np.int64),
+            )
+
+        edges: List[Tuple[int, int]] = []
+        for idx, request in enumerate(request_list):
+            for box in possession.servers_for(request, current_time):
+                if box == request.box_id:
+                    # A box never serves its own request: it needs the data.
+                    continue
+                edges.append((idx, int(box)))
+
+        result: BMatchingResult = solve_b_matching(
+            num_left=len(request_list),
+            num_right=n,
+            edges=edges,
+            right_capacities=capacities.tolist(),
+        )
+        box_load = np.zeros(n, dtype=np.int64)
+        for box in result.assignment:
+            if box >= 0:
+                box_load[box] += 1
+        return ConnectionMatching(
+            feasible=result.feasible,
+            assignment=result.assignment,
+            matched=result.matched,
+            request_set=requests,
+            obstruction_witness=result.unsatisfied_witness,
+            box_load=box_load,
+        )
+
+
+def check_feasibility_hall(
+    requests: RequestSet,
+    possession: PossessionIndex,
+    uploads: Sequence[float],
+    num_stripes_per_video: int,
+    current_time: int,
+    max_subset_size: Optional[int] = None,
+) -> Tuple[bool, Optional[Tuple[int, ...]]]:
+    """Direct check of Lemma 1: ``∀ X ⊆ Y, U_{B(X)} ≥ |X|/c``.
+
+    Exhaustive over subsets of the request set (exponential); only usable
+    on small instances, where it serves as an oracle for the flow-based
+    matcher.  Returns ``(feasible, witness)`` where ``witness`` is a
+    violating subset of request indices (or ``None``).
+    """
+    uploads_arr = np.asarray(uploads, dtype=np.float64)
+    request_list = list(requests)
+    c = check_positive_integer(num_stripes_per_video, "num_stripes_per_video")
+    neighbourhoods: List[Set[int]] = []
+    for request in request_list:
+        servers = possession.servers_for(request, current_time)
+        servers.discard(request.box_id)
+        neighbourhoods.append(servers)
+    limit = len(request_list) if max_subset_size is None else min(
+        max_subset_size, len(request_list)
+    )
+    for size in range(1, limit + 1):
+        for subset in combinations(range(len(request_list)), size):
+            neighbourhood: Set[int] = set()
+            for idx in subset:
+                neighbourhood |= neighbourhoods[idx]
+            capacity = float(uploads_arr[list(neighbourhood)].sum()) if neighbourhood else 0.0
+            if capacity + 1e-12 < size / c:
+                return False, subset
+    return True, None

@@ -1,0 +1,178 @@
+"""The negative result: ``u < 1`` forces a constant catalog (Section 1.3).
+
+The argument of the paper is constructive and this module makes it
+executable:
+
+* with minimal chunk size ``ℓ``, a box ``b`` stores data of at most
+  ``d_b/ℓ`` videos, so if the catalog exceeds ``d_max/ℓ`` then *every* box
+  misses at least one video entirely;
+* the adversary then lets every box demand a video it stores nothing of;
+  the aggregate download requirement is ``n`` (every box plays a unit-rate
+  video served entirely by others) while the aggregate upload is
+  ``u·n < n`` — the demand sequence cannot be satisfied;
+* hence any ``u < 1`` system that must resist adversarial demands has
+  catalog size at most ``d_max/ℓ = O(1)``.
+
+The functions here compute the catalog cap, construct the adversarial
+demand (one per box) against a concrete allocation, and quantify the
+bandwidth shortfall, which experiment E2 measures against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.preloading import Demand
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "catalog_upper_bound_below_threshold",
+    "missing_videos_per_box",
+    "adversarial_missing_video_demands",
+    "bandwidth_shortfall",
+    "NegativeResultWitness",
+    "build_negative_witness",
+]
+
+
+def catalog_upper_bound_below_threshold(d_max: float, chunk_size: float) -> float:
+    """Catalog cap ``m ≤ d_max/ℓ`` for a system with ``u < 1``.
+
+    ``d_max`` is the largest per-box storage and ``ℓ`` the minimal chunk
+    size (``1/c`` when whole stripes are stored).  The bound is constant
+    whenever ``d_max = O(1)`` and ``ℓ = Ω(1)``.
+    """
+    d_max = check_positive(d_max, "d_max")
+    chunk_size = check_in_range(chunk_size, "chunk_size", 0.0, 1.0, inclusive_low=False)
+    return d_max / chunk_size
+
+
+def missing_videos_per_box(allocation: Allocation) -> List[np.ndarray]:
+    """For each box, the videos of which it stores *no* stripe at all.
+
+    These are the videos the adversary may ask the box to play so that all
+    of the box's playback must be uploaded by other boxes.
+    """
+    c = allocation.catalog.num_stripes_per_video
+    m = allocation.catalog_size
+    all_videos = np.arange(m, dtype=np.int64)
+    missing: List[np.ndarray] = []
+    for box_id in range(allocation.num_boxes):
+        stored_stripes = allocation.stripes_on_box(box_id)
+        stored_videos = np.unique(stored_stripes // c) if stored_stripes.size else np.empty(
+            0, dtype=np.int64
+        )
+        missing.append(np.setdiff1d(all_videos, stored_videos, assume_unique=True))
+    return missing
+
+
+def adversarial_missing_video_demands(
+    allocation: Allocation, time: int = 0, spread: bool = True
+) -> List[Demand]:
+    """One demand per box for a video the box stores nothing of.
+
+    Returns the adversarial demand list (boxes that store data of every
+    video are skipped — such boxes cannot be attacked this way).  With
+    ``spread=True`` the adversary additionally spreads its choices across
+    the missing videos (round-robin over each box's missing set) so the
+    demand profile does not collapse onto a single video; this keeps the
+    attack valid while making it harder to serve from playback caches.
+    """
+    missing = missing_videos_per_box(allocation)
+    demands: List[Demand] = []
+    for box_id, candidates in enumerate(missing):
+        if candidates.size == 0:
+            continue
+        index = box_id % candidates.size if spread else 0
+        demands.append(Demand(time=time, box_id=box_id, video_id=int(candidates[index])))
+    return demands
+
+
+def bandwidth_shortfall(num_active_boxes: int, average_upload: float) -> float:
+    """Aggregate shortfall ``n_active·(1 − u)`` when every active box plays remote data.
+
+    Positive when ``u < 1``: the aggregated download rate ``n_active``
+    exceeds the aggregated upload rate ``u·n_active``.
+    """
+    if num_active_boxes < 0:
+        raise ValueError("num_active_boxes must be non-negative")
+    if average_upload < 0:
+        raise ValueError("average_upload must be non-negative")
+    return num_active_boxes * (1.0 - average_upload)
+
+
+@dataclass(frozen=True)
+class NegativeResultWitness:
+    """A concrete witness of the ``u < 1`` impossibility for one allocation.
+
+    Attributes
+    ----------
+    catalog_size:
+        Catalog size ``m`` of the attacked allocation.
+    catalog_cap:
+        The bound ``d_max/ℓ``; an attack exists whenever
+        ``catalog_size > catalog_cap`` is *not* required — an attack exists
+        as soon as every box misses some video, which the constructor
+        checks directly.
+    attackable_boxes:
+        Number of boxes that miss at least one video entirely.
+    demands:
+        The adversarial demand list (one per attackable box).
+    aggregate_download:
+        Total download rate required by the demands (= number of demands).
+    aggregate_upload:
+        Total upload capacity of the population.
+    infeasible:
+        Whether the demands provably exceed the aggregate upload
+        (``aggregate_download > aggregate_upload``).
+    """
+
+    catalog_size: int
+    catalog_cap: float
+    attackable_boxes: int
+    demands: Tuple[Demand, ...]
+    aggregate_download: float
+    aggregate_upload: float
+    infeasible: bool
+
+    def describe(self) -> Dict[str, float]:
+        """Flat dictionary view for reports."""
+        return {
+            "catalog_size": self.catalog_size,
+            "catalog_cap": self.catalog_cap,
+            "attackable_boxes": self.attackable_boxes,
+            "aggregate_download": self.aggregate_download,
+            "aggregate_upload": self.aggregate_upload,
+            "infeasible": self.infeasible,
+        }
+
+
+def build_negative_witness(allocation: Allocation, time: int = 0) -> NegativeResultWitness:
+    """Construct the adversarial witness of the negative result for ``allocation``.
+
+    The witness demands are *valid* for any allocation; they are *winning*
+    (``infeasible=True``) exactly when the aggregate upload of the
+    population is below the number of attackable boxes — which the paper's
+    argument guarantees when ``u < 1`` and every box misses a video
+    (``m > d_max/ℓ``).
+    """
+    population = allocation.population
+    chunk = allocation.catalog.chunk_size
+    cap = catalog_upper_bound_below_threshold(population.max_storage, chunk)
+    demands = adversarial_missing_video_demands(allocation, time=time)
+    aggregate_download = float(len(demands))
+    aggregate_upload = population.total_upload
+    return NegativeResultWitness(
+        catalog_size=allocation.catalog_size,
+        catalog_cap=cap,
+        attackable_boxes=len(demands),
+        demands=tuple(demands),
+        aggregate_download=aggregate_download,
+        aggregate_upload=aggregate_upload,
+        infeasible=aggregate_download > aggregate_upload + 1e-9,
+    )

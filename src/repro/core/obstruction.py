@@ -1,0 +1,387 @@
+"""Obstruction analysis: Lemmas 2–4 and the first-moment bound (Equation 1).
+
+An *obstruction* is a multiset ``σ`` of stripes for which some reachable
+request set ``X`` with ``M(X) = σ`` violates the feasibility condition of
+Lemma 1 (``U_{B(X)} < |X|/c``).  Theorem 1 is proven by showing that a
+random allocation admits **no** obstruction with high probability, through
+a union (first-moment) bound over all candidate multisets:
+
+``P(N_k > 0) ≤ Σ_{σ ∈ O} P(σ)``                                    (Eq. 1)
+
+with the per-multiset probability bounded by Lemma 4 (using the server
+count of Lemma 2 and the allocation tail bound of Lemma 3).  This module
+evaluates every one of those quantities numerically (in log space, since
+the binomial terms overflow doubles immediately) so that the analysis can
+be swept over ``(n, u, d, µ, c, k)`` and compared to Monte-Carlo estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.special import gammaln, logsumexp
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative_integer,
+    check_positive,
+    check_positive_integer,
+)
+
+__all__ = [
+    "lemma2_server_lower_bound",
+    "lemma3_log_probability",
+    "lemma4_log_probability",
+    "log_multiset_count",
+    "phi_log",
+    "i_star",
+    "first_moment_bound_paper",
+    "first_moment_bound_exact",
+    "minimum_replication_for_failure_probability",
+    "ObstructionBoundSummary",
+    "summarize_bound",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Lemma 2 — server counting
+# ---------------------------------------------------------------------- #
+def lemma2_server_lower_bound(i: int, i1: int, c: int, mu: float) -> float:
+    """Lower bound on ``|B(X)|`` from Lemma 2.
+
+    For a request set ``X`` of size ``i`` containing ``i1`` pairwise
+    distinct stripes, the boxes able to serve ``X`` satisfy
+    ``|B(X)| ≥ (i − (c + 2µ² − 1)·i1) / (c + 2(µ² − 1))``.
+    The bound may be negative, in which case it is vacuous.
+    """
+    i = check_non_negative_integer(i, "i")
+    i1 = check_non_negative_integer(i1, "i1")
+    c = check_positive_integer(c, "c")
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    if i1 > i:
+        raise ValueError(f"i1 ({i1}) cannot exceed i ({i})")
+    return (i - (c + 2.0 * mu**2 - 1.0) * i1) / (c + 2.0 * (mu**2 - 1.0))
+
+
+# ---------------------------------------------------------------------- #
+# Lemma 3 — allocation tail bound
+# ---------------------------------------------------------------------- #
+def lemma3_log_probability(p: int, n: int, k: int, i1: int) -> float:
+    """``log`` of the Lemma 3 bound ``(p/n)^{k·i1}``.
+
+    Probability that the ``k·i1`` replicas of ``i1`` given distinct stripes
+    all fall into ``p`` given boxes under a random permutation (or
+    independent) allocation.  Returns ``-inf`` when ``p = 0`` and
+    ``0.0`` (probability 1) when ``p ≥ n``.
+    """
+    p = check_non_negative_integer(p, "p")
+    n = check_positive_integer(n, "n")
+    k = check_positive_integer(k, "k")
+    i1 = check_non_negative_integer(i1, "i1")
+    if p == 0:
+        return 0.0 if i1 == 0 else -math.inf
+    if p >= n:
+        return 0.0
+    return k * i1 * (math.log(p) - math.log(n))
+
+
+# ---------------------------------------------------------------------- #
+# Lemma 4 — per-multiset obstruction probability
+# ---------------------------------------------------------------------- #
+def lemma4_log_probability(
+    i: int,
+    i1: int,
+    n: int,
+    c: int,
+    u_prime: float,
+    k: int,
+    nu: float,
+) -> float:
+    """``log P(σ)`` for a multiset of ``i`` stripes, ``i1`` of them distinct.
+
+    Lemma 4: ``P(σ) ≤ (u'·n·c·e / i)^i · (i / (u'·c·n))^{k·i1}``, and
+    ``P(σ) = 0`` whenever ``i1 ≤ ν·i`` (the request strategy itself
+    guarantees enough servers).  The returned value is capped at ``0``
+    (probability 1).
+    """
+    i = check_positive_integer(i, "i")
+    i1 = check_non_negative_integer(i1, "i1")
+    n = check_positive_integer(n, "n")
+    c = check_positive_integer(c, "c")
+    u_prime = check_positive(u_prime, "u_prime")
+    k = check_positive_integer(k, "k")
+    if i1 > i:
+        raise ValueError(f"i1 ({i1}) cannot exceed i ({i})")
+    if i1 <= nu * i:
+        return -math.inf
+    ucn = u_prime * n * c
+    log_p = i * (math.log(ucn) + 1.0 - math.log(i)) + k * i1 * (
+        math.log(i) - math.log(ucn)
+    )
+    return min(log_p, 0.0)
+
+
+def log_multiset_count(i: int, i1: int, m: int, c: int) -> float:
+    """``log M(i, i1)`` — the number of stripe multisets of size ``i`` with ``i1`` distinct stripes.
+
+    ``M(i, i1) = C(m·c, i1) · C(i−1, i1−1)`` (choose the distinct stripes,
+    then a composition of ``i`` into ``i1`` positive parts).
+    """
+    i = check_positive_integer(i, "i")
+    i1 = check_positive_integer(i1, "i1")
+    m = check_positive_integer(m, "m")
+    c = check_positive_integer(c, "c")
+    if i1 > i or i1 > m * c:
+        return -math.inf
+    return float(_log_binomial(m * c, i1) + _log_binomial(i - 1, i1 - 1))
+
+
+def _log_binomial(a: int, b: int) -> float:
+    """``log C(a, b)`` via log-gamma; ``-inf`` outside the valid range."""
+    if b < 0 or b > a:
+        return -math.inf
+    return float(gammaln(a + 1) - gammaln(b + 1) - gammaln(a - b + 1))
+
+
+# ---------------------------------------------------------------------- #
+# The aggregated first-moment bound (proof of Theorem 1)
+# ---------------------------------------------------------------------- #
+def phi_log(
+    i: np.ndarray,
+    n: int,
+    c: int,
+    u_prime: float,
+    d_prime: float,
+    k: int,
+    nu: float,
+) -> np.ndarray:
+    """``log φ(i)`` with ``φ(i) = (i/(u'·n·c))^{κ·i} · δ^i``.
+
+    ``κ = ν·k − 2`` and ``δ = 4·d'·e²/u'`` as in the proof of Theorem 1.
+    Vectorized over an integer array ``i``.
+    """
+    i_arr = np.asarray(i, dtype=np.float64)
+    if np.any(i_arr <= 0):
+        raise ValueError("i must be positive")
+    n = check_positive_integer(n, "n")
+    c = check_positive_integer(c, "c")
+    u_prime = check_positive(u_prime, "u_prime")
+    d_prime = check_positive(d_prime, "d_prime")
+    k = check_positive_integer(k, "k")
+    kappa = nu * k - 2.0
+    delta = 4.0 * d_prime * math.e**2 / u_prime
+    ucn = u_prime * n * c
+    return kappa * i_arr * (np.log(i_arr) - math.log(ucn)) + i_arr * math.log(delta)
+
+
+def i_star(n: int, c: int, u_prime: float, d_prime: float, k: int, nu: float) -> float:
+    """The minimizer ``i* = u'·n·c / (e·δ^{1/κ})`` of ``φ`` (proof of Theorem 1)."""
+    n = check_positive_integer(n, "n")
+    c = check_positive_integer(c, "c")
+    kappa = nu * k - 2.0
+    if kappa <= 0:
+        raise ValueError(f"κ = ν·k − 2 = {kappa:.4g} must be positive (increase k)")
+    delta = 4.0 * d_prime * math.e**2 / u_prime
+    return u_prime * n * c / (math.e * delta ** (1.0 / kappa))
+
+
+def first_moment_bound_paper(
+    n: int,
+    c: int,
+    u_prime: float,
+    d_prime: float,
+    k: int,
+    nu: float,
+) -> float:
+    """The paper's aggregated bound ``P(N_k > 0) ≤ Σ_{i=1}^{nc} (1−ν)·i·φ(i)``.
+
+    Evaluated exactly (log-space sum over all ``i``), then clipped to
+    ``[0, 1]``.  This is the quantity the proof of Theorem 1 drives to
+    ``O(1/n)`` by choosing ``k ≥ 5ν⁻¹ log d'/log u'``.
+    """
+    n = check_positive_integer(n, "n")
+    c = check_positive_integer(c, "c")
+    if not 0.0 < nu < 1.0:
+        raise ValueError(f"nu must lie in (0, 1), got {nu}")
+    i_values = np.arange(1, n * c + 1, dtype=np.int64)
+    log_terms = (
+        phi_log(i_values, n, c, u_prime, d_prime, k, nu)
+        + np.log(i_values)
+        + math.log(1.0 - nu)
+    )
+    log_total = float(logsumexp(log_terms))
+    if log_total >= 0.0:
+        return 1.0
+    return float(math.exp(log_total))
+
+
+def first_moment_bound_exact(
+    n: int,
+    c: int,
+    m: int,
+    k: int,
+    u_prime: float,
+    nu: float,
+) -> float:
+    """The exact Equation 1 double sum (before the paper's majorizations).
+
+    ``P(N_k > 0) ≤ Σ_{i=1}^{nc} Σ_{i1=⌈νi⌉}^{min(i, mc)} M(i, i1) ·
+    (u'nce/i)^i · (i/(u'nc))^{k·i1}``.
+
+    Complexity is ``O((n·c)²)`` — intended for the moderate instance sizes
+    of the experiments (``n·c`` up to a few thousands), where it is
+    noticeably tighter than :func:`first_moment_bound_paper`.
+    Result clipped to ``[0, 1]``.
+    """
+    n = check_positive_integer(n, "n")
+    c = check_positive_integer(c, "c")
+    m = check_positive_integer(m, "m")
+    k = check_positive_integer(k, "k")
+    u_prime = check_positive(u_prime, "u_prime")
+    if not 0.0 < nu < 1.0:
+        raise ValueError(f"nu must lie in (0, 1), got {nu}")
+
+    nc = n * c
+    mc = m * c
+    ucn = u_prime * n * c
+    log_ucn = math.log(ucn)
+    # Precompute log-factorial table: lgamma_table[x] = log(x!) for binomials
+    # up to max(nc, mc) + 1.
+    max_arg = max(nc, mc) + 2
+    lgamma_table = gammaln(np.arange(max_arg + 1, dtype=np.float64) + 1.0)
+
+    def log_binom(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = lgamma_table[a] - lgamma_table[b] - lgamma_table[a - b]
+        return out
+
+    per_i_logs = np.full(nc, -np.inf, dtype=np.float64)
+    for i in range(1, nc + 1):
+        i1_low = int(math.ceil(nu * i))
+        i1_low = max(i1_low, 1)
+        i1_high = min(i, mc)
+        if i1_low > i1_high:
+            continue
+        i1 = np.arange(i1_low, i1_high + 1, dtype=np.int64)
+        log_m = log_binom(np.full(i1.size, mc), i1) + log_binom(
+            np.full(i1.size, i - 1), i1 - 1
+        )
+        log_p = i * (log_ucn + 1.0 - math.log(i)) + k * i1 * (math.log(i) - log_ucn)
+        # Each individual probability is at most 1.
+        log_p = np.minimum(log_p, 0.0)
+        per_i_logs[i - 1] = logsumexp(log_m + log_p)
+    log_total = float(logsumexp(per_i_logs))
+    if log_total >= 0.0:
+        return 1.0
+    return float(math.exp(log_total))
+
+
+def minimum_replication_for_failure_probability(
+    n: int,
+    c: int,
+    u_prime: float,
+    d_prime: float,
+    nu: float,
+    target: float = 0.01,
+    k_max: int = 10_000,
+) -> int:
+    """Smallest ``k`` whose first-moment bound is below ``target``.
+
+    Uses :func:`first_moment_bound_paper`; raises ``ValueError`` when no
+    ``k ≤ k_max`` achieves the target (e.g. ν too small).
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target must lie in (0, 1], got {target}")
+    low, high = 1, None
+    k = 1
+    while k <= k_max:
+        bound = first_moment_bound_paper(n, c, u_prime, d_prime, k, nu)
+        if bound <= target:
+            high = k
+            break
+        low = k + 1
+        k *= 2
+    if high is None:
+        raise ValueError(
+            f"no replication k ≤ {k_max} achieves failure probability ≤ {target}"
+        )
+    # Binary search between low and high.
+    while low < high:
+        mid = (low + high) // 2
+        if first_moment_bound_paper(n, c, u_prime, d_prime, mid, nu) <= target:
+            high = mid
+        else:
+            low = mid + 1
+    return high
+
+
+@dataclass(frozen=True)
+class ObstructionBoundSummary:
+    """Summary of the obstruction bound for one parameter point."""
+
+    n: int
+    c: int
+    k: int
+    nu: float
+    u_prime: float
+    d_prime: float
+    kappa: float
+    delta: float
+    i_star: float
+    paper_bound: float
+    exact_bound: Optional[float]
+
+    def describe(self) -> Dict[str, float]:
+        """Flat dictionary view for tables."""
+        return {
+            "n": self.n,
+            "c": self.c,
+            "k": self.k,
+            "nu": self.nu,
+            "u_prime": self.u_prime,
+            "d_prime": self.d_prime,
+            "kappa": self.kappa,
+            "delta": self.delta,
+            "i_star": self.i_star,
+            "paper_bound": self.paper_bound,
+            "exact_bound": self.exact_bound if self.exact_bound is not None else float("nan"),
+        }
+
+
+def summarize_bound(
+    n: int,
+    c: int,
+    k: int,
+    u_prime: float,
+    d_prime: float,
+    nu: float,
+    m: Optional[int] = None,
+    include_exact: bool = False,
+) -> ObstructionBoundSummary:
+    """Evaluate every quantity of the Theorem 1 obstruction bound at one point."""
+    kappa = nu * k - 2.0
+    delta = 4.0 * d_prime * math.e**2 / u_prime
+    istar = (
+        i_star(n, c, u_prime, d_prime, k, nu) if kappa > 0 else float("nan")
+    )
+    paper = first_moment_bound_paper(n, c, u_prime, d_prime, k, nu)
+    exact = None
+    if include_exact:
+        if m is None:
+            raise ValueError("m (catalog size) is required for the exact bound")
+        exact = first_moment_bound_exact(n, c, m, k, u_prime, nu)
+    return ObstructionBoundSummary(
+        n=n,
+        c=c,
+        k=k,
+        nu=nu,
+        u_prime=u_prime,
+        d_prime=d_prime,
+        kappa=kappa,
+        delta=delta,
+        i_star=istar,
+        paper_bound=paper,
+        exact_bound=exact,
+    )

@@ -1,0 +1,250 @@
+"""The preloading request strategy of Theorem 1 (Section 3).
+
+When the user of box ``b`` demands a video ``v`` during the interval
+``[t−1, t[``:
+
+1. a **preloading request** ``(s, t, b)`` for *one* stripe ``s`` of ``v``
+   is issued at time ``t``;
+2. ``c−1`` **postponed requests** for the remaining stripes are issued at
+   time ``t+1``;
+3. playback starts at ``t+2`` once all connections are wired — a start-up
+   delay of **3 rounds**.
+
+To balance the preloading load, each video keeps a counter of the boxes
+entering its swarm; the ``p``-th box preloads stripe number ``p mod c`` so
+that all stripes of a video are equally preloaded.  This is the mechanism
+that lets a swarm absorb growth ``µ``: boxes that entered one round ago
+hold pairwise-distinct preloaded stripes and can re-serve them ``⌊u·c⌋``
+times each.
+
+:class:`PreloadingScheduler` turns user *demands* into dated
+:class:`~repro.core.matching.StripeRequest` objects; the simulator drains
+them round by round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.matching import StripeRequest
+from repro.core.video import Catalog
+from repro.util.validation import check_non_negative_integer
+
+__all__ = [
+    "Demand",
+    "PreloadingScheduler",
+    "ImmediateRequestScheduler",
+    "START_UP_DELAY_ROUNDS",
+]
+
+#: Start-up delay of the homogeneous preloading strategy, in rounds.
+START_UP_DELAY_ROUNDS = 3
+
+
+@dataclass(frozen=True, order=True)
+class Demand:
+    """A user demand: box ``box_id`` wants to play ``video_id`` from round ``time``."""
+
+    time: int
+    box_id: int
+    video_id: int
+
+    def __post_init__(self) -> None:
+        check_non_negative_integer(self.time, "time")
+        check_non_negative_integer(self.box_id, "box_id")
+        check_non_negative_integer(self.video_id, "video_id")
+
+
+class PreloadingScheduler:
+    """Converts demands into preloading + postponed stripe requests.
+
+    Parameters
+    ----------
+    catalog:
+        The video catalog (provides ``c`` and global stripe identifiers).
+    skip_locally_stored:
+        When ``True``, a box does not issue requests for stripes it already
+        stores statically (it can play them locally at no upload cost).
+        The paper issues all ``c`` requests regardless; the default
+        ``False`` follows the paper.
+    """
+
+    def __init__(self, catalog: Catalog, skip_locally_stored: bool = False):
+        self._catalog = catalog
+        self._skip_local = bool(skip_locally_stored)
+        #: Per-video swarm-entry counter used to rotate the preload stripe.
+        self._entry_counter: Dict[int, int] = {}
+        #: Requests queued for future rounds: round -> list of requests.
+        self._pending: Dict[int, List[StripeRequest]] = {}
+        #: (box, video, demand time) log of scheduled demands, for metrics.
+        self._scheduled: List[Demand] = []
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog the scheduler generates requests against."""
+        return self._catalog
+
+    @property
+    def start_up_delay(self) -> int:
+        """Start-up delay of the strategy, in rounds (3)."""
+        return START_UP_DELAY_ROUNDS
+
+    def swarm_entry_count(self, video_id: int) -> int:
+        """Number of boxes that have entered the swarm of ``video_id`` so far."""
+        return self._entry_counter.get(int(video_id), 0)
+
+    # ------------------------------------------------------------------ #
+    # Demand handling
+    # ------------------------------------------------------------------ #
+    def on_demand(
+        self,
+        demand: Demand,
+        locally_stored: Optional[Set[int]] = None,
+    ) -> List[StripeRequest]:
+        """Process a demand arriving in ``[demand.time − 1, demand.time[``.
+
+        Returns the requests to issue *at* ``demand.time`` (the preloading
+        request) and internally queues the ``c−1`` postponed requests for
+        ``demand.time + 1``.  ``locally_stored`` optionally lists stripe
+        identifiers the demanding box stores statically (used only when
+        ``skip_locally_stored`` is enabled).
+        """
+        video = self._catalog.video(demand.video_id)
+        c = video.num_stripes
+        entry_index = self._entry_counter.get(demand.video_id, 0)
+        self._entry_counter[demand.video_id] = entry_index + 1
+        self._scheduled.append(demand)
+
+        preload_index = entry_index % c
+        local = locally_stored if (self._skip_local and locally_stored) else set()
+
+        immediate: List[StripeRequest] = []
+        preload_stripe = self._catalog.stripe_id(demand.video_id, preload_index)
+        if preload_stripe not in local:
+            immediate.append(
+                StripeRequest(
+                    stripe_id=preload_stripe,
+                    request_time=demand.time,
+                    box_id=demand.box_id,
+                    is_preload=True,
+                )
+            )
+
+        postponed: List[StripeRequest] = []
+        for index in range(c):
+            if index == preload_index:
+                continue
+            stripe_id = self._catalog.stripe_id(demand.video_id, index)
+            if stripe_id in local:
+                continue
+            postponed.append(
+                StripeRequest(
+                    stripe_id=stripe_id,
+                    request_time=demand.time + 1,
+                    box_id=demand.box_id,
+                    is_preload=False,
+                )
+            )
+        if postponed:
+            self._pending.setdefault(demand.time + 1, []).extend(postponed)
+        return immediate
+
+    def requests_due(self, time: int) -> List[StripeRequest]:
+        """Pop and return the postponed requests queued for round ``time``."""
+        check_non_negative_integer(time, "time")
+        return self._pending.pop(time, [])
+
+    def pending_rounds(self) -> Tuple[int, ...]:
+        """Rounds that still have queued postponed requests (sorted)."""
+        return tuple(sorted(self._pending))
+
+    def playback_start_round(self, demand: Demand) -> int:
+        """Round at which playback of ``demand`` begins (demand time + delay − 1).
+
+        The demand arrives in ``[t−1, t[``, the preload request is wired for
+        ``t+1`` and the postponed ones for ``t+2``; all ``c`` stripes flow
+        from ``t+2`` on, i.e. 3 rounds after the demand arrival interval
+        started.
+        """
+        return demand.time + START_UP_DELAY_ROUNDS - 1
+
+    @property
+    def demands_seen(self) -> Tuple[Demand, ...]:
+        """All demands processed so far (chronological order of arrival)."""
+        return tuple(self._scheduled)
+
+    def reset(self) -> None:
+        """Clear all counters and queued requests."""
+        self._entry_counter.clear()
+        self._pending.clear()
+        self._scheduled.clear()
+
+
+class ImmediateRequestScheduler:
+    """Ablation of the preloading strategy: request all ``c`` stripes at once.
+
+    This scheduler drops both ingredients of Section 3 — the one-round
+    postponement of ``c−1`` stripes and the round-robin rotation of the
+    preload stripe — and simply issues all ``c`` stripe requests at the
+    demand round.  It is *not* part of the paper's construction; it exists
+    to measure how much the preloading strategy buys: without it, the
+    newest generation of a fast-growing swarm cannot be fed by the
+    previous generation's preloaded stripes, and flash crowds at high ``µ``
+    overwhelm the static allocation (see
+    ``benchmarks/bench_ablation_preloading.py``).
+
+    The interface mirrors :class:`PreloadingScheduler` so the simulator can
+    use either interchangeably.  The nominal start-up delay is 2 rounds
+    (requests at ``t``, wired for ``t+1``, playback at ``t+1``), one round
+    less than the preloading strategy — the ablation trades robustness for
+    that round.
+    """
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._scheduled: List[Demand] = []
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog the scheduler generates requests against."""
+        return self._catalog
+
+    @property
+    def start_up_delay(self) -> int:
+        """Nominal start-up delay of the ablated strategy (2 rounds)."""
+        return 2
+
+    def on_demand(
+        self,
+        demand: Demand,
+        locally_stored: Optional[Set[int]] = None,
+    ) -> List[StripeRequest]:
+        """Issue all ``c`` stripe requests of the demanded video immediately."""
+        video = self._catalog.video(demand.video_id)
+        self._scheduled.append(demand)
+        requests = []
+        for index in range(video.num_stripes):
+            requests.append(
+                StripeRequest(
+                    stripe_id=self._catalog.stripe_id(demand.video_id, index),
+                    request_time=demand.time,
+                    box_id=demand.box_id,
+                    is_preload=(index == 0),
+                )
+            )
+        return requests
+
+    def requests_due(self, time: int) -> List[StripeRequest]:
+        """No postponed requests exist under this strategy."""
+        check_non_negative_integer(time, "time")
+        return []
+
+    @property
+    def demands_seen(self) -> Tuple[Demand, ...]:
+        """All demands processed so far."""
+        return tuple(self._scheduled)
+
+    def reset(self) -> None:
+        """Clear the demand log."""
+        self._scheduled.clear()

@@ -1,0 +1,351 @@
+"""Threshold formulas of Theorems 1 and 2.
+
+This module evaluates, numerically and exactly as stated in the paper, the
+parameter constraints and catalog-size guarantees of the two main
+theorems:
+
+* **Theorem 1 (homogeneous systems, u > 1).**  With ``c > (2µ²−1)/(u−1)``
+  stripes and ``k ≥ 5 ν⁻¹ log d' / log u'`` replicas per stripe — where
+  ``ν = 1/(c+2µ²−1) − 1/(u·c)``, ``u' = ⌊u·c⌋/c`` and
+  ``d' = max{d, u, e}`` — a random (permutation) allocation serves every
+  adversarial demand sequence with swarm growth ``µ`` w.h.p., achieving
+  catalog size ``m = ⌊d·n/k⌋ = Ω((u−1)² log((u+1)/2) / (u³ µ²) · d·n / log d')``.
+
+* **Theorem 2 (u*-balanced heterogeneous systems).**  With
+  ``c > 4µ⁴/(u*−1)`` and ``k ≥ 5 ν⁻¹ log d'/log u'`` for
+  ``ν = 1/(c+2µ⁴−1) − 1/(c+3µ⁴)``, ``u' = (c+3µ⁴)/c`` and
+  ``d' = max{d, u*, e}``, the relay strategy of Section 4 achieves catalog
+  size ``Ω((u*−1)² log((u*+3)/4) / µ⁴ · d·n / log d')``.
+
+Every function returns plain floats/ints so the analysis and benchmark
+harnesses can sweep them directly with NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_integer,
+)
+
+__all__ = [
+    "ThresholdDesign",
+    "recommended_stripes_homogeneous",
+    "minimum_stripes_homogeneous",
+    "effective_upload",
+    "d_prime",
+    "nu_homogeneous",
+    "replication_homogeneous",
+    "catalog_size_homogeneous",
+    "catalog_lower_bound_theorem1",
+    "design_homogeneous",
+    "recommended_stripes_heterogeneous",
+    "nu_heterogeneous",
+    "u_prime_heterogeneous",
+    "replication_heterogeneous",
+    "catalog_lower_bound_theorem2",
+    "design_heterogeneous",
+    "scalability_threshold_satisfied",
+]
+
+_E = math.e
+
+
+# ---------------------------------------------------------------------- #
+# Homogeneous systems (Theorem 1)
+# ---------------------------------------------------------------------- #
+def minimum_stripes_homogeneous(u: float, mu: float) -> int:
+    """Smallest integer ``c`` with ``c > (2µ²−1)/(u−1)`` (Theorem 1 hypothesis)."""
+    u = check_in_range(u, "u", 1.0, math.inf, inclusive_low=False)
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    bound = (2.0 * mu**2 - 1.0) / (u - 1.0)
+    return int(math.floor(bound)) + 1
+
+
+def recommended_stripes_homogeneous(u: float, mu: float) -> int:
+    """The explicit choice ``c = ⌈2·(2µ²−1)/(u−1)⌉`` used in the proof of Theorem 1."""
+    u = check_in_range(u, "u", 1.0, math.inf, inclusive_low=False)
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    return int(math.ceil(2.0 * (2.0 * mu**2 - 1.0) / (u - 1.0)))
+
+
+def effective_upload(u: float, c: int) -> float:
+    """Effective upload ``u' = ⌊u·c⌋ / c`` (a box uploads whole stripes only)."""
+    check_positive(u, "u")
+    c = check_positive_integer(c, "c")
+    return math.floor(u * c + 1e-9) / c
+
+
+def d_prime(d: float, u: float) -> float:
+    """``d' = max{d, u, e}`` (Theorem 1)."""
+    check_positive(d, "d")
+    check_positive(u, "u")
+    return max(d, u, _E)
+
+
+def nu_homogeneous(u: float, c: int, mu: float) -> float:
+    """``ν = 1/(c+2µ²−1) − 1/(u·c)``; positive when ``u·c > c+2µ²−1``."""
+    u = check_positive(u, "u")
+    c = check_positive_integer(c, "c")
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    return 1.0 / (c + 2.0 * mu**2 - 1.0) - 1.0 / (u * c)
+
+
+def replication_homogeneous(
+    u: float, d: float, c: int, mu: float
+) -> int:
+    """Replication ``k = ⌈5 ν⁻¹ log d' / log u'⌉`` of Theorem 1.
+
+    Raises ``ValueError`` if the stripe count does not satisfy the
+    hypothesis ``c > (2µ²−1)/(u−1)`` (equivalently ``ν ≤ 0`` or ``u' ≤ 1``),
+    because the bound is vacuous there.
+    """
+    nu = nu_homogeneous(u, c, mu)
+    if nu <= 0:
+        raise ValueError(
+            f"stripe count c={c} violates the Theorem 1 hypothesis "
+            f"c > (2µ²−1)/(u−1) = {(2 * mu**2 - 1) / (u - 1):.3f}: ν = {nu:.4g} ≤ 0"
+        )
+    u_eff = effective_upload(u, c)
+    if u_eff <= 1.0:
+        raise ValueError(
+            f"effective upload u' = ⌊u·c⌋/c = {u_eff:.4f} ≤ 1; "
+            "increase c or u so that log u' > 0"
+        )
+    dp = d_prime(d, u)
+    return int(math.ceil(5.0 / nu * math.log(dp) / math.log(u_eff)))
+
+
+def catalog_size_homogeneous(
+    n: int, u: float, d: float, mu: float, c: Optional[int] = None
+) -> int:
+    """Achievable catalog size ``m = ⌊d·n/k⌋`` under the Theorem 1 design.
+
+    If ``c`` is not given the proof's choice ``⌈2(2µ²−1)/(u−1)⌉`` is used.
+    Returns 0 when even one replica of each stripe does not fit.
+    """
+    n = check_positive_integer(n, "n")
+    if c is None:
+        c = recommended_stripes_homogeneous(u, mu)
+    k = replication_homogeneous(u, d, c, mu)
+    return int((d * n) // k)
+
+
+def catalog_lower_bound_theorem1(n: int, u: float, d: float, mu: float) -> float:
+    """The asymptotic lower bound of Theorem 1 (without the hidden constant).
+
+    ``m = Ω( (u−1)² · log((u+1)/2) / (u³ µ²) · d n / log d' )``; this
+    function returns the expression inside ``Ω(·)``.  Useful for shape
+    comparisons (growth in ``n``, degradation as ``u → 1``).
+    """
+    n = check_positive_integer(n, "n")
+    u = check_in_range(u, "u", 1.0, math.inf, inclusive_low=False)
+    d = check_positive(d, "d")
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    dp = d_prime(d, u)
+    return (
+        (u - 1.0) ** 2
+        * math.log((u + 1.0) / 2.0)
+        / (u**3 * mu**2)
+        * d
+        * n
+        / math.log(dp)
+    )
+
+
+@dataclass(frozen=True)
+class ThresholdDesign:
+    """A concrete parameter design produced by the threshold formulas.
+
+    Attributes
+    ----------
+    regime:
+        ``"homogeneous"`` (Theorem 1) or ``"heterogeneous"`` (Theorem 2).
+    u, d, mu, n:
+        The system parameters the design was derived for.  For the
+        heterogeneous regime ``u`` is the threshold ``u*``.
+    c:
+        Number of stripes per video.
+    k:
+        Replicas per stripe.
+    nu:
+        The ``ν`` margin appearing in the obstruction bound.
+    u_prime:
+        Effective upload used in the bound.
+    d_prime:
+        ``d' = max{d, u, e}`` (or ``max{d, u*, e}``).
+    catalog_size:
+        Achievable catalog ``⌊d·n/k⌋`` (0 when the storage cannot hold one
+        replica of each stripe of even a single video).
+    asymptotic_bound:
+        The expression inside the theorem's ``Ω(·)``.
+    """
+
+    regime: str
+    n: int
+    u: float
+    d: float
+    mu: float
+    c: int
+    k: int
+    nu: float
+    u_prime: float
+    d_prime: float
+    catalog_size: int
+    asymptotic_bound: float
+
+    def describe(self) -> Dict[str, float]:
+        """The design as a flat dictionary (for tables/reports)."""
+        return {
+            "regime": self.regime,
+            "n": self.n,
+            "u": self.u,
+            "d": self.d,
+            "mu": self.mu,
+            "c": self.c,
+            "k": self.k,
+            "nu": self.nu,
+            "u_prime": self.u_prime,
+            "d_prime": self.d_prime,
+            "catalog_size": self.catalog_size,
+            "asymptotic_bound": self.asymptotic_bound,
+        }
+
+
+def design_homogeneous(
+    n: int, u: float, d: float, mu: float, c: Optional[int] = None
+) -> ThresholdDesign:
+    """Full Theorem 1 design: stripes, replication, ν, u', d' and catalog size."""
+    n = check_positive_integer(n, "n")
+    if c is None:
+        c = recommended_stripes_homogeneous(u, mu)
+    else:
+        c = check_positive_integer(c, "c")
+    k = replication_homogeneous(u, d, c, mu)
+    return ThresholdDesign(
+        regime="homogeneous",
+        n=n,
+        u=u,
+        d=d,
+        mu=mu,
+        c=c,
+        k=k,
+        nu=nu_homogeneous(u, c, mu),
+        u_prime=effective_upload(u, c),
+        d_prime=d_prime(d, u),
+        catalog_size=int((d * n) // k),
+        asymptotic_bound=catalog_lower_bound_theorem1(n, u, d, mu),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Heterogeneous systems (Theorem 2)
+# ---------------------------------------------------------------------- #
+def recommended_stripes_heterogeneous(u_star: float, mu: float) -> int:
+    """The explicit choice ``c = ⌈10µ⁴/(u*−1)⌉`` used in Theorem 2."""
+    u_star = check_in_range(u_star, "u_star", 1.0, math.inf, inclusive_low=False)
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    return int(math.ceil(10.0 * mu**4 / (u_star - 1.0)))
+
+
+def minimum_stripes_heterogeneous(u_star: float, mu: float) -> int:
+    """Smallest integer ``c`` with ``c > 4µ⁴/(u*−1)`` (Theorem 2 hypothesis)."""
+    u_star = check_in_range(u_star, "u_star", 1.0, math.inf, inclusive_low=False)
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    return int(math.floor(4.0 * mu**4 / (u_star - 1.0))) + 1
+
+
+def nu_heterogeneous(c: int, mu: float) -> float:
+    """``ν = 1/(c+2µ⁴−1) − 1/(c+3µ⁴)`` (Theorem 2)."""
+    c = check_positive_integer(c, "c")
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    return 1.0 / (c + 2.0 * mu**4 - 1.0) - 1.0 / (c + 3.0 * mu**4)
+
+
+def u_prime_heterogeneous(c: int, mu: float) -> float:
+    """``u' = (c + 3µ⁴)/c`` (Theorem 2)."""
+    c = check_positive_integer(c, "c")
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    return (c + 3.0 * mu**4) / c
+
+
+def replication_heterogeneous(
+    u_star: float, d: float, c: int, mu: float
+) -> int:
+    """Replication ``k = ⌈5 ν⁻¹ log d' / log u'⌉`` of Theorem 2."""
+    nu = nu_heterogeneous(c, mu)
+    if nu <= 0:
+        raise ValueError(f"ν = {nu:.4g} ≤ 0 — µ must be ≥ 1 and c positive")
+    u_eff = u_prime_heterogeneous(c, mu)
+    dp = d_prime(d, u_star)
+    return int(math.ceil(5.0 / nu * math.log(dp) / math.log(u_eff)))
+
+
+def catalog_lower_bound_theorem2(
+    n: int, u_star: float, d: float, mu: float
+) -> float:
+    """The asymptotic lower bound of Theorem 2 (expression inside ``Ω(·)``).
+
+    ``m = Ω( (u*−1)² · log((u*+3)/4) / µ⁴ · d n / log d' )``.
+    """
+    n = check_positive_integer(n, "n")
+    u_star = check_in_range(u_star, "u_star", 1.0, math.inf, inclusive_low=False)
+    d = check_positive(d, "d")
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    dp = d_prime(d, u_star)
+    return (
+        (u_star - 1.0) ** 2
+        * math.log((u_star + 3.0) / 4.0)
+        / (mu**4)
+        * d
+        * n
+        / math.log(dp)
+    )
+
+
+def design_heterogeneous(
+    n: int, u_star: float, d: float, mu: float, c: Optional[int] = None
+) -> ThresholdDesign:
+    """Full Theorem 2 design for a ``u*``-balanced heterogeneous system."""
+    n = check_positive_integer(n, "n")
+    if c is None:
+        c = recommended_stripes_heterogeneous(u_star, mu)
+    else:
+        c = check_positive_integer(c, "c")
+    k = replication_heterogeneous(u_star, d, c, mu)
+    return ThresholdDesign(
+        regime="heterogeneous",
+        n=n,
+        u=u_star,
+        d=d,
+        mu=mu,
+        c=c,
+        k=k,
+        nu=nu_heterogeneous(c, mu),
+        u_prime=u_prime_heterogeneous(c, mu),
+        d_prime=d_prime(d, u_star),
+        catalog_size=int((d * n) // k),
+        asymptotic_bound=catalog_lower_bound_theorem2(n, u_star, d, mu),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scalability thresholds
+# ---------------------------------------------------------------------- #
+def scalability_threshold_satisfied(
+    average_upload: float, upload_deficit_at_1: float, n: int
+) -> bool:
+    """Whether ``u > 1 + Δ(1)/n`` — the heterogeneous scalability condition.
+
+    For a homogeneous system ``Δ(1) = 0`` and the condition reduces to the
+    headline threshold ``u > 1``.
+    """
+    check_positive_integer(n, "n")
+    if upload_deficit_at_1 < 0:
+        raise ValueError("upload_deficit_at_1 must be non-negative")
+    return average_upload > 1.0 + upload_deficit_at_1 / n

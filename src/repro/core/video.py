@@ -1,0 +1,258 @@
+"""Videos, stripes and catalogs.
+
+The paper's model assumes every video has the same duration ``T`` (in
+rounds) and the same unit bitrate, and is encoded into ``c`` *stripes* of
+rate ``1/c`` each: stripe ``i`` of a video is the sub-stream made of the
+packets whose number is congruent to ``i`` modulo ``c``.  Viewing a video
+requires downloading its ``c`` stripes simultaneously.
+
+The *minimal chunk size* of the system is ``ℓ = 1/c``: a box never stores
+a smaller fraction of a video than one full stripe.  One *chunk* in the
+sense of the analysis is one time round worth of one stripe; a position in
+a stripe is therefore an integer offset in ``[0, T)``.
+
+This module defines the identifiers and the :class:`Catalog` container
+used by allocations, schedulers and the simulator.  Stripes are globally
+numbered ``video_id * c + stripe_index`` so that allocation tables are
+flat integer arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import (
+    check_non_negative_integer,
+    check_positive_integer,
+)
+
+__all__ = ["StripeId", "Video", "Stripe", "Catalog"]
+
+
+#: A stripe is identified globally by ``video_id * c + stripe_index``.
+StripeId = int
+
+
+@dataclass(frozen=True)
+class Video:
+    """A video of the catalog.
+
+    Attributes
+    ----------
+    video_id:
+        Index of the video in the catalog, ``0 ≤ video_id < m``.
+    num_stripes:
+        Number of stripes ``c`` the video is encoded into.
+    duration:
+        Duration ``T`` of the video in rounds.
+    """
+
+    video_id: int
+    num_stripes: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        check_non_negative_integer(self.video_id, "video_id")
+        check_positive_integer(self.num_stripes, "num_stripes")
+        check_positive_integer(self.duration, "duration")
+
+    @property
+    def stripe_ids(self) -> Tuple[StripeId, ...]:
+        """Global identifiers of the stripes of this video."""
+        base = self.video_id * self.num_stripes
+        return tuple(range(base, base + self.num_stripes))
+
+    def stripe(self, index: int) -> "Stripe":
+        """Return the ``index``-th stripe of this video (``0 ≤ index < c``)."""
+        index = check_non_negative_integer(index, "index")
+        if index >= self.num_stripes:
+            raise ValueError(
+                f"stripe index {index} out of range for video with "
+                f"{self.num_stripes} stripes"
+            )
+        return Stripe(
+            stripe_id=self.video_id * self.num_stripes + index,
+            video_id=self.video_id,
+            index=index,
+            rate=1.0 / self.num_stripes,
+            duration=self.duration,
+        )
+
+    @property
+    def stripes(self) -> Tuple["Stripe", ...]:
+        """All ``c`` stripes of this video."""
+        return tuple(self.stripe(i) for i in range(self.num_stripes))
+
+
+@dataclass(frozen=True)
+class Stripe:
+    """One stripe of a video.
+
+    A stripe carries ``1/c`` of the video bitrate.  Its data at *position*
+    ``p`` (an integer round offset ``0 ≤ p < T``) is the set of packets of
+    round ``p`` whose index is congruent to :attr:`index` modulo ``c``.
+    """
+
+    stripe_id: StripeId
+    video_id: int
+    index: int
+    rate: float
+    duration: int
+
+    def position_at(self, request_time: int, current_time: int) -> int:
+        """Playback position needed at ``current_time + 1``.
+
+        A request issued at time ``t_i`` needs, at time ``t``, the data at
+        position ``t − t_i`` in the stripe (Section 2.2).
+        """
+        if current_time < request_time:
+            raise ValueError(
+                f"current_time ({current_time}) must be at least request_time "
+                f"({request_time})"
+            )
+        return current_time - request_time
+
+    def is_finished(self, request_time: int, current_time: int) -> bool:
+        """Whether playback of this stripe has completed by ``current_time``."""
+        return self.position_at(request_time, current_time) >= self.duration
+
+
+class Catalog:
+    """The set of ``m`` distinct videos stored in the system.
+
+    All videos share the same stripe count ``c`` and duration ``T``, per
+    the model of Section 1.1.  The catalog provides constant-time mapping
+    between videos and global stripe identifiers.
+    """
+
+    def __init__(self, num_videos: int, num_stripes: int, duration: int = 120):
+        self._m = check_positive_integer(num_videos, "num_videos")
+        self._c = check_positive_integer(num_stripes, "num_stripes")
+        self._duration = check_positive_integer(duration, "duration")
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_videos(self) -> int:
+        """Catalog size ``m``."""
+        return self._m
+
+    @property
+    def num_stripes_per_video(self) -> int:
+        """Stripes per video ``c``."""
+        return self._c
+
+    @property
+    def duration(self) -> int:
+        """Video duration ``T`` in rounds."""
+        return self._duration
+
+    @property
+    def total_stripes(self) -> int:
+        """Total number of distinct stripes, ``m·c``."""
+        return self._m * self._c
+
+    @property
+    def chunk_size(self) -> float:
+        """Minimal chunk size ``ℓ = 1/c``."""
+        return 1.0 / self._c
+
+    def __len__(self) -> int:
+        return self._m
+
+    def __iter__(self) -> Iterator[Video]:
+        for vid in range(self._m):
+            yield self.video(vid)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def video(self, video_id: int) -> Video:
+        """Return the :class:`Video` with index ``video_id``."""
+        video_id = check_non_negative_integer(video_id, "video_id")
+        if video_id >= self._m:
+            raise ValueError(f"video_id {video_id} out of range for catalog of size {self._m}")
+        return Video(video_id=video_id, num_stripes=self._c, duration=self._duration)
+
+    def stripe(self, stripe_id: StripeId) -> Stripe:
+        """Return the :class:`Stripe` with global identifier ``stripe_id``."""
+        stripe_id = check_non_negative_integer(stripe_id, "stripe_id")
+        if stripe_id >= self.total_stripes:
+            raise ValueError(
+                f"stripe_id {stripe_id} out of range for catalog with "
+                f"{self.total_stripes} stripes"
+            )
+        video_id, index = divmod(stripe_id, self._c)
+        return Stripe(
+            stripe_id=stripe_id,
+            video_id=video_id,
+            index=index,
+            rate=1.0 / self._c,
+            duration=self._duration,
+        )
+
+    def stripe_id(self, video_id: int, stripe_index: int) -> StripeId:
+        """Global identifier of stripe ``stripe_index`` of video ``video_id``."""
+        video_id = check_non_negative_integer(video_id, "video_id")
+        stripe_index = check_non_negative_integer(stripe_index, "stripe_index")
+        if video_id >= self._m:
+            raise ValueError(f"video_id {video_id} out of range for catalog of size {self._m}")
+        if stripe_index >= self._c:
+            raise ValueError(
+                f"stripe_index {stripe_index} out of range for c={self._c}"
+            )
+        return video_id * self._c + stripe_index
+
+    def video_of_stripe(self, stripe_id: StripeId) -> int:
+        """Video identifier owning global stripe ``stripe_id``."""
+        stripe_id = check_non_negative_integer(stripe_id, "stripe_id")
+        if stripe_id >= self.total_stripes:
+            raise ValueError(
+                f"stripe_id {stripe_id} out of range for catalog with "
+                f"{self.total_stripes} stripes"
+            )
+        return stripe_id // self._c
+
+    def stripe_index_of(self, stripe_id: StripeId) -> int:
+        """Stripe index within its video (``stripe_id mod c``)."""
+        check_non_negative_integer(stripe_id, "stripe_id")
+        return stripe_id % self._c
+
+    def stripes_of_video(self, video_id: int) -> np.ndarray:
+        """Global stripe identifiers of video ``video_id`` as an array."""
+        video_id = check_non_negative_integer(video_id, "video_id")
+        if video_id >= self._m:
+            raise ValueError(f"video_id {video_id} out of range for catalog of size {self._m}")
+        base = video_id * self._c
+        return np.arange(base, base + self._c, dtype=np.int64)
+
+    def stripe_ids_of_videos(self, video_ids: Sequence[int]) -> np.ndarray:
+        """Global stripe identifiers of a collection of videos (flattened)."""
+        vids = np.asarray(video_ids, dtype=np.int64)
+        if vids.size and (vids.min() < 0 or vids.max() >= self._m):
+            raise ValueError("video_ids out of range")
+        return (vids[:, None] * self._c + np.arange(self._c, dtype=np.int64)).reshape(-1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Catalog(m={self._m}, c={self._c}, T={self._duration}, "
+            f"stripes={self.total_stripes})"
+        )
+
+
+def split_round_robin(num_packets: int, num_stripes: int) -> List[np.ndarray]:
+    """Split packet indices ``0..num_packets-1`` into ``c`` round-robin stripes.
+
+    This is the simple encoding described in Section 1.1: stripe ``i`` is
+    made of the packets with number congruent to ``i`` modulo ``c``.  The
+    function is mostly illustrative (the simulator never materializes
+    packets) but is exercised by tests to pin down the encoding convention.
+    """
+    num_packets = check_non_negative_integer(num_packets, "num_packets")
+    num_stripes = check_positive_integer(num_stripes, "num_stripes")
+    packets = np.arange(num_packets, dtype=np.int64)
+    return [packets[packets % num_stripes == i] for i in range(num_stripes)]

@@ -1,0 +1,58 @@
+"""Maximum-flow substrate.
+
+The paper reduces the per-round connection problem to a maximum-flow
+computation on a bipartite network (Section 2.2–2.3).  This subpackage
+implements that substrate from scratch:
+
+* :class:`repro.flow.network.FlowNetwork` — array-backed residual network
+  with exact integer capacities;
+* three independent max-flow solvers (Edmonds–Karp, Dinic, FIFO
+  push–relabel with gap heuristic), cross-checked in the test suite;
+* min-cut extraction and max-flow/min-cut certificate verification;
+* bipartite b-matching, generalized-Hall-violation search and expansion
+  measurement, the exact objects appearing in Lemma 1 and the expander
+  argument.
+"""
+
+from repro.flow.network import Edge, FlowNetwork, build_bipartite_network
+from repro.flow.edmonds_karp import edmonds_karp_max_flow
+from repro.flow.dinic import dinic_max_flow
+from repro.flow.push_relabel import push_relabel_max_flow
+from repro.flow.mincut import (
+    cut_capacity,
+    min_cut,
+    residual_reachable,
+    verify_max_flow_min_cut,
+)
+from repro.flow.bipartite import (
+    BMatchingResult,
+    expansion_ratio,
+    hall_violations,
+    solve_b_matching,
+    worst_expansion_subset,
+)
+
+__all__ = [
+    "Edge",
+    "FlowNetwork",
+    "build_bipartite_network",
+    "edmonds_karp_max_flow",
+    "dinic_max_flow",
+    "push_relabel_max_flow",
+    "cut_capacity",
+    "min_cut",
+    "residual_reachable",
+    "verify_max_flow_min_cut",
+    "BMatchingResult",
+    "expansion_ratio",
+    "hall_violations",
+    "solve_b_matching",
+    "worst_expansion_subset",
+]
+
+MAX_FLOW_SOLVERS = {
+    "edmonds_karp": edmonds_karp_max_flow,
+    "dinic": dinic_max_flow,
+    "push_relabel": push_relabel_max_flow,
+}
+"""Registry of the available max-flow solvers, keyed by name."""

@@ -1,0 +1,79 @@
+"""Edmonds–Karp maximum flow (BFS augmenting paths).
+
+The simplest of the three solvers; ``O(V·E²)`` worst case.  Kept primarily
+as an oracle to cross-check Dinic and push-relabel in tests, and as the
+reference implementation whose behaviour is easiest to audit against the
+min-cut/max-flow argument of Lemma 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.flow.network import FlowNetwork
+
+__all__ = ["edmonds_karp_max_flow"]
+
+
+def _bfs_augmenting_path(
+    network: FlowNetwork, source: int, sink: int
+) -> Optional[List[int]]:
+    """Return the edge ids of a shortest augmenting path, or ``None``."""
+    parent_edge: List[int] = [-1] * network.num_nodes
+    visited = [False] * network.num_nodes
+    visited[source] = True
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == sink:
+            break
+        for edge_id in network.out_edges(node):
+            target = network.edge_target(edge_id)
+            if not visited[target] and network.residual(edge_id) > 0:
+                visited[target] = True
+                parent_edge[target] = edge_id
+                queue.append(target)
+    if not visited[sink]:
+        return None
+    # Reconstruct the path from sink back to source.
+    path: List[int] = []
+    node = sink
+    while node != source:
+        edge_id = parent_edge[node]
+        path.append(edge_id)
+        node = network.edge_source(edge_id)
+    path.reverse()
+    return path
+
+
+def edmonds_karp_max_flow(network: FlowNetwork, source: int, sink: int) -> int:
+    """Compute the maximum ``source``→``sink`` flow in place.
+
+    The network's flow state is updated; the function returns the value of
+    the maximum flow.
+
+    Raises
+    ------
+    ValueError
+        If ``source == sink`` or either node is out of range.
+    """
+    _validate_terminals(network, source, sink)
+    total_flow = 0
+    while True:
+        path = _bfs_augmenting_path(network, source, sink)
+        if path is None:
+            return total_flow
+        bottleneck = min(network.residual(edge_id) for edge_id in path)
+        for edge_id in path:
+            network.push(edge_id, bottleneck)
+        total_flow += bottleneck
+
+
+def _validate_terminals(network: FlowNetwork, source: int, sink: int) -> None:
+    if not 0 <= source < network.num_nodes:
+        raise ValueError(f"source {source} out of range")
+    if not 0 <= sink < network.num_nodes:
+        raise ValueError(f"sink {sink} out of range")
+    if source == sink:
+        raise ValueError("source and sink must differ")

@@ -1,0 +1,105 @@
+"""FIFO push–relabel maximum flow with the gap heuristic.
+
+Included both as an independent implementation to cross-check Dinic and
+Edmonds–Karp (three-way agreement is asserted by the test suite and, on
+random instances, against :mod:`networkx`), and because push–relabel is
+the asymptotically strongest of the three (``O(V³)`` FIFO variant) on the
+denser networks produced by large heterogeneous systems.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.flow.network import FlowNetwork
+
+__all__ = ["push_relabel_max_flow"]
+
+
+def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> int:
+    """Compute the maximum ``source``→``sink`` flow in place (FIFO push–relabel)."""
+    n = network.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range")
+    if not 0 <= sink < n:
+        raise ValueError(f"sink {sink} out of range")
+    if source == sink:
+        raise ValueError("source and sink must differ")
+
+    height: List[int] = [0] * n
+    excess: List[int] = [0] * n
+    # Count of nodes at each height, for the gap heuristic.
+    height_count: List[int] = [0] * (2 * n + 1)
+    height[source] = n
+    height_count[0] = n - 1
+    height_count[n] = 1
+
+    active: deque[int] = deque()
+    in_queue = [False] * n
+
+    def _activate(node: int) -> None:
+        if not in_queue[node] and node not in (source, sink) and excess[node] > 0:
+            in_queue[node] = True
+            active.append(node)
+
+    # Saturate all edges out of the source.
+    for edge_id in list(network.out_edges(source)):
+        residual = network.residual(edge_id)
+        if residual > 0:
+            target = network.edge_target(edge_id)
+            network.push(edge_id, residual)
+            excess[target] += residual
+            excess[source] -= residual
+            _activate(target)
+
+    def _relabel(node: int) -> None:
+        """Raise ``node`` to one more than its lowest admissible neighbour."""
+        old_height = height[node]
+        min_height = 2 * n
+        for edge_id in network.out_edges(node):
+            if network.residual(edge_id) > 0:
+                min_height = min(min_height, height[network.edge_target(edge_id)])
+        new_height = min_height + 1 if min_height < 2 * n else 2 * n
+        height_count[old_height] -= 1
+        height[node] = new_height
+        height_count[new_height] += 1
+        # Gap heuristic: if no node remains at old_height, every node above
+        # it (below n) can never reach the sink again — lift them past n.
+        if height_count[old_height] == 0 and old_height < n:
+            for v in range(n):
+                if v not in (source, sink) and old_height < height[v] <= n:
+                    height_count[height[v]] -= 1
+                    height[v] = n + 1
+                    height_count[n + 1] += 1
+
+    def _discharge(node: int) -> None:
+        while excess[node] > 0:
+            pushed_any = False
+            for edge_id in network.out_edges(node):
+                if excess[node] == 0:
+                    break
+                residual = network.residual(edge_id)
+                target = network.edge_target(edge_id)
+                if residual > 0 and height[node] == height[target] + 1:
+                    amount = min(excess[node], residual)
+                    network.push(edge_id, amount)
+                    excess[node] -= amount
+                    excess[target] += amount
+                    _activate(target)
+                    pushed_any = True
+            if excess[node] > 0:
+                if height[node] >= 2 * n:
+                    break
+                _relabel(node)
+                if not pushed_any and height[node] >= 2 * n:
+                    break
+
+    while active:
+        node = active.popleft()
+        in_queue[node] = False
+        _discharge(node)
+        if excess[node] > 0 and height[node] < 2 * n:
+            _activate(node)
+
+    return excess[sink]

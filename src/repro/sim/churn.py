@@ -1,0 +1,132 @@
+"""Box churn / failure injection.
+
+The paper assumes boxes are "usually always powered on", but any practical
+deployment sees churn: boxes going offline take both their upload capacity
+and their stored replicas out of the system for a while.  This module adds
+a simple churn model to the simulator (an extension, not part of the
+paper's analysis):
+
+* :class:`ChurnSchedule` — a deterministic list of outage intervals
+  ``(box_id, start_round, end_round)``;
+* :func:`random_churn_schedule` — draw outages with a given per-round
+  failure probability and outage duration;
+* the engine consults :meth:`ChurnSchedule.offline_boxes` every round and
+  (i) removes offline boxes from the demand-eligible set and (ii) zeroes
+  their upload capacity in the connection matching, which is exactly the
+  effect of an unplugged set-top box.
+
+Because the random allocation stores ``k`` replicas of every stripe on
+independent boxes, the system tolerates moderate churn without any repair
+mechanism — the robustness experiment (`benchmarks/bench_churn_robustness.py`)
+measures how feasibility degrades as the offline fraction grows, i.e. the
+empirical slack left by the expander property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import (
+    check_non_negative_integer,
+    check_positive_integer,
+    check_probability,
+)
+
+__all__ = ["Outage", "ChurnSchedule", "random_churn_schedule"]
+
+
+@dataclass(frozen=True, order=True)
+class Outage:
+    """One outage: ``box_id`` is offline during rounds ``[start, end)``."""
+
+    box_id: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        check_non_negative_integer(self.box_id, "box_id")
+        check_non_negative_integer(self.start, "start")
+        check_non_negative_integer(self.end, "end")
+        if self.end <= self.start:
+            raise ValueError(
+                f"outage end ({self.end}) must be after its start ({self.start})"
+            )
+
+    def covers(self, time: int) -> bool:
+        """Whether the box is offline at round ``time``."""
+        return self.start <= time < self.end
+
+
+class ChurnSchedule:
+    """A set of box outages consulted by the simulator each round."""
+
+    def __init__(self, outages: Iterable[Outage] = ()):
+        self._outages: List[Outage] = sorted(outages)
+
+    @property
+    def outages(self) -> Tuple[Outage, ...]:
+        """All outages, sorted by box then time."""
+        return tuple(self._outages)
+
+    def __len__(self) -> int:
+        return len(self._outages)
+
+    def add(self, outage: Outage) -> None:
+        """Add an outage to the schedule."""
+        self._outages.append(outage)
+        self._outages.sort()
+
+    def offline_boxes(self, time: int) -> Set[int]:
+        """Boxes offline at round ``time``."""
+        check_non_negative_integer(time, "time")
+        return {o.box_id for o in self._outages if o.covers(time)}
+
+    def is_offline(self, box_id: int, time: int) -> bool:
+        """Whether ``box_id`` is offline at round ``time``."""
+        return any(o.box_id == box_id and o.covers(time) for o in self._outages)
+
+    def offline_fraction(self, time: int, num_boxes: int) -> float:
+        """Fraction of the population offline at round ``time``."""
+        check_positive_integer(num_boxes, "num_boxes")
+        return len(self.offline_boxes(time)) / num_boxes
+
+    def max_concurrent_outages(self, horizon: int) -> int:
+        """Largest number of simultaneously offline boxes in ``[0, horizon)``."""
+        check_positive_integer(horizon, "horizon")
+        return max((len(self.offline_boxes(t)) for t in range(horizon)), default=0)
+
+
+def random_churn_schedule(
+    num_boxes: int,
+    horizon: int,
+    failure_probability: float,
+    outage_duration: int,
+    random_state: RandomState = None,
+    protected_boxes: Sequence[int] = (),
+) -> ChurnSchedule:
+    """Draw a random churn schedule.
+
+    Each box independently fails at each round with ``failure_probability``
+    (while online) and stays offline for ``outage_duration`` rounds.
+    ``protected_boxes`` never fail (useful to model a small always-on core).
+    """
+    check_positive_integer(num_boxes, "num_boxes")
+    check_positive_integer(horizon, "horizon")
+    check_probability(failure_probability, "failure_probability")
+    check_positive_integer(outage_duration, "outage_duration")
+    protected = {int(b) for b in protected_boxes}
+    gen = as_generator(random_state)
+    outages: List[Outage] = []
+    offline_until = np.zeros(num_boxes, dtype=np.int64)
+    for t in range(horizon):
+        for box in range(num_boxes):
+            if box in protected or offline_until[box] > t:
+                continue
+            if gen.random() < failure_probability:
+                outages.append(Outage(box_id=box, start=t, end=t + outage_duration))
+                offline_until[box] = t + outage_duration
+    return ChurnSchedule(outages)

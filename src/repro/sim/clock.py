@@ -1,0 +1,39 @@
+"""The round clock.
+
+The paper uses a discrete round-based model: the time unit is the time
+needed for a box to establish a connection and start a data transfer.
+:class:`RoundClock` is a minimal monotone counter shared by the engine and
+the metrics collector so that every recorded event carries a consistent
+round number.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative_integer
+
+__all__ = ["RoundClock"]
+
+
+class RoundClock:
+    """Monotone integer round counter."""
+
+    def __init__(self, start: int = 0):
+        self._now = check_non_negative_integer(start, "start")
+
+    @property
+    def now(self) -> int:
+        """Current round."""
+        return self._now
+
+    def advance(self, rounds: int = 1) -> int:
+        """Advance by ``rounds`` (default 1) and return the new round."""
+        rounds = check_non_negative_integer(rounds, "rounds")
+        self._now += rounds
+        return self._now
+
+    def reset(self, start: int = 0) -> None:
+        """Reset the clock to ``start``."""
+        self._now = check_non_negative_integer(start, "start")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RoundClock(now={self._now})"

@@ -1,0 +1,399 @@
+"""The round-based Video-on-Demand simulator.
+
+:class:`VodSimulator` executes the paper's model end to end:
+
+1. at every round ``t`` the workload generator produces the demands that
+   arrived during ``[t−1, t[`` (restricted to boxes that are not already
+   playing a video — at most one video per box);
+2. the preloading scheduler converts demands into dated stripe requests
+   (preload at ``t``, postponed at ``t+1``; or the relayed timeline of
+   Section 4 for heterogeneous systems);
+3. the set ``Y`` of *all* currently active requests is matched against the
+   boxes possessing the corresponding data (static allocation + playback
+   caches + relay caches) through a max-flow computation, with per-box
+   capacity ``⌊u_b·c⌋`` stripes per round (minus any statically reserved
+   relay upload);
+4. feasibility, start-up delays, utilization and swarm-growth compliance
+   are recorded; an infeasible round is an *obstruction witness* against
+   the allocation.
+
+The simulator never aborts on infeasibility by default — experiments want
+to count infeasible rounds — but ``stop_on_infeasible=True`` makes it stop
+early, which the catalog-search experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.heterogeneous import CompensationPlan, RelayedPreloadingScheduler
+from repro.core.matching import ConnectionMatcher, PossessionIndex, RequestSet
+from repro.core.preloading import Demand, PreloadingScheduler
+from repro.sim.churn import ChurnSchedule
+from repro.sim.clock import RoundClock
+from repro.sim.events import (
+    ConnectionEvent,
+    DemandEvent,
+    InfeasibilityEvent,
+    PlaybackStartEvent,
+    RequestEvent,
+)
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.scheduler import ActiveRequestPool
+from repro.sim.swarm import SwarmRegistry
+from repro.sim.trace import SimulationTrace
+from repro.workloads.base import DemandGenerator, SystemView
+from repro.util.validation import check_positive_integer
+
+__all__ = ["SimulationResult", "VodSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    metrics: SimulationMetrics
+    trace: SimulationTrace
+    #: Demands that were rejected because the box was still playing a video.
+    rejected_demands: int
+    #: Whether the run stopped early because of an infeasible round.
+    stopped_early: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Whether every round's matching was feasible."""
+        return self.metrics.all_feasible
+
+
+class VodSimulator:
+    """Round-based simulator of a fully distributed VoD system.
+
+    Parameters
+    ----------
+    allocation:
+        The static stripe allocation to exercise.
+    mu:
+        Swarm-growth bound the workload is supposed to respect (violations
+        are recorded, not enforced).
+    scheduler:
+        A :class:`~repro.core.preloading.PreloadingScheduler` (homogeneous
+        strategy) or :class:`~repro.core.heterogeneous.RelayedPreloadingScheduler`
+        (heterogeneous relay strategy).  Defaults to the homogeneous one.
+    compensation_plan:
+        When using the relay strategy, the plan whose reserved upload must
+        be subtracted from the matching capacities.
+    record_connections:
+        Whether to record one :class:`ConnectionEvent` per wired connection
+        per round (verbose; useful in tests, heavy for large runs).
+    stop_on_infeasible:
+        Stop the run at the first infeasible round.
+    churn:
+        Optional :class:`~repro.sim.churn.ChurnSchedule`.  Offline boxes
+        neither demand videos nor serve any stripe while offline (their
+        upload capacity is zeroed in the matching); their stored replicas
+        become available again when they come back.
+    """
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        mu: float,
+        scheduler: Optional[Union[PreloadingScheduler, RelayedPreloadingScheduler]] = None,
+        compensation_plan: Optional[CompensationPlan] = None,
+        record_connections: bool = False,
+        stop_on_infeasible: bool = False,
+        churn: Optional[ChurnSchedule] = None,
+    ):
+        self._allocation = allocation
+        self._catalog = allocation.catalog
+        self._population = allocation.population
+        self._mu = mu
+        self._scheduler = scheduler or PreloadingScheduler(self._catalog)
+        self._plan = compensation_plan
+        self._record_connections = record_connections
+        self._stop_on_infeasible = stop_on_infeasible
+        self._churn = churn
+
+        c = self._catalog.num_stripes_per_video
+        upload_slots = self._population.upload_slots(c)
+        if compensation_plan is not None:
+            reserved = np.floor(compensation_plan.reserved_upload * c + 1e-9).astype(np.int64)
+            upload_slots = np.maximum(upload_slots - reserved, 0)
+        self._matcher = ConnectionMatcher(upload_slots)
+        self._upload_capacity_total = int(upload_slots.sum())
+
+        duration = self._catalog.duration
+        self._possession = PossessionIndex(allocation, cache_window=duration)
+        self._pool = ActiveRequestPool(duration)
+        self._swarms = SwarmRegistry(mu, duration)
+        self._clock = RoundClock()
+        self._trace = SimulationTrace()
+        self._metrics = MetricsCollector(self._population.n)
+
+        #: box -> round until which it is busy playing (exclusive).
+        self._busy_until = np.zeros(self._population.n, dtype=np.int64)
+        #: Demand log: index -> (demand, number of stripes, playback_started)
+        self._demand_log: List[Demand] = []
+        self._demand_pending_stripes: Dict[int, int] = {}
+        self._demand_started: Dict[int, bool] = {}
+        self._rejected_demands = 0
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def allocation(self) -> Allocation:
+        """The allocation under test."""
+        return self._allocation
+
+    @property
+    def trace(self) -> SimulationTrace:
+        """The (growing) event trace."""
+        return self._trace
+
+    @property
+    def swarms(self) -> SwarmRegistry:
+        """The swarm registry."""
+        return self._swarms
+
+    @property
+    def possession(self) -> PossessionIndex:
+        """The possession index (allocation + caches)."""
+        return self._possession
+
+    @property
+    def now(self) -> int:
+        """Current round."""
+        return self._clock.now
+
+    def free_boxes(self, time: int) -> np.ndarray:
+        """Boxes not playing any video (and not offline) at round ``time``."""
+        free = np.flatnonzero(self._busy_until <= time).astype(np.int64)
+        if self._churn is not None:
+            offline = self._churn.offline_boxes(time)
+            if offline:
+                free = np.array([b for b in free if int(b) not in offline], dtype=np.int64)
+        return free
+
+    def offline_boxes(self, time: int) -> set:
+        """Boxes offline at round ``time`` under the churn schedule (empty without churn)."""
+        return self._churn.offline_boxes(time) if self._churn is not None else set()
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, workload: DemandGenerator, num_rounds: int) -> SimulationResult:
+        """Run the simulation for ``num_rounds`` rounds."""
+        check_positive_integer(num_rounds, "num_rounds")
+        stopped_early = False
+        for _ in range(num_rounds):
+            feasible = self._step(workload)
+            if not feasible and self._stop_on_infeasible:
+                stopped_early = True
+                break
+        self._metrics.record_swarm_violations(len(self._swarms.violations))
+        return SimulationResult(
+            metrics=self._metrics.finalize(),
+            trace=self._trace,
+            rejected_demands=self._rejected_demands,
+            stopped_early=stopped_early,
+        )
+
+    # ------------------------------------------------------------------ #
+    # One round
+    # ------------------------------------------------------------------ #
+    def _step(self, workload: DemandGenerator) -> bool:
+        time = self._clock.now
+        self._possession.evict_before(time)
+        self._pool.expire(time)
+
+        # 1. Demand arrivals.
+        view = SystemView(
+            time=time,
+            catalog=self._catalog,
+            allocation=self._allocation,
+            population=self._population,
+            swarms=self._swarms,
+            free_boxes=self.free_boxes(time),
+        )
+        demands = workload.demands_for_round(view)
+        accepted = self._accept_demands(demands, time)
+        self._metrics.record_demands(len(accepted))
+
+        # 2. Request generation (preload now, postponed queued earlier).
+        new_requests = []
+        for demand_index, demand in accepted:
+            immediate = self._scheduler.on_demand(demand)
+            for request in immediate:
+                new_requests.append((demand_index, request))
+        for request in self._scheduler.requests_due(time):
+            demand_index = self._find_demand_index(request.box_id, request.stripe_id, time)
+            new_requests.append((demand_index, request))
+
+        # Relay-cache events of the heterogeneous strategy.
+        if isinstance(self._scheduler, RelayedPreloadingScheduler):
+            for relay_box, stripe_id in self._scheduler.relay_cache_events_due(time):
+                self._possession.record_relay_cache(stripe_id, relay_box)
+
+        for demand_index, request in new_requests:
+            self._pool.add(request, demand_index)
+            self._possession.record_download(request.stripe_id, request.box_id, request.request_time)
+            self._trace.record(
+                RequestEvent(
+                    time=time,
+                    box_id=request.box_id,
+                    stripe_id=request.stripe_id,
+                    is_preload=request.is_preload,
+                )
+            )
+        self._metrics.record_requests(len(new_requests))
+
+        # 3. Connection matching over all active requests.  Offline boxes
+        # cannot serve: their whole capacity is marked busy for this round.
+        request_set = self._pool.request_set()
+        busy_slots = None
+        offline = self.offline_boxes(time)
+        if offline:
+            busy_slots = np.zeros(self._population.n, dtype=np.int64)
+            for box in offline:
+                busy_slots[box] = self._matcher.upload_slots[box]
+        matching = self._matcher.match(
+            request_set, self._possession, time, busy_slots=busy_slots
+        )
+        matched_indices = [
+            idx for idx, box in enumerate(matching.assignment) if box >= 0
+        ]
+        self._pool.mark_matched(matched_indices, time)
+
+        if self._record_connections:
+            for idx, box in enumerate(matching.assignment):
+                if box >= 0:
+                    request = request_set[idx]
+                    self._trace.record(
+                        ConnectionEvent(
+                            time=time,
+                            server_box=int(box),
+                            client_box=request.box_id,
+                            stripe_id=request.stripe_id,
+                        )
+                    )
+
+        if not matching.feasible:
+            witness = None
+            if matching.obstruction_witness is not None:
+                witness = tuple(
+                    (
+                        request_set[idx].stripe_id,
+                        request_set[idx].request_time,
+                        request_set[idx].box_id,
+                    )
+                    for idx in matching.obstruction_witness
+                )
+            self._trace.record(
+                InfeasibilityEvent(
+                    time=time,
+                    unmatched=len(request_set) - matching.matched,
+                    witness_requests=witness,
+                )
+            )
+
+        self._metrics.record_round(
+            time=time,
+            active_requests=len(request_set),
+            new_requests=len(new_requests),
+            matched=matching.matched,
+            feasible=matching.feasible,
+            box_load=matching.box_load,
+            upload_capacity=self._upload_capacity_total,
+        )
+
+        # 4. Playback starts.
+        self._detect_playback_starts(time)
+
+        self._clock.advance()
+        return matching.feasible
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _accept_demands(
+        self, demands: Sequence[Demand], time: int
+    ) -> List[Tuple[int, Demand]]:
+        accepted: List[Tuple[int, Demand]] = []
+        for demand in demands:
+            if demand.time != time:
+                raise ValueError(
+                    f"workload produced a demand for round {demand.time} during round {time}"
+                )
+            if demand.video_id >= self._catalog.num_videos:
+                raise ValueError(
+                    f"demand for video {demand.video_id} outside catalog of size "
+                    f"{self._catalog.num_videos}"
+                )
+            if self._busy_until[demand.box_id] > time:
+                self._rejected_demands += 1
+                continue
+            demand_index = len(self._demand_log)
+            self._demand_log.append(demand)
+            self._demand_pending_stripes[demand_index] = self._catalog.num_stripes_per_video
+            self._demand_started[demand_index] = False
+            self._busy_until[demand.box_id] = time + self._catalog.duration
+            self._swarms.enter(demand.video_id, demand.box_id, time)
+            self._trace.record(
+                DemandEvent(time=time, box_id=demand.box_id, video_id=demand.video_id)
+            )
+            accepted.append((demand_index, demand))
+        return accepted
+
+    def _find_demand_index(self, box_id: int, stripe_id: int, time: int) -> Optional[int]:
+        """Find the most recent demand of ``box_id`` matching the stripe's video."""
+        video_id = self._catalog.video_of_stripe(stripe_id)
+        for index in range(len(self._demand_log) - 1, -1, -1):
+            demand = self._demand_log[index]
+            if demand.video_id != video_id:
+                continue
+            # Homogeneous strategy: the request is made by the demanding
+            # box.  Relayed strategy: it may be made by the relay, so also
+            # accept a relay match.
+            if demand.box_id == box_id:
+                return index
+            if self._plan is not None and self._plan.relay(demand.box_id) == box_id:
+                return index
+        return None
+
+    def _detect_playback_starts(self, time: int) -> None:
+        """Emit a playback-start event once all of a demand's stripes were served."""
+        served_by_demand: Dict[int, List[int]] = {}
+        for record in self._pool.active:
+            if record.demand_index is None:
+                continue
+            if record.first_matched_round is None:
+                continue
+            served_by_demand.setdefault(record.demand_index, []).append(
+                record.first_matched_round
+            )
+        for demand_index, rounds in served_by_demand.items():
+            if self._demand_started.get(demand_index):
+                continue
+            demand = self._demand_log[demand_index]
+            expected = self._catalog.num_stripes_per_video
+            if len(rounds) < expected:
+                continue
+            playback_round = max(rounds) + 1
+            if playback_round > time + 1:
+                continue
+            delay = playback_round - demand.time + 1
+            self._demand_started[demand_index] = True
+            self._metrics.record_startup_delay(delay)
+            self._trace.record(
+                PlaybackStartEvent(
+                    time=playback_round,
+                    box_id=demand.box_id,
+                    video_id=demand.video_id,
+                    startup_delay=delay,
+                )
+            )

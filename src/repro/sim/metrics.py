@@ -1,0 +1,175 @@
+"""Metrics collected during a simulation run.
+
+The collector aggregates per-round observations into the quantities the
+experiments report: feasibility rate, unmatched requests, per-box upload
+utilization, start-up delays and obstruction events.  It is deliberately
+simple (plain Python + NumPy) so that every number in EXPERIMENTS.md can
+be traced to one accumulation site here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RoundStats", "MetricsCollector", "SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round aggregate statistics."""
+
+    time: int
+    active_requests: int
+    new_requests: int
+    matched: int
+    unmatched: int
+    feasible: bool
+    upload_used: int
+    upload_capacity: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the aggregate upload capacity in use this round."""
+        if self.upload_capacity == 0:
+            return 0.0
+        return self.upload_used / self.upload_capacity
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Final aggregated metrics of a simulation run."""
+
+    rounds: int
+    total_demands: int
+    total_requests: int
+    infeasible_rounds: int
+    unmatched_requests: int
+    max_startup_delay: Optional[int]
+    mean_startup_delay: Optional[float]
+    peak_utilization: float
+    mean_utilization: float
+    peak_box_load: int
+    swarm_growth_violations: int
+    round_stats: Tuple[RoundStats, ...]
+
+    @property
+    def all_feasible(self) -> bool:
+        """Whether every round's connection matching was feasible."""
+        return self.infeasible_rounds == 0
+
+    def describe(self) -> Dict[str, float]:
+        """Flat dictionary view used by experiment tables."""
+        return {
+            "rounds": self.rounds,
+            "total_demands": self.total_demands,
+            "total_requests": self.total_requests,
+            "infeasible_rounds": self.infeasible_rounds,
+            "unmatched_requests": self.unmatched_requests,
+            "all_feasible": self.all_feasible,
+            "max_startup_delay": self.max_startup_delay
+            if self.max_startup_delay is not None
+            else float("nan"),
+            "mean_startup_delay": self.mean_startup_delay
+            if self.mean_startup_delay is not None
+            else float("nan"),
+            "peak_utilization": self.peak_utilization,
+            "mean_utilization": self.mean_utilization,
+            "peak_box_load": self.peak_box_load,
+            "swarm_growth_violations": self.swarm_growth_violations,
+        }
+
+
+class MetricsCollector:
+    """Accumulates per-round statistics and start-up delays."""
+
+    def __init__(self, num_boxes: int):
+        if num_boxes <= 0:
+            raise ValueError(f"num_boxes must be positive, got {num_boxes}")
+        self._num_boxes = num_boxes
+        self._round_stats: List[RoundStats] = []
+        self._startup_delays: List[int] = []
+        self._total_demands = 0
+        self._total_requests = 0
+        self._peak_box_load = 0
+        self._swarm_violations = 0
+
+    # ------------------------------------------------------------------ #
+    # Accumulation
+    # ------------------------------------------------------------------ #
+    def record_demands(self, count: int) -> None:
+        """Record ``count`` demand arrivals."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._total_demands += count
+
+    def record_requests(self, count: int) -> None:
+        """Record ``count`` newly issued stripe requests."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._total_requests += count
+
+    def record_round(
+        self,
+        time: int,
+        active_requests: int,
+        new_requests: int,
+        matched: int,
+        feasible: bool,
+        box_load: np.ndarray,
+        upload_capacity: int,
+    ) -> RoundStats:
+        """Record the outcome of one round's connection matching."""
+        stats = RoundStats(
+            time=time,
+            active_requests=active_requests,
+            new_requests=new_requests,
+            matched=matched,
+            unmatched=active_requests - matched,
+            feasible=feasible,
+            upload_used=int(box_load.sum()),
+            upload_capacity=int(upload_capacity),
+        )
+        self._round_stats.append(stats)
+        if box_load.size:
+            self._peak_box_load = max(self._peak_box_load, int(box_load.max()))
+        return stats
+
+    def record_startup_delay(self, delay: int) -> None:
+        """Record the start-up delay of one playback."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._startup_delays.append(delay)
+
+    def record_swarm_violations(self, count: int) -> None:
+        """Record the (final) number of swarm-growth violations."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._swarm_violations = count
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> SimulationMetrics:
+        """Aggregate everything recorded so far into a :class:`SimulationMetrics`."""
+        infeasible = sum(1 for s in self._round_stats if not s.feasible)
+        unmatched = sum(s.unmatched for s in self._round_stats)
+        utilizations = [s.utilization for s in self._round_stats]
+        return SimulationMetrics(
+            rounds=len(self._round_stats),
+            total_demands=self._total_demands,
+            total_requests=self._total_requests,
+            infeasible_rounds=infeasible,
+            unmatched_requests=unmatched,
+            max_startup_delay=max(self._startup_delays) if self._startup_delays else None,
+            mean_startup_delay=float(np.mean(self._startup_delays))
+            if self._startup_delays
+            else None,
+            peak_utilization=max(utilizations) if utilizations else 0.0,
+            mean_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
+            peak_box_load=self._peak_box_load,
+            swarm_growth_violations=self._swarm_violations,
+            round_stats=tuple(self._round_stats),
+        )

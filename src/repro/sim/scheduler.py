@@ -1,0 +1,117 @@
+"""Active-request bookkeeping for the per-round connection scheduler.
+
+The engine re-wires connections every round over the set ``Y`` of *active*
+stripe requests (Section 2.2): a request stays active from the round it is
+issued until its stripe playback completes ``T`` rounds later.  The pool
+below tracks activation, first-service rounds (used to measure start-up
+delays) and expiry, and produces the :class:`~repro.core.matching.RequestSet`
+handed to the matcher each round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.matching import RequestSet, StripeRequest
+from repro.util.validation import check_non_negative_integer, check_positive_integer
+
+__all__ = ["ActiveRequest", "ActiveRequestPool"]
+
+
+@dataclass
+class ActiveRequest:
+    """A stripe request together with its service state."""
+
+    request: StripeRequest
+    #: Round at which the request was first served by the matching
+    #: (``None`` while it has never been matched).
+    first_matched_round: Optional[int] = None
+    #: Identifier of the demand that generated the request (index into the
+    #: engine's demand log), used to detect playback starts.
+    demand_index: Optional[int] = None
+
+    @property
+    def is_served(self) -> bool:
+        """Whether the request has been matched at least once."""
+        return self.first_matched_round is not None
+
+
+class ActiveRequestPool:
+    """The set of currently active stripe requests.
+
+    Parameters
+    ----------
+    duration:
+        Video duration ``T``: a request expires ``T`` rounds after it first
+        gets served (or after it was issued, when it was never served).
+    """
+
+    def __init__(self, duration: int):
+        self._duration = check_positive_integer(duration, "duration")
+        self._active: List[ActiveRequest] = []
+        self._expired_unserved = 0
+
+    @property
+    def duration(self) -> int:
+        """Video duration ``T`` used for expiry."""
+        return self._duration
+
+    @property
+    def active(self) -> List[ActiveRequest]:
+        """The currently active requests (mutable records)."""
+        return self._active
+
+    @property
+    def expired_unserved(self) -> int:
+        """Requests that expired without ever being served."""
+        return self._expired_unserved
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def add(self, request: StripeRequest, demand_index: Optional[int] = None) -> ActiveRequest:
+        """Activate a request."""
+        record = ActiveRequest(request=request, demand_index=demand_index)
+        self._active.append(record)
+        return record
+
+    def request_set(self) -> RequestSet:
+        """The multiset ``Y`` of active requests, in activation order."""
+        return RequestSet(record.request for record in self._active)
+
+    def mark_matched(self, indices: List[int], time: int) -> None:
+        """Record that the requests at ``indices`` (into the active list) were served at ``time``."""
+        check_non_negative_integer(time, "time")
+        for idx in indices:
+            record = self._active[idx]
+            if record.first_matched_round is None:
+                record.first_matched_round = time
+
+    def expire(self, current_time: int) -> List[ActiveRequest]:
+        """Remove and return the requests whose playback window has elapsed."""
+        check_non_negative_integer(current_time, "current_time")
+        keep: List[ActiveRequest] = []
+        removed: List[ActiveRequest] = []
+        for record in self._active:
+            anchor = (
+                record.first_matched_round
+                if record.first_matched_round is not None
+                else record.request.request_time
+            )
+            if current_time - anchor >= self._duration:
+                removed.append(record)
+                if record.first_matched_round is None:
+                    self._expired_unserved += 1
+            else:
+                keep.append(record)
+        self._active = keep
+        return removed
+
+    def by_demand(self) -> Dict[int, List[ActiveRequest]]:
+        """Group active requests by the demand that generated them."""
+        groups: Dict[int, List[ActiveRequest]] = {}
+        for record in self._active:
+            if record.demand_index is not None:
+                groups.setdefault(record.demand_index, []).append(record)
+        return groups

@@ -1,0 +1,120 @@
+"""Swarm tracking and growth-bound enforcement.
+
+The *swarm* of a video is the population of boxes currently viewing it.
+The paper's only assumption on demand dynamics is the maximal swarm growth
+``µ``: if ``f(t)`` is the swarm size then
+``f(t+i) ≤ ⌈max{f(t), 1} · µ^i⌉``.  The registry below tracks swarm sizes
+round by round so that (i) workloads can be validated against the bound
+they claim to respect and (ii) adversarial generators can push demand
+exactly to the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.validation import check_in_range, check_non_negative_integer
+
+__all__ = ["SwarmGrowthViolation", "SwarmRegistry", "max_new_members"]
+
+
+@dataclass(frozen=True)
+class SwarmGrowthViolation:
+    """A violation of the swarm-growth bound ``µ`` for one video at one round."""
+
+    video_id: int
+    time: int
+    previous_size: int
+    new_size: int
+    allowed_size: int
+
+
+def max_new_members(current_size: int, mu: float) -> int:
+    """Maximum number of boxes that may join a swarm of ``current_size`` this round.
+
+    The bound allows the next size to be at most ``⌈max{f(t), 1}·µ⌉``; an
+    empty swarm may therefore bootstrap with ``⌈µ⌉`` members.
+    """
+    current_size = check_non_negative_integer(current_size, "current_size")
+    mu = check_in_range(mu, "mu", 1.0, math.inf)
+    allowed_next = math.ceil(max(current_size, 1) * mu)
+    return max(allowed_next - current_size, 0)
+
+
+class SwarmRegistry:
+    """Tracks swarm membership per video and validates the growth bound.
+
+    Membership is driven by *swarm entry times*: a box enters the swarm of
+    a video when it issues its first (preloading) request for it and leaves
+    ``duration`` rounds later.
+    """
+
+    def __init__(self, mu: float, duration: int):
+        self._mu = check_in_range(mu, "mu", 1.0, math.inf)
+        self._duration = check_non_negative_integer(duration, "duration")
+        # video_id -> list of (box_id, entry_time)
+        self._members: Dict[int, List[Tuple[int, int]]] = {}
+        # Size history: video_id -> {round: size at end of round}
+        self._history: Dict[int, Dict[int, int]] = {}
+        self._violations: List[SwarmGrowthViolation] = []
+
+    @property
+    def mu(self) -> float:
+        """The growth bound ``µ`` being enforced."""
+        return self._mu
+
+    @property
+    def violations(self) -> Tuple[SwarmGrowthViolation, ...]:
+        """All growth-bound violations observed so far."""
+        return tuple(self._violations)
+
+    def size(self, video_id: int, time: int) -> int:
+        """Swarm size of ``video_id`` at round ``time`` (members not yet expired)."""
+        members = self._members.get(int(video_id), [])
+        return sum(1 for (_b, entry) in members if entry <= time < entry + self._duration)
+
+    def members(self, video_id: int, time: int) -> List[int]:
+        """Boxes in the swarm of ``video_id`` at round ``time``."""
+        entries = self._members.get(int(video_id), [])
+        return [b for (b, entry) in entries if entry <= time < entry + self._duration]
+
+    def enter(self, video_id: int, box_id: int, time: int) -> None:
+        """Record that ``box_id`` enters the swarm of ``video_id`` at round ``time``.
+
+        Checks the growth bound against the size at round ``time − 1`` and
+        records a violation (without raising) when it is exceeded; the
+        engine surfaces violations in its result.
+        """
+        video_id = int(video_id)
+        previous = self.size(video_id, time - 1) if time > 0 else 0
+        self._members.setdefault(video_id, []).append((int(box_id), int(time)))
+        new_size = self.size(video_id, time)
+        allowed = math.ceil(max(previous, 1) * self._mu)
+        if new_size > allowed:
+            self._violations.append(
+                SwarmGrowthViolation(
+                    video_id=video_id,
+                    time=int(time),
+                    previous_size=previous,
+                    new_size=new_size,
+                    allowed_size=allowed,
+                )
+            )
+        self._history.setdefault(video_id, {})[int(time)] = new_size
+
+    def admissible_joiners(self, video_id: int, time: int) -> int:
+        """How many boxes may still join ``video_id``'s swarm at round ``time``."""
+        previous = self.size(int(video_id), time - 1) if time > 0 else 0
+        current = self.size(int(video_id), time)
+        allowed = math.ceil(max(previous, 1) * self._mu)
+        return max(allowed - current, 0)
+
+    def history(self, video_id: int) -> Dict[int, int]:
+        """Recorded swarm sizes of ``video_id`` keyed by round."""
+        return dict(self._history.get(int(video_id), {}))
+
+    def active_videos(self, time: int) -> List[int]:
+        """Videos with a non-empty swarm at round ``time``."""
+        return [vid for vid in self._members if self.size(vid, time) > 0]

@@ -1,0 +1,39 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The utilities are intentionally small and dependency free: seeded RNG
+construction (:mod:`repro.util.rng`), argument validation helpers
+(:mod:`repro.util.validation`) and exact integer/rational arithmetic for
+stripe-rate bookkeeping (:mod:`repro.util.intmath`).
+"""
+
+from repro.util.rng import RandomState, as_generator, spawn_generators
+from repro.util.validation import (
+    check_integer,
+    check_positive,
+    check_positive_integer,
+    check_probability,
+    check_in_range,
+)
+from repro.util.intmath import (
+    ceil_div,
+    floor_multiple,
+    floor_to_stripe_units,
+    lcm_of,
+    scale_to_integer_capacities,
+)
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "check_integer",
+    "check_positive",
+    "check_positive_integer",
+    "check_probability",
+    "check_in_range",
+    "ceil_div",
+    "floor_multiple",
+    "floor_to_stripe_units",
+    "lcm_of",
+    "scale_to_integer_capacities",
+]

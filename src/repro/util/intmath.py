@@ -1,0 +1,110 @@
+"""Exact integer arithmetic helpers for stripe-rate bookkeeping.
+
+The paper normalizes the video bitrate to 1 and splits each video into
+``c`` stripes of rate ``1/c``.  All capacity comparisons in the
+feasibility condition (Lemma 1) are therefore comparisons of multiples of
+``1/c``.  To keep the flow computations exact we scale every rate by ``c``
+(and, for heterogeneous systems, by the least common multiple of the
+relevant denominators) and work in integers.  This module collects the
+small amount of arithmetic that supports this convention.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ceiling division for non-negative integers.
+
+    >>> ceil_div(7, 3)
+    3
+    >>> ceil_div(6, 3)
+    2
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def floor_multiple(value: float, unit: float) -> float:
+    """Largest multiple of ``unit`` not exceeding ``value``.
+
+    Used when truncating a box upload capacity to a multiple of ``1/c``
+    (Section 4 of the paper: "we truncate its upload to a multiple of 1/c").
+    """
+    if unit <= 0:
+        raise ValueError(f"unit must be positive, got {unit}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return math.floor(value / unit + 1e-12) * unit
+
+
+def floor_to_stripe_units(upload: float, c: int) -> int:
+    """Number of whole stripes a box of normalized upload ``upload`` can serve.
+
+    This is the quantity ``⌊u_b · c⌋`` from the paper: when the upload
+    capacity of box ``b`` is not a multiple of ``1/c`` it can only upload
+    ``⌊u_b c⌋`` stripes.  A tiny epsilon guards against float representation
+    of values that are mathematically exact multiples of ``1/c``.
+    """
+    if c <= 0:
+        raise ValueError(f"c must be a positive integer, got {c}")
+    if upload < 0:
+        raise ValueError(f"upload must be non-negative, got {upload}")
+    return int(math.floor(upload * c + 1e-9))
+
+
+def effective_upload(upload: float, c: int) -> float:
+    """Effective upload ``u' = ⌊u c⌋ / c`` after truncation to whole stripes."""
+    return floor_to_stripe_units(upload, c) / c
+
+
+def lcm_of(values: Iterable[int]) -> int:
+    """Least common multiple of a sequence of positive integers."""
+    result = 1
+    seen = False
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"all values must be positive, got {v}")
+        result = result * v // math.gcd(result, v)
+        seen = True
+    if not seen:
+        raise ValueError("lcm_of requires at least one value")
+    return result
+
+
+def scale_to_integer_capacities(
+    rates: Sequence[float], max_denominator: int = 10_000
+) -> Tuple[List[int], int]:
+    """Scale a sequence of rational rates to integers.
+
+    Returns ``(scaled, scale)`` where ``scaled[i] == round(rates[i] * scale)``
+    and ``scale`` is the least common multiple of the denominators of the
+    rates (each approximated by a :class:`fractions.Fraction` limited to
+    ``max_denominator``).  Used to build exact integer-capacity flow
+    networks from heterogeneous per-box uploads.
+
+    >>> scale_to_integer_capacities([0.5, 1.25, 2.0])
+    ([2, 5, 8], 4)
+    """
+    fractions = [Fraction(r).limit_denominator(max_denominator) for r in rates]
+    for r, f in zip(rates, fractions):
+        if f < 0:
+            raise ValueError(f"rates must be non-negative, got {r}")
+    denominators = [f.denominator for f in fractions] or [1]
+    scale = lcm_of(denominators)
+    scaled = [int(f * scale) for f in fractions]
+    return scaled, scale
+
+
+def is_close_multiple(value: float, unit: float, tol: float = 1e-9) -> bool:
+    """Whether ``value`` is (numerically) an integer multiple of ``unit``."""
+    if unit <= 0:
+        raise ValueError(f"unit must be positive, got {unit}")
+    ratio = value / unit
+    return abs(ratio - round(ratio)) <= tol

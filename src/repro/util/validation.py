@@ -1,0 +1,88 @@
+"""Argument-validation helpers.
+
+The core model classes validate their inputs eagerly so that configuration
+errors surface at construction time with a clear message rather than as an
+obscure failure deep inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+
+def check_integer(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` or raise ``TypeError``."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def check_positive_integer(value: Any, name: str) -> int:
+    """Return ``value`` as a strictly positive ``int``."""
+    ivalue = check_integer(value, name)
+    if ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {ivalue}")
+    return ivalue
+
+
+def check_non_negative_integer(value: Any, name: str) -> int:
+    """Return ``value`` as a non-negative ``int``."""
+    ivalue = check_integer(value, name)
+    if ivalue < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {ivalue}")
+    return ivalue
+
+
+def check_real(value: Any, name: str) -> float:
+    """Return ``value`` as ``float`` or raise ``TypeError``."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    fvalue = float(value)
+    if fvalue != fvalue:  # NaN check without importing math
+        raise ValueError(f"{name} must not be NaN")
+    return fvalue
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Return ``value`` as a strictly positive ``float``."""
+    fvalue = check_real(value, name)
+    if fvalue <= 0:
+        raise ValueError(f"{name} must be positive, got {fvalue}")
+    return fvalue
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Return ``value`` as a non-negative ``float``."""
+    fvalue = check_real(value, name)
+    if fvalue < 0:
+        raise ValueError(f"{name} must be non-negative, got {fvalue}")
+    return fvalue
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return ``value`` as a ``float`` in ``[0, 1]``."""
+    fvalue = check_real(value, name)
+    if not 0.0 <= fvalue <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {fvalue}")
+    return fvalue
+
+
+def check_in_range(
+    value: Any,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Return ``value`` checked against a closed/open interval."""
+    fvalue = check_real(value, name)
+    low_ok = fvalue >= low if inclusive_low else fvalue > low
+    high_ok = fvalue <= high if inclusive_high else fvalue < high
+    if not (low_ok and high_ok):
+        lo_b = "[" if inclusive_low else "("
+        hi_b = "]" if inclusive_high else ")"
+        raise ValueError(f"{name} must lie in {lo_b}{low}, {high}{hi_b}, got {fvalue}")
+    return fvalue

@@ -1,0 +1,36 @@
+"""Demand workloads: adversarial, flash-crowd, popularity and sequential.
+
+Generators implement :class:`repro.workloads.base.DemandGenerator` and are
+handed a read-only :class:`repro.workloads.base.SystemView` every round,
+so adaptive adversaries — the worst case the paper's theorems quantify
+over — can react to the allocation and the current swarm sizes.
+"""
+
+from repro.workloads.base import DemandGenerator, StaticDemandSchedule, SystemView
+from repro.workloads.adversarial import (
+    ColdStartAdversary,
+    LeastReplicatedAdversary,
+    MissingVideoAdversary,
+)
+from repro.workloads.flashcrowd import FlashCrowdWorkload, StaggeredFlashCrowdWorkload
+from repro.workloads.popularity import (
+    UniformDemandWorkload,
+    ZipfDemandWorkload,
+    zipf_weights,
+)
+from repro.workloads.sequential import SequentialViewingWorkload
+
+__all__ = [
+    "DemandGenerator",
+    "StaticDemandSchedule",
+    "SystemView",
+    "ColdStartAdversary",
+    "LeastReplicatedAdversary",
+    "MissingVideoAdversary",
+    "FlashCrowdWorkload",
+    "StaggeredFlashCrowdWorkload",
+    "UniformDemandWorkload",
+    "ZipfDemandWorkload",
+    "zipf_weights",
+    "SequentialViewingWorkload",
+]

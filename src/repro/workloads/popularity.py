@@ -1,0 +1,110 @@
+"""Popularity-driven (benign) demand models.
+
+The theorems are worst-case, but the experiments also exercise the system
+under realistic demand: Zipf-distributed video popularity with Poisson
+arrivals (the standard VoD workload model) and a uniform-popularity
+variant.  These are the "easy" baselines against which the adversarial
+workloads are contrasted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.preloading import Demand
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_non_negative_integer, check_positive
+from repro.workloads.base import SystemView
+
+__all__ = ["zipf_weights", "ZipfDemandWorkload", "UniformDemandWorkload"]
+
+
+def zipf_weights(num_videos: int, exponent: float = 0.8) -> np.ndarray:
+    """Normalized Zipf popularity weights ``p_v ∝ 1/(v+1)^exponent``."""
+    if num_videos <= 0:
+        raise ValueError("num_videos must be positive")
+    exponent = check_positive(exponent, "exponent")
+    ranks = np.arange(1, num_videos + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class ZipfDemandWorkload:
+    """Poisson arrivals with Zipf-distributed video popularity.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Expected number of new demands per round (Poisson distributed),
+        truncated to the number of currently free boxes.
+    exponent:
+        Zipf exponent of the popularity distribution (0.8 is the classic
+        VoD fit).
+    start_time:
+        First round at which demands may arrive.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        exponent: float = 0.8,
+        start_time: int = 0,
+        random_state: RandomState = None,
+    ):
+        self._rate = check_positive(arrival_rate, "arrival_rate")
+        self._exponent = check_positive(exponent, "exponent")
+        self._start = check_non_negative_integer(start_time, "start_time")
+        self._rng = as_generator(random_state)
+        self._weights: Optional[np.ndarray] = None
+
+    def demands_for_round(self, view: SystemView) -> List[Demand]:
+        """Draw Poisson(rate) arrivals and assign them Zipf-popular videos."""
+        if view.time < self._start:
+            return []
+        if self._weights is None or self._weights.size != view.catalog.num_videos:
+            self._weights = zipf_weights(view.catalog.num_videos, self._exponent)
+        count = int(self._rng.poisson(self._rate))
+        free = np.asarray(view.free_boxes, dtype=np.int64)
+        count = min(count, free.size)
+        if count == 0:
+            return []
+        boxes = self._rng.choice(free, size=count, replace=False)
+        videos = self._rng.choice(
+            view.catalog.num_videos, size=count, replace=True, p=self._weights
+        )
+        return [
+            Demand(time=view.time, box_id=int(b), video_id=int(v))
+            for b, v in zip(boxes, videos)
+        ]
+
+
+class UniformDemandWorkload:
+    """Poisson arrivals with uniformly random video choice."""
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        start_time: int = 0,
+        random_state: RandomState = None,
+    ):
+        self._rate = check_positive(arrival_rate, "arrival_rate")
+        self._start = check_non_negative_integer(start_time, "start_time")
+        self._rng = as_generator(random_state)
+
+    def demands_for_round(self, view: SystemView) -> List[Demand]:
+        """Draw Poisson(rate) arrivals over uniformly random videos."""
+        if view.time < self._start:
+            return []
+        count = int(self._rng.poisson(self._rate))
+        free = np.asarray(view.free_boxes, dtype=np.int64)
+        count = min(count, free.size)
+        if count == 0:
+            return []
+        boxes = self._rng.choice(free, size=count, replace=False)
+        videos = self._rng.integers(0, view.catalog.num_videos, size=count)
+        return [
+            Demand(time=view.time, box_id=int(b), video_id=int(v))
+            for b, v in zip(boxes, videos)
+        ]

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import random_permutation_allocation
+from repro.core.parameters import BoxPopulation, homogeneous_population
+from repro.core.video import Catalog
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_catalog() -> Catalog:
+    """A small catalog: 8 videos, 4 stripes, 20-round duration."""
+    return Catalog(num_videos=8, num_stripes=4, duration=20)
+
+
+@pytest.fixture
+def small_population() -> BoxPopulation:
+    """A small homogeneous population: 24 boxes, u=2, d=3."""
+    return homogeneous_population(24, u=2.0, d=3.0)
+
+
+@pytest.fixture
+def small_allocation(small_catalog, small_population):
+    """A random permutation allocation on the small system (k=4)."""
+    return random_permutation_allocation(
+        small_catalog, small_population, replicas_per_stripe=4, random_state=7
+    )
+
+
+@pytest.fixture
+def medium_catalog() -> Catalog:
+    """A medium catalog: 30 videos, 5 stripes, 40-round duration."""
+    return Catalog(num_videos=30, num_stripes=5, duration=40)
+
+
+@pytest.fixture
+def medium_population() -> BoxPopulation:
+    """A medium homogeneous population: 60 boxes, u=2, d=4."""
+    return homogeneous_population(60, u=2.0, d=4.0)
+
+
+@pytest.fixture
+def medium_allocation(medium_catalog, medium_population):
+    """A random permutation allocation on the medium system (k=4)."""
+    return random_permutation_allocation(
+        medium_catalog, medium_population, replicas_per_stripe=4, random_state=11
+    )

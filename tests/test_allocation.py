@@ -1,0 +1,205 @@
+"""Tests for repro.core.allocation (random allocation schemes, Section 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import (
+    Allocation,
+    AllocationError,
+    random_independent_allocation,
+    random_permutation_allocation,
+    round_robin_allocation,
+)
+from repro.core.parameters import BoxPopulation, homogeneous_population
+from repro.core.video import Catalog
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(num_videos=10, num_stripes=4, duration=30)
+
+
+@pytest.fixture
+def population():
+    return homogeneous_population(20, u=1.5, d=4.0)
+
+
+class TestAllocationContainer:
+    def test_replica_array_shape_validated(self, catalog, population):
+        with pytest.raises(ValueError):
+            Allocation(catalog, population, 2, np.zeros(5, dtype=np.int64))
+
+    def test_replica_box_range_validated(self, catalog, population):
+        bad = np.full(catalog.total_stripes * 2, population.n, dtype=np.int64)
+        with pytest.raises(ValueError):
+            Allocation(catalog, population, 2, bad)
+
+    def test_lookup_consistency(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 3, random_state=0)
+        # stripe -> boxes and box -> stripes must be mutually consistent.
+        for stripe_id in range(catalog.total_stripes):
+            for box in alloc.boxes_with_stripe(stripe_id):
+                assert stripe_id in alloc.stripes_on_box(int(box))
+        for box_id in range(population.n):
+            for stripe in alloc.stripes_on_box(box_id):
+                assert box_id in alloc.boxes_with_stripe(int(stripe))
+
+    def test_replica_boxes_of_stripe_length(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 3, random_state=0)
+        assert alloc.replica_boxes_of_stripe(5).shape == (3,)
+
+    def test_out_of_range_lookups(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 2, random_state=0)
+        with pytest.raises(ValueError):
+            alloc.boxes_with_stripe(catalog.total_stripes)
+        with pytest.raises(ValueError):
+            alloc.stripes_on_box(population.n)
+        with pytest.raises(ValueError):
+            alloc.replica_boxes_of_stripe(-1)
+
+    def test_describe_keys(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 2, random_state=0)
+        desc = alloc.describe()
+        for key in ("scheme", "n", "m", "c", "k", "load_imbalance", "respects_storage"):
+            assert key in desc
+
+
+class TestPermutationAllocation:
+    def test_total_replicas(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 3, random_state=1)
+        assert alloc.total_replicas == catalog.total_stripes * 3
+        assert int(alloc.box_loads().sum()) == alloc.total_replicas
+
+    def test_respects_storage_by_construction(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 3, random_state=1)
+        assert alloc.respects_storage()
+
+    def test_insufficient_storage_raises(self, catalog):
+        tiny = homogeneous_population(3, u=1.5, d=1.0)  # 3*1*4 = 12 slots < 40*k
+        with pytest.raises(AllocationError):
+            random_permutation_allocation(catalog, tiny, 2, random_state=0)
+
+    def test_deterministic_given_seed(self, catalog, population):
+        a = random_permutation_allocation(catalog, population, 3, random_state=42)
+        b = random_permutation_allocation(catalog, population, 3, random_state=42)
+        np.testing.assert_array_equal(a.replica_box, b.replica_box)
+
+    def test_different_seeds_differ(self, catalog, population):
+        a = random_permutation_allocation(catalog, population, 3, random_state=1)
+        b = random_permutation_allocation(catalog, population, 3, random_state=2)
+        assert not np.array_equal(a.replica_box, b.replica_box)
+
+    def test_heterogeneous_storage_respected(self, catalog):
+        pop = BoxPopulation([1.0] * 10, [2.0] * 5 + [8.0] * 5)
+        alloc = random_permutation_allocation(catalog, pop, 1, random_state=0)
+        assert alloc.respects_storage()
+
+    def test_scheme_label(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 2, random_state=0)
+        assert alloc.scheme == "permutation"
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), k=st.integers(1, 5))
+    def test_property_loads_never_exceed_capacity(self, seed, k):
+        catalog = Catalog(num_videos=6, num_stripes=3, duration=10)
+        population = homogeneous_population(12, u=1.5, d=float(max(k, 2)))
+        alloc = random_permutation_allocation(catalog, population, k, random_state=seed)
+        slots = population.storage_slots(3)
+        assert np.all(alloc.box_loads() <= slots)
+
+
+class TestIndependentAllocation:
+    def test_basic_properties(self, catalog, population):
+        alloc = random_independent_allocation(catalog, population, 3, random_state=0)
+        assert alloc.scheme == "independent"
+        assert alloc.total_replicas == catalog.total_stripes * 3
+        assert alloc.respects_storage()
+
+    def test_fail_policy(self, catalog):
+        # Storage exactly equal to replicas: very likely some box overflows.
+        pop = homogeneous_population(20, u=1.5, d=2.0)  # 20*2*4 = 160 slots = 40*4 replicas
+        with pytest.raises(AllocationError):
+            # With storage completely tight the first overflow raises.
+            random_independent_allocation(catalog, pop, 4, random_state=0, on_full="fail")
+
+    def test_ignore_policy_can_overflow(self, catalog):
+        pop = homogeneous_population(20, u=1.5, d=2.0)
+        alloc = random_independent_allocation(
+            catalog, pop, 4, random_state=0, on_full="ignore"
+        )
+        # With ignore the allocation is complete but loads may exceed capacity.
+        assert alloc.total_replicas == catalog.total_stripes * 4
+        assert not alloc.respects_storage() or alloc.load_imbalance() >= 1.0
+
+    def test_unknown_policy_rejected(self, catalog, population):
+        with pytest.raises(ValueError):
+            random_independent_allocation(catalog, population, 2, on_full="bogus")
+
+    def test_storage_proportional_bias(self, catalog):
+        # A box with 9x the storage should receive roughly 9x the replicas.
+        pop = BoxPopulation([1.0, 1.0], [36.0, 4.0])
+        alloc = random_independent_allocation(catalog, pop, 2, random_state=3)
+        loads = alloc.box_loads()
+        assert loads[0] > loads[1]
+
+    def test_insufficient_storage_raises(self, catalog):
+        tiny = homogeneous_population(2, u=1.0, d=1.0)
+        with pytest.raises(AllocationError):
+            random_independent_allocation(catalog, tiny, 3, random_state=0)
+
+    def test_deterministic_given_seed(self, catalog, population):
+        a = random_independent_allocation(catalog, population, 2, random_state=5)
+        b = random_independent_allocation(catalog, population, 2, random_state=5)
+        np.testing.assert_array_equal(a.replica_box, b.replica_box)
+
+
+class TestRoundRobinAllocation:
+    def test_balanced_loads(self, catalog, population):
+        alloc = round_robin_allocation(catalog, population, 2)
+        loads = alloc.box_loads()
+        assert loads.max() - loads.min() <= 1
+        assert alloc.scheme == "round_robin"
+
+    def test_respects_storage(self, catalog):
+        pop = BoxPopulation([1.0] * 8, [1.0] * 4 + [20.0] * 4)
+        alloc = round_robin_allocation(catalog, pop, 2)
+        assert alloc.respects_storage()
+
+    def test_offset_changes_placement(self, catalog, population):
+        a = round_robin_allocation(catalog, population, 2, offset=0)
+        b = round_robin_allocation(catalog, population, 2, offset=3)
+        assert not np.array_equal(a.replica_box, b.replica_box)
+
+    def test_insufficient_storage(self, catalog):
+        tiny = homogeneous_population(2, u=1.0, d=1.0)
+        with pytest.raises(AllocationError):
+            round_robin_allocation(catalog, tiny, 5)
+
+
+class TestCoverageStatistics:
+    def test_distinct_coverage_counts_unique_holders(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 4, random_state=0)
+        coverage = alloc.distinct_coverage()
+        assert coverage.shape == (catalog.total_stripes,)
+        assert np.all(coverage >= 1)
+        assert np.all(coverage <= 4)
+
+    def test_distinct_coverage_exact_on_crafted_allocation(self, catalog, population):
+        # Put every replica of stripe 0 on the same box: coverage must be 1.
+        k = 2
+        replica_box = np.arange(catalog.total_stripes * k) % population.n
+        replica_box[0:k] = 5
+        alloc = Allocation(catalog, population, k, replica_box)
+        assert alloc.distinct_coverage()[0] == 1
+
+    def test_load_imbalance_of_balanced_allocation_is_one(self, catalog, population):
+        alloc = round_robin_allocation(catalog, population, 2)
+        assert alloc.load_imbalance() == pytest.approx(1.0, abs=0.3)
+
+    def test_stripe_sets_by_box(self, catalog, population):
+        alloc = random_permutation_allocation(catalog, population, 2, random_state=0)
+        sets = alloc.stripe_sets_by_box()
+        assert len(sets) == population.n
+        total = sum(len(s) for s in sets)
+        assert total <= alloc.total_replicas  # duplicates collapse

@@ -1,0 +1,145 @@
+"""Tests for the baselines (full replication, sourcing-only, central server)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.central_server import CentralServerModel
+from repro.baselines.full_replication import (
+    full_replication_allocation,
+    max_catalog_full_replication,
+)
+from repro.baselines.sourcing_only import (
+    SourcingOnlyPossessionIndex,
+    sourcing_capacity_bound,
+)
+from repro.core.allocation import AllocationError, random_permutation_allocation
+from repro.core.matching import ConnectionMatcher, PossessionIndex, RequestSet, StripeRequest
+from repro.core.parameters import homogeneous_population
+from repro.core.video import Catalog
+
+
+class TestFullReplication:
+    def test_catalog_cap_is_constant_in_n(self):
+        assert max_catalog_full_replication(d=2.0, c=4) == 8
+        # Independent of n: the cap depends only on per-box storage.
+        assert max_catalog_full_replication(d=2.0, c=4) == max_catalog_full_replication(2.0, 4)
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            max_catalog_full_replication(0.0, 4)
+        with pytest.raises(ValueError):
+            max_catalog_full_replication(2.0, 0)
+
+    def test_every_box_stores_every_video(self):
+        catalog = Catalog(num_videos=6, num_stripes=4, duration=20)
+        population = homogeneous_population(12, u=0.8, d=2.0)
+        allocation = full_replication_allocation(catalog, population, replicas_per_stripe=3)
+        c = 4
+        for box in range(population.n):
+            videos = set((allocation.stripes_on_box(box) // c).tolist())
+            assert videos == set(range(6))
+
+    def test_catalog_exceeding_storage_rejected(self):
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=20)
+        population = homogeneous_population(12, u=0.8, d=2.0)  # 8 slots < 10 videos
+        with pytest.raises(AllocationError):
+            full_replication_allocation(catalog, population)
+
+    def test_replication_exceeding_population_rejected(self):
+        catalog = Catalog(num_videos=4, num_stripes=4, duration=20)
+        population = homogeneous_population(8, u=0.8, d=2.0)
+        with pytest.raises(AllocationError):
+            full_replication_allocation(catalog, population, replicas_per_stripe=20)
+
+    def test_default_replication(self):
+        catalog = Catalog(num_videos=4, num_stripes=4, duration=20)
+        population = homogeneous_population(12, u=0.8, d=2.0)
+        allocation = full_replication_allocation(catalog, population)
+        assert allocation.replicas_per_stripe == 3  # n // c
+        assert allocation.scheme == "full_replication"
+
+    def test_stripe_distribution_rotates(self):
+        catalog = Catalog(num_videos=4, num_stripes=4, duration=20)
+        population = homogeneous_population(8, u=0.8, d=2.0)
+        allocation = full_replication_allocation(catalog, population, replicas_per_stripe=2)
+        # Every stripe has at least one distinct holder, loads are balanced.
+        assert np.all(allocation.distinct_coverage() >= 1)
+        loads = allocation.box_loads()
+        assert loads.max() - loads.min() <= 4
+
+
+class TestSourcingOnly:
+    def test_cache_servers_always_empty(self):
+        catalog = Catalog(num_videos=6, num_stripes=4, duration=20)
+        population = homogeneous_population(12, u=1.5, d=3.0)
+        allocation = random_permutation_allocation(catalog, population, 3, random_state=0)
+        index = SourcingOnlyPossessionIndex(allocation, cache_window=20)
+        index.record_download(stripe_id=0, box_id=5, time=0)
+        request = StripeRequest(stripe_id=0, request_time=3, box_id=7)
+        # The cache entry is ignored; only allocation holders serve.
+        servers = index.servers_for(request, current_time=3)
+        assert servers == set(allocation.boxes_with_stripe(0).tolist())
+
+    def test_sourcing_only_is_strictly_weaker(self):
+        # A request profile feasible with swarming but not with sourcing only.
+        catalog = Catalog(num_videos=2, num_stripes=2, duration=30)
+        population = homogeneous_population(10, u=1.0, d=1.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=1)
+        matcher = ConnectionMatcher(population.upload_slots(2))
+        swarming = PossessionIndex(allocation, cache_window=30)
+        sourcing = SourcingOnlyPossessionIndex(allocation, cache_window=30)
+        for index in (swarming, sourcing):
+            for box in range(5):
+                index.record_download(stripe_id=0, box_id=box, time=0)
+        requests = RequestSet(
+            [StripeRequest(stripe_id=0, request_time=1, box_id=5 + i) for i in range(5)]
+        )
+        assert matcher.match(requests, swarming, current_time=1).feasible
+        assert not matcher.match(requests, sourcing, current_time=1).feasible
+
+    def test_sourcing_capacity_bound(self):
+        catalog = Catalog(num_videos=6, num_stripes=4, duration=20)
+        population = homogeneous_population(12, u=1.5, d=3.0)
+        allocation = random_permutation_allocation(catalog, population, 3, random_state=0)
+        assert sourcing_capacity_bound(allocation) == 12 * 6 // 4
+
+
+class TestCentralServer:
+    def test_pure_server_capacity(self):
+        server = CentralServerModel(upload_capacity=100.0, storage_capacity=5000.0)
+        assert server.max_concurrent_viewers() == pytest.approx(100.0)
+        assert server.can_serve(100)
+        assert not server.can_serve(101)
+        # Peer upload does not help a non-assisted server.
+        assert server.max_concurrent_viewers(peer_upload_total=500.0) == pytest.approx(100.0)
+
+    def test_peer_assisted_capacity(self):
+        server = CentralServerModel(
+            upload_capacity=100.0, storage_capacity=5000.0, peer_assisted=True
+        )
+        assert server.max_concurrent_viewers(peer_upload_total=400.0) == pytest.approx(500.0)
+        assert server.can_serve(450, peer_upload_total=400.0)
+
+    def test_required_server_upload(self):
+        server = CentralServerModel(
+            upload_capacity=100.0, storage_capacity=5000.0, peer_assisted=True
+        )
+        assert server.required_server_upload(500, peer_upload_total=400.0) == pytest.approx(100.0)
+        assert server.required_server_upload(300, peer_upload_total=400.0) == 0.0
+
+    def test_catalog_bounded_by_server_storage(self):
+        server = CentralServerModel(upload_capacity=10.0, storage_capacity=123.0)
+        assert server.catalog_size == 123
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentralServerModel(upload_capacity=0.0, storage_capacity=10.0)
+        server = CentralServerModel(upload_capacity=10.0, storage_capacity=10.0)
+        with pytest.raises(ValueError):
+            server.can_serve(-1)
+        with pytest.raises(ValueError):
+            server.required_server_upload(-1)
+
+    def test_describe(self):
+        server = CentralServerModel(upload_capacity=10.0, storage_capacity=10.0)
+        assert server.describe()["catalog_size"] == 10

@@ -1,0 +1,122 @@
+"""Tests for repro.core.box (storage and playback cache)."""
+
+import pytest
+
+from repro.core.box import Box, PlaybackCache
+
+
+class TestPlaybackCache:
+    def test_can_serve_earlier_requester_serves_later_one(self):
+        cache = PlaybackCache(window=10)
+        cache.record_request(stripe_id=3, time=2)
+        # A request made later (time 5) can be served while within window.
+        assert cache.can_serve(3, request_time=5, current_time=6)
+
+    def test_cannot_serve_earlier_request(self):
+        cache = PlaybackCache(window=10)
+        cache.record_request(stripe_id=3, time=5)
+        # A request made at the same time or before is NOT served (t_j < t_i).
+        assert not cache.can_serve(3, request_time=5, current_time=6)
+        assert not cache.can_serve(3, request_time=4, current_time=6)
+
+    def test_window_expiry(self):
+        cache = PlaybackCache(window=5)
+        cache.record_request(stripe_id=1, time=0)
+        # At current_time=5 the horizon is 0, entry still valid.
+        assert cache.can_serve(1, request_time=3, current_time=5)
+        # At current_time=6 the horizon is 1 > 0: entry too old.
+        assert not cache.can_serve(1, request_time=3, current_time=6)
+
+    def test_evict_older_than(self):
+        cache = PlaybackCache(window=5)
+        cache.record_request(1, time=0)
+        cache.record_request(2, time=4)
+        cache.evict_older_than(current_time=7)
+        assert 1 not in cache
+        assert 2 in cache
+        assert len(cache) == 1
+
+    def test_evict_keeps_recent_of_multiple_times(self):
+        cache = PlaybackCache(window=5)
+        cache.record_request(1, time=0)
+        cache.record_request(1, time=6)
+        cache.evict_older_than(current_time=8)
+        assert 1 in cache
+        assert cache.earliest_request(1) == 6
+
+    def test_unknown_stripe(self):
+        cache = PlaybackCache(window=5)
+        assert not cache.can_serve(42, request_time=1, current_time=2)
+        assert cache.earliest_request(42) is None
+
+    def test_cached_stripes_and_clear(self):
+        cache = PlaybackCache(window=5)
+        cache.record_request(1, 0)
+        cache.record_request(2, 1)
+        assert cache.cached_stripes() == {1, 2}
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PlaybackCache(window=0)
+
+
+class TestBox:
+    def make_box(self, upload=2.0, storage=2.0, c=4, window=20):
+        return Box(box_id=0, upload=upload, storage=storage, num_stripes=c, cache_window=window)
+
+    def test_capacities_in_stripe_units(self):
+        box = self.make_box(upload=1.3, storage=2.5, c=4)
+        assert box.upload_slots == 5
+        assert box.effective_upload == pytest.approx(1.25)
+        assert box.storage_slots == 10
+
+    def test_store_and_query(self):
+        box = self.make_box()
+        box.store_stripe(3)
+        assert box.stores(3)
+        assert not box.stores(4)
+        assert box.free_storage_slots == box.storage_slots - 1
+
+    def test_storage_overflow_raises(self):
+        box = self.make_box(storage=0.5, c=4)  # 2 slots
+        box.store_many([1, 2])
+        with pytest.raises(ValueError):
+            box.store_stripe(3)
+
+    def test_restoring_same_stripe_is_idempotent(self):
+        box = self.make_box(storage=0.5, c=4)
+        box.store_many([1, 2])
+        box.store_stripe(1)  # already stored: no overflow
+        assert box.free_storage_slots == 0
+
+    def test_possession_from_storage(self):
+        box = self.make_box()
+        box.store_stripe(7)
+        assert box.possesses(7, request_time=5, current_time=5)
+
+    def test_possession_from_relay_cache(self):
+        box = self.make_box()
+        box.relay_cached_stripes.add(9)
+        assert box.possesses(9, request_time=5, current_time=5)
+
+    def test_possession_from_playback_cache(self):
+        box = self.make_box(window=10)
+        box.record_playback_request(4, time=2)
+        assert box.possesses(4, request_time=5, current_time=6)
+        assert not box.possesses(4, request_time=2, current_time=6)
+
+    def test_advance_evicts_cache(self):
+        box = self.make_box(window=5)
+        box.record_playback_request(4, time=0)
+        box.advance_to(10)
+        assert not box.possesses(4, request_time=8, current_time=10)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Box(box_id=-1, upload=1.0, storage=1.0, num_stripes=4)
+        with pytest.raises(ValueError):
+            Box(box_id=0, upload=-1.0, storage=1.0, num_stripes=4)
+        with pytest.raises(ValueError):
+            Box(box_id=0, upload=1.0, storage=1.0, num_stripes=0)

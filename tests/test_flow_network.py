@@ -1,0 +1,144 @@
+"""Tests for the FlowNetwork data structure and the bipartite builder."""
+
+import pytest
+
+from repro.flow.network import FlowNetwork, build_bipartite_network
+from repro.flow.dinic import dinic_max_flow
+
+
+class TestFlowNetworkConstruction:
+    def test_add_edge_creates_residual_pair(self):
+        net = FlowNetwork(2)
+        edge_id = net.add_edge(0, 1, 7)
+        assert edge_id == 0
+        assert net.num_edges == 1
+        forward = net.edge(0)
+        backward = net.edge(1)
+        assert (forward.source, forward.target, forward.capacity) == (0, 1, 7)
+        assert (backward.source, backward.target, backward.capacity) == (1, 0, 0)
+
+    def test_add_node(self):
+        net = FlowNetwork(1)
+        new = net.add_node()
+        assert new == 1
+        assert net.num_nodes == 2
+        net.add_edge(0, 1, 3)
+
+    def test_invalid_edges(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1)
+        with pytest.raises(TypeError):
+            net.add_edge(0, 1, 1.5)
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(-1)
+
+    def test_edge_out_of_range(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.edge(0)
+
+
+class TestResidualOperations:
+    def test_push_updates_residuals(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        net.push(e, 3)
+        assert net.residual(e) == 2
+        assert net.residual(e ^ 1) == 3
+        assert net.flow_on(e) == 3
+
+    def test_push_too_much_raises(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        with pytest.raises(ValueError):
+            net.push(e, 6)
+
+    def test_push_negative_raises(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        with pytest.raises(ValueError):
+            net.push(e, -1)
+
+    def test_reset_flow(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        net.push(e, 5)
+        net.reset_flow()
+        assert net.flow_on(e) == 0
+        assert net.residual(e) == 5
+
+    def test_flow_value_counts_net_outflow(self):
+        net = FlowNetwork(3)
+        e1 = net.add_edge(0, 1, 5)
+        e2 = net.add_edge(1, 2, 5)
+        net.push(e1, 4)
+        net.push(e2, 4)
+        assert net.flow_value(0) == 4
+        assert net.check_conservation(0, 2)
+
+    def test_conservation_detects_imbalance(self):
+        net = FlowNetwork(3)
+        e1 = net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 5)
+        net.push(e1, 4)  # flow enters node 1 but never leaves
+        assert not net.check_conservation(0, 2)
+
+    def test_copy_is_independent(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        clone = net.copy()
+        net.push(e, 5)
+        assert clone.flow_on(e) == 0
+        assert clone.num_edges == 1
+
+    def test_forward_edges_iteration(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 2, 3)
+        caps = [edge.capacity for edge in net.forward_edges()]
+        assert caps == [2, 3]
+
+    def test_residual_capacity_property(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        net.push(e, 2)
+        assert net.edge(e).residual_capacity == 3
+
+
+class TestBipartiteBuilder:
+    def test_layout_and_flow(self):
+        net, source, sink = build_bipartite_network(
+            num_left=2,
+            num_right=2,
+            edges=[(0, 0), (0, 1), (1, 1)],
+            left_capacities=[1, 1],
+            right_capacities=[1, 1],
+        )
+        assert source == 0
+        assert sink == 5
+        assert dinic_max_flow(net, source, sink) == 2
+
+    def test_capacity_length_mismatch(self):
+        with pytest.raises(ValueError):
+            build_bipartite_network(2, 2, [], [1], [1, 1])
+        with pytest.raises(ValueError):
+            build_bipartite_network(2, 2, [], [1, 1], [1])
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_bipartite_network(2, 2, [(2, 0)], [1, 1], [1, 1])
+
+    def test_right_capacity_limits_matching(self):
+        net, source, sink = build_bipartite_network(
+            num_left=3,
+            num_right=1,
+            edges=[(0, 0), (1, 0), (2, 0)],
+            left_capacities=[1, 1, 1],
+            right_capacities=[2],
+        )
+        assert dinic_max_flow(net, source, sink) == 2

@@ -1,0 +1,211 @@
+"""Tests for repro.core.heterogeneous (Section 4: balance, compensation, relaying)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.heterogeneous import (
+    RELAYED_START_UP_DELAY_ROUNDS,
+    CompensationError,
+    CompensationPlan,
+    RelayedPreloadingScheduler,
+    compute_compensation_plan,
+    direct_stripe_budget,
+    is_balanced,
+    is_upload_compensable,
+)
+from repro.core.parameters import BoxPopulation, proportional_population, two_class_population
+from repro.core.preloading import Demand
+from repro.core.video import Catalog
+
+
+def rich_poor_population(n_rich=5, n_poor=5, u_rich=4.0, u_poor=0.5):
+    uploads = [u_rich] * n_rich + [u_poor] * n_poor
+    storages = [u * 2.5 for u in uploads]
+    return BoxPopulation(uploads, storages)
+
+
+class TestDirectStripeBudget:
+    def test_formula(self):
+        assert direct_stripe_budget(upload=0.8, c=100, mu=1.2) == int(
+            math.floor(0.8 * 100 - 4 * 1.2**4)
+        )
+
+    def test_clamped_at_zero(self):
+        assert direct_stripe_budget(upload=0.01, c=10, mu=1.5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            direct_stripe_budget(-0.1, 10, 1.2)
+        with pytest.raises(ValueError):
+            direct_stripe_budget(0.5, 0, 1.2)
+
+
+class TestCompensationPlan:
+    def test_plan_structure(self):
+        pop = rich_poor_population()
+        plan = compute_compensation_plan(pop, u_star=1.5)
+        assert plan.num_boxes == pop.n
+        # Every poor box has a rich relay; every rich box has none.
+        for b in range(pop.n):
+            if pop.uploads[b] < 1.5:
+                relay = plan.relay(b)
+                assert relay is not None
+                assert pop.uploads[relay] >= 1.5
+                assert plan.is_poor(b)
+            else:
+                assert plan.relay(b) is None
+                assert not plan.is_poor(b)
+
+    def test_reservation_amounts(self):
+        pop = rich_poor_population()
+        u_star = 1.5
+        plan = compute_compensation_plan(pop, u_star)
+        # Total reserved equals the sum of per-poor-box needs (all positive here).
+        expected = sum(
+            u_star + 1 - 2 * u for u in pop.uploads if u < u_star
+        )
+        assert plan.reserved_upload.sum() == pytest.approx(expected)
+
+    def test_rich_boxes_keep_u_star_after_reservation(self):
+        pop = rich_poor_population()
+        u_star = 1.5
+        plan = compute_compensation_plan(pop, u_star)
+        residual = plan.residual_uploads(pop)
+        for a in range(pop.n):
+            if pop.uploads[a] >= u_star:
+                assert residual[a] >= u_star - 1e-9
+
+    def test_backed_boxes_partition_poor_boxes(self):
+        pop = rich_poor_population()
+        plan = compute_compensation_plan(pop, u_star=1.5)
+        backed = []
+        for a in pop.rich_boxes(1.5):
+            backed.extend(plan.backed_boxes(int(a)).tolist())
+        assert sorted(backed) == pop.poor_boxes(1.5).tolist()
+
+    def test_no_poor_boxes_gives_empty_plan(self):
+        pop = proportional_population([2.0, 3.0, 4.0], 2.5)
+        plan = compute_compensation_plan(pop, u_star=1.5)
+        assert np.all(plan.relay_of == -1)
+        assert plan.reserved_upload.sum() == 0
+
+    def test_no_rich_boxes_raises(self):
+        pop = proportional_population([0.5, 0.6], 2.5)
+        with pytest.raises(CompensationError):
+            compute_compensation_plan(pop, u_star=1.5)
+
+    def test_insufficient_headroom_raises(self):
+        # One rich box barely above u*, many poor boxes.
+        pop = BoxPopulation([1.6] + [0.2] * 10, [4.0] + [0.5] * 10)
+        with pytest.raises(CompensationError):
+            compute_compensation_plan(pop, u_star=1.5)
+
+    def test_is_upload_compensable(self):
+        assert is_upload_compensable(rich_poor_population(), 1.5)
+        assert not is_upload_compensable(
+            BoxPopulation([1.6] + [0.2] * 10, [4.0] + [0.5] * 10), 1.5
+        )
+
+    def test_u_star_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            compute_compensation_plan(rich_poor_population(), u_star=1.0)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            CompensationPlan(
+                u_star=1.5,
+                relay_of=np.array([1, -1]),
+                reserved_upload=np.array([0.0]),
+            )
+
+    def test_is_balanced_combines_both_conditions(self):
+        pop = rich_poor_population()  # proportional: d_b = 2.5 u_b
+        assert is_balanced(pop, u_star=1.5)
+        # Break storage balance: a box with d/u < 2.
+        unbalanced = BoxPopulation([4.0, 0.5], [4.0, 1.25])
+        assert not is_balanced(unbalanced, u_star=1.5)
+
+
+class TestRelayedPreloadingScheduler:
+    def setup_scheduler(self, c=8, mu=1.1):
+        catalog = Catalog(num_videos=4, num_stripes=c, duration=30)
+        population = rich_poor_population(n_rich=4, n_poor=4, u_rich=4.0, u_poor=0.5)
+        plan = compute_compensation_plan(population, u_star=1.5)
+        scheduler = RelayedPreloadingScheduler(catalog, population, plan, mu=mu)
+        return catalog, population, plan, scheduler
+
+    def test_rich_box_follows_doubled_homogeneous_timeline(self):
+        catalog, population, plan, scheduler = self.setup_scheduler()
+        rich_box = int(population.rich_boxes(1.5)[0])
+        immediate = scheduler.on_demand(Demand(time=2, box_id=rich_box, video_id=0))
+        assert len(immediate) == 1
+        assert immediate[0].box_id == rich_box
+        assert immediate[0].is_preload
+        assert scheduler.requests_due(3) == []
+        postponed = scheduler.requests_due(4)
+        assert len(postponed) == catalog.num_stripes_per_video - 1
+        assert all(r.box_id == rich_box for r in postponed)
+
+    def test_poor_box_preload_is_issued_by_relay(self):
+        catalog, population, plan, scheduler = self.setup_scheduler()
+        poor_box = int(population.poor_boxes(1.5)[0])
+        relay = plan.relay(poor_box)
+        immediate = scheduler.on_demand(Demand(time=2, box_id=poor_box, video_id=0))
+        assert len(immediate) == 1
+        assert immediate[0].box_id == relay
+        assert immediate[0].is_preload
+
+    def test_poor_box_request_split_between_direct_and_relay(self):
+        catalog, population, plan, scheduler = self.setup_scheduler()
+        poor_box = int(population.poor_boxes(1.5)[0])
+        relay = plan.relay(poor_box)
+        c = catalog.num_stripes_per_video
+        mu = 1.1
+        scheduler.on_demand(Demand(time=2, box_id=poor_box, video_id=0))
+        direct = scheduler.requests_due(4)
+        via_relay = scheduler.requests_due(5)
+        c_b = direct_stripe_budget(0.5, c, mu)
+        assert len(direct) == min(c_b, c - 1)
+        assert all(r.box_id == poor_box for r in direct)
+        assert len(via_relay) == c - 1 - len(direct)
+        assert all(r.box_id == relay for r in via_relay)
+        # All c stripes are covered exactly once across the whole timeline.
+        total = {r.stripe_id for r in direct + via_relay} | {
+            catalog.stripe_id(0, scheduler.swarm_entry_count(0) - 1 % c)
+        }
+        assert len(total) >= c - 1
+
+    def test_relay_cache_events_cover_preload_and_forwarded_stripes(self):
+        catalog, population, plan, scheduler = self.setup_scheduler()
+        poor_box = int(population.poor_boxes(1.5)[0])
+        relay = plan.relay(poor_box)
+        scheduler.on_demand(Demand(time=2, box_id=poor_box, video_id=0))
+        preload_cache = scheduler.relay_cache_events_due(3)
+        assert len(preload_cache) == 1
+        assert preload_cache[0][0] == relay
+        forwarded_cache = scheduler.relay_cache_events_due(5)
+        assert all(box == relay for box, _ in forwarded_cache)
+
+    def test_preload_counter_shared_across_rich_and_poor(self):
+        catalog, population, plan, scheduler = self.setup_scheduler()
+        c = catalog.num_stripes_per_video
+        boxes = list(range(population.n))
+        indices = []
+        for box in boxes:
+            immediate = scheduler.on_demand(Demand(time=0, box_id=box, video_id=1))
+            indices.append(catalog.stripe_index_of(immediate[0].stripe_id))
+        assert indices == [p % c for p in range(len(boxes))]
+
+    def test_start_up_delay_constant(self):
+        _, _, _, scheduler = self.setup_scheduler()
+        assert scheduler.start_up_delay == RELAYED_START_UP_DELAY_ROUNDS
+
+    def test_reset(self):
+        catalog, population, plan, scheduler = self.setup_scheduler()
+        scheduler.on_demand(Demand(time=0, box_id=0, video_id=0))
+        scheduler.reset()
+        assert scheduler.demands_seen == ()
+        assert scheduler.requests_due(2) == []
+        assert scheduler.swarm_entry_count(0) == 0

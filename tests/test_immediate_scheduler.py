@@ -1,0 +1,84 @@
+"""Tests for the ImmediateRequestScheduler ablation and its use in the engine."""
+
+import pytest
+
+from repro.core.allocation import random_permutation_allocation
+from repro.core.parameters import homogeneous_population
+from repro.core.preloading import Demand, ImmediateRequestScheduler, PreloadingScheduler
+from repro.core.video import Catalog
+from repro.sim.engine import VodSimulator
+from repro.workloads.base import StaticDemandSchedule
+from repro.workloads.flashcrowd import FlashCrowdWorkload
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(num_videos=6, num_stripes=4, duration=30)
+
+
+class TestImmediateRequestScheduler:
+    def test_all_stripes_requested_at_demand_round(self, catalog):
+        scheduler = ImmediateRequestScheduler(catalog)
+        requests = scheduler.on_demand(Demand(time=5, box_id=2, video_id=3))
+        assert len(requests) == catalog.num_stripes_per_video
+        assert all(r.request_time == 5 for r in requests)
+        assert all(r.box_id == 2 for r in requests)
+        assert {r.stripe_id for r in requests} == set(catalog.stripes_of_video(3).tolist())
+
+    def test_no_postponed_requests(self, catalog):
+        scheduler = ImmediateRequestScheduler(catalog)
+        scheduler.on_demand(Demand(time=5, box_id=2, video_id=3))
+        assert scheduler.requests_due(6) == []
+        assert scheduler.requests_due(5) == []
+
+    def test_exactly_one_request_flagged_as_preload(self, catalog):
+        scheduler = ImmediateRequestScheduler(catalog)
+        requests = scheduler.on_demand(Demand(time=0, box_id=0, video_id=0))
+        assert sum(1 for r in requests if r.is_preload) == 1
+
+    def test_start_up_delay_and_demand_log(self, catalog):
+        scheduler = ImmediateRequestScheduler(catalog)
+        assert scheduler.start_up_delay == 2
+        scheduler.on_demand(Demand(time=0, box_id=0, video_id=0))
+        assert len(scheduler.demands_seen) == 1
+        scheduler.reset()
+        assert scheduler.demands_seen == ()
+
+    def test_unknown_video_rejected(self, catalog):
+        scheduler = ImmediateRequestScheduler(catalog)
+        with pytest.raises(ValueError):
+            scheduler.on_demand(Demand(time=0, box_id=0, video_id=99))
+
+
+class TestEngineWithImmediateScheduler:
+    def build(self, u=2.0, seed=0):
+        catalog = Catalog(num_videos=12, num_stripes=4, duration=30)
+        population = homogeneous_population(36, u=u, d=3.0)
+        allocation = random_permutation_allocation(catalog, population, 3, random_state=seed)
+        return catalog, allocation
+
+    def test_single_demand_served_with_two_round_delay(self):
+        catalog, allocation = self.build()
+        scheduler = ImmediateRequestScheduler(catalog)
+        sim = VodSimulator(allocation, mu=1.5, scheduler=scheduler)
+        result = sim.run(StaticDemandSchedule([Demand(time=1, box_id=0, video_id=2)]), 5)
+        assert result.feasible
+        starts = result.trace.playback_starts()
+        assert len(starts) == 1
+        assert starts[0].startup_delay == 2
+
+    def test_ablation_is_never_better_under_flash_crowd(self):
+        # On a thin allocation the immediate strategy leaves at least as
+        # many requests unserved as the preloading strategy.
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=30)
+        population = homogeneous_population(40, u=1.2, d=1.5)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=4)
+        results = {}
+        for name, scheduler in (
+            ("preloading", PreloadingScheduler(catalog)),
+            ("immediate", ImmediateRequestScheduler(catalog)),
+        ):
+            sim = VodSimulator(allocation, mu=1.5, scheduler=scheduler)
+            workload = FlashCrowdWorkload(mu=1.5, target_videos=(0,), random_state=4)
+            results[name] = sim.run(workload, num_rounds=8).metrics.unmatched_requests
+        assert results["immediate"] >= results["preloading"]

@@ -1,0 +1,125 @@
+"""Tests for the negative result (u < 1 ⇒ constant catalog, Section 1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import random_permutation_allocation
+from repro.core.negative import (
+    adversarial_missing_video_demands,
+    bandwidth_shortfall,
+    build_negative_witness,
+    catalog_upper_bound_below_threshold,
+    missing_videos_per_box,
+)
+from repro.core.parameters import homogeneous_population
+from repro.core.video import Catalog
+from repro.baselines.full_replication import full_replication_allocation
+
+
+class TestCatalogCap:
+    def test_value(self):
+        assert catalog_upper_bound_below_threshold(d_max=4.0, chunk_size=0.25) == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            catalog_upper_bound_below_threshold(0.0, 0.25)
+        with pytest.raises(ValueError):
+            catalog_upper_bound_below_threshold(4.0, 0.0)
+        with pytest.raises(ValueError):
+            catalog_upper_bound_below_threshold(4.0, 1.5)
+
+
+class TestMissingVideos:
+    def test_every_box_misses_some_video_when_catalog_large(self):
+        # m = 25 videos, storage d=2, c=4 → a box holds ≤ 8 stripes spread over
+        # at most 8 videos: every box misses many videos.
+        catalog = Catalog(num_videos=25, num_stripes=4, duration=20)
+        population = homogeneous_population(50, u=0.8, d=2.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=0)
+        missing = missing_videos_per_box(allocation)
+        assert len(missing) == population.n
+        assert all(m.size > 0 for m in missing)
+
+    def test_full_replication_leaves_nothing_missing(self):
+        catalog = Catalog(num_videos=5, num_stripes=4, duration=20)
+        population = homogeneous_population(8, u=0.8, d=2.0)
+        allocation = full_replication_allocation(catalog, population, replicas_per_stripe=2)
+        missing = missing_videos_per_box(allocation)
+        assert all(m.size == 0 for m in missing)
+
+    def test_missing_videos_are_truly_missing(self):
+        catalog = Catalog(num_videos=25, num_stripes=4, duration=20)
+        population = homogeneous_population(50, u=0.8, d=2.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=1)
+        missing = missing_videos_per_box(allocation)
+        for box_id in range(5):
+            stored = set(allocation.stripes_on_box(box_id).tolist())
+            for video in missing[box_id][:5]:
+                stripes = set(catalog.stripes_of_video(int(video)).tolist())
+                assert not (stored & stripes)
+
+
+class TestAdversarialDemands:
+    def test_one_demand_per_attackable_box(self):
+        catalog = Catalog(num_videos=25, num_stripes=4, duration=20)
+        population = homogeneous_population(40, u=0.8, d=2.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=2)
+        demands = adversarial_missing_video_demands(allocation, time=3)
+        assert len(demands) == population.n
+        assert len({d.box_id for d in demands}) == population.n
+        assert all(d.time == 3 for d in demands)
+
+    def test_demanded_video_not_stored_by_demander(self):
+        catalog = Catalog(num_videos=25, num_stripes=4, duration=20)
+        population = homogeneous_population(40, u=0.8, d=2.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=2)
+        for demand in adversarial_missing_video_demands(allocation):
+            stored = set(allocation.stripes_on_box(demand.box_id).tolist())
+            stripes = set(catalog.stripes_of_video(demand.video_id).tolist())
+            assert not (stored & stripes)
+
+    def test_spread_uses_multiple_videos(self):
+        catalog = Catalog(num_videos=25, num_stripes=4, duration=20)
+        population = homogeneous_population(40, u=0.8, d=2.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=2)
+        spread = adversarial_missing_video_demands(allocation, spread=True)
+        assert len({d.video_id for d in spread}) > 1
+
+
+class TestShortfallAndWitness:
+    def test_bandwidth_shortfall(self):
+        assert bandwidth_shortfall(100, 0.8) == pytest.approx(20.0)
+        assert bandwidth_shortfall(100, 1.2) == pytest.approx(-20.0)
+        with pytest.raises(ValueError):
+            bandwidth_shortfall(-1, 0.5)
+        with pytest.raises(ValueError):
+            bandwidth_shortfall(10, -0.5)
+
+    def test_witness_infeasible_below_threshold(self):
+        catalog = Catalog(num_videos=25, num_stripes=4, duration=20)
+        population = homogeneous_population(40, u=0.8, d=2.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=3)
+        witness = build_negative_witness(allocation)
+        assert witness.attackable_boxes == 40
+        assert witness.aggregate_download == pytest.approx(40.0)
+        assert witness.aggregate_upload == pytest.approx(32.0)
+        assert witness.infeasible
+        assert witness.describe()["infeasible"]
+
+    def test_witness_feasible_above_threshold(self):
+        catalog = Catalog(num_videos=25, num_stripes=4, duration=20)
+        population = homogeneous_population(40, u=1.5, d=2.0)
+        allocation = random_permutation_allocation(catalog, population, 2, random_state=3)
+        witness = build_negative_witness(allocation)
+        assert not witness.infeasible
+
+    def test_witness_not_attackable_under_full_replication(self):
+        # With a constant catalog below d·c every box stores data of every
+        # video and the missing-video attack has no target.
+        catalog = Catalog(num_videos=6, num_stripes=4, duration=20)
+        population = homogeneous_population(16, u=0.8, d=2.0)
+        allocation = full_replication_allocation(catalog, population, replicas_per_stripe=4)
+        witness = build_negative_witness(allocation)
+        assert witness.attackable_boxes == 0
+        assert not witness.infeasible
+        assert witness.catalog_cap == pytest.approx(8.0)

@@ -1,0 +1,239 @@
+"""Tests for repro.core.obstruction (Lemmas 2-4, Equation 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import obstruction as ob
+from repro.core import thresholds as th
+
+
+class TestLemma2:
+    def test_bound_formula(self):
+        value = ob.lemma2_server_lower_bound(i=100, i1=2, c=10, mu=1.2)
+        expected = (100 - (10 + 2 * 1.44 - 1) * 2) / (10 + 2 * (1.44 - 1))
+        assert value == pytest.approx(expected)
+
+    def test_bound_vacuous_when_many_distinct(self):
+        assert ob.lemma2_server_lower_bound(i=5, i1=5, c=10, mu=1.5) < 0
+
+    def test_i1_cannot_exceed_i(self):
+        with pytest.raises(ValueError):
+            ob.lemma2_server_lower_bound(i=2, i1=3, c=4, mu=1.2)
+
+    def test_monotone_in_i(self):
+        values = [ob.lemma2_server_lower_bound(i, 3, 8, 1.3) for i in (10, 50, 100)]
+        assert values == sorted(values)
+
+
+class TestLemma3:
+    def test_simple_value(self):
+        # (p/n)^{k i1} = (2/10)^{2*3}
+        log_p = ob.lemma3_log_probability(p=2, n=10, k=2, i1=3)
+        assert log_p == pytest.approx(6 * math.log(0.2))
+
+    def test_p_zero(self):
+        assert ob.lemma3_log_probability(0, 10, 2, 1) == -math.inf
+        assert ob.lemma3_log_probability(0, 10, 2, 0) == 0.0
+
+    def test_p_ge_n_is_probability_one(self):
+        assert ob.lemma3_log_probability(10, 10, 2, 3) == 0.0
+        assert ob.lemma3_log_probability(15, 10, 2, 3) == 0.0
+
+    def test_monotone_in_p(self):
+        values = [ob.lemma3_log_probability(p, 100, 3, 2) for p in (1, 5, 20, 99)]
+        assert values == sorted(values)
+
+    def test_empirical_agreement_with_permutation_allocation(self):
+        # Empirically check Lemma 3: probability that the k replicas of one
+        # stripe all fall into a fixed set of p boxes is ≤ (p/n)^k.
+        from repro.core.allocation import random_permutation_allocation
+        from repro.core.parameters import homogeneous_population
+        from repro.core.video import Catalog
+
+        n, p, k, trials = 12, 4, 2, 400
+        catalog = Catalog(num_videos=6, num_stripes=2, duration=10)
+        population = homogeneous_population(n, u=1.0, d=2.0)
+        target_boxes = set(range(p))
+        hits = 0
+        for seed in range(trials):
+            alloc = random_permutation_allocation(catalog, population, k, random_state=seed)
+            holders = set(int(b) for b in alloc.replica_boxes_of_stripe(0))
+            if holders <= target_boxes:
+                hits += 1
+        bound = (p / n) ** k
+        # Allow generous sampling slack above the bound.
+        assert hits / trials <= bound + 3 * math.sqrt(bound * (1 - bound) / trials) + 0.02
+
+
+class TestLemma4:
+    def test_zero_probability_when_few_distinct_stripes(self):
+        assert ob.lemma4_log_probability(i=100, i1=1, n=50, c=10, u_prime=2.0, k=3, nu=0.05) == -math.inf
+
+    def test_positive_log_capped_at_zero(self):
+        value = ob.lemma4_log_probability(i=1, i1=1, n=50, c=10, u_prime=2.0, k=1, nu=0.001)
+        assert value <= 0.0
+
+    def test_probability_decreases_with_k(self):
+        values = [
+            ob.lemma4_log_probability(i=40, i1=20, n=50, c=10, u_prime=2.0, k=k, nu=0.01)
+            for k in (1, 2, 4, 8)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_i1_cannot_exceed_i(self):
+        with pytest.raises(ValueError):
+            ob.lemma4_log_probability(i=2, i1=3, n=10, c=4, u_prime=2.0, k=2, nu=0.1)
+
+
+class TestMultisetCount:
+    def test_small_exact_value(self):
+        # M(3, 2) over 4 stripes: C(4,2)*C(2,1) = 12.
+        assert math.exp(ob.log_multiset_count(i=3, i1=2, m=2, c=2)) == pytest.approx(12.0)
+
+    def test_out_of_range_gives_zero_count(self):
+        assert ob.log_multiset_count(i=2, i1=3, m=2, c=2) == -math.inf
+        assert ob.log_multiset_count(i=2, i1=5, m=1, c=2) == -math.inf
+
+    def test_i1_equals_i_is_binomial(self):
+        # M(i, i) = C(mc, i)
+        value = math.exp(ob.log_multiset_count(i=3, i1=3, m=3, c=2))
+        assert value == pytest.approx(math.comb(6, 3))
+
+
+class TestPhiAndFirstMoment:
+    def setup_method(self):
+        self.u, self.d, self.mu = 2.0, 4.0, 1.3
+        self.c = th.recommended_stripes_homogeneous(self.u, self.mu)
+        self.nu = th.nu_homogeneous(self.u, self.c, self.mu)
+        self.u_prime = th.effective_upload(self.u, self.c)
+        self.d_prime = th.d_prime(self.d, self.u)
+
+    def test_phi_log_vectorized(self):
+        i = np.array([1, 10, 100])
+        values = ob.phi_log(i, n=200, c=self.c, u_prime=self.u_prime, d_prime=self.d_prime, k=50, nu=self.nu)
+        assert values.shape == (3,)
+
+    def test_phi_rejects_nonpositive_i(self):
+        with pytest.raises(ValueError):
+            ob.phi_log(np.array([0]), 10, self.c, self.u_prime, self.d_prime, 10, self.nu)
+
+    def test_i_star_is_interior_minimizer(self):
+        n, k = 200, 300
+        istar = ob.i_star(n, self.c, self.u_prime, self.d_prime, k, self.nu)
+        assert 1 < istar < n * self.c
+        grid = np.arange(1, n * self.c + 1)
+        phi = ob.phi_log(grid, n, self.c, self.u_prime, self.d_prime, k, self.nu)
+        argmin = int(grid[np.argmin(phi)])
+        assert abs(argmin - istar) <= max(3, 0.05 * istar)
+
+    def test_i_star_requires_positive_kappa(self):
+        with pytest.raises(ValueError):
+            ob.i_star(100, self.c, self.u_prime, self.d_prime, k=1, nu=self.nu)
+
+    def test_paper_bound_decreases_with_k(self):
+        n = 100
+        bounds = [
+            ob.first_moment_bound_paper(n, self.c, self.u_prime, self.d_prime, k, self.nu)
+            for k in (100, 250, 400, 600)
+        ]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds[-1] < 1e-3
+
+    def test_paper_bound_decreases_with_n_at_theorem_k(self):
+        k = th.replication_homogeneous(self.u, self.d, self.c, self.mu)
+        b_small = ob.first_moment_bound_paper(50, self.c, self.u_prime, self.d_prime, k, self.nu)
+        b_large = ob.first_moment_bound_paper(5000, self.c, self.u_prime, self.d_prime, k, self.nu)
+        assert b_large <= b_small
+
+    def test_theorem_k_gives_vanishing_bound(self):
+        k = th.replication_homogeneous(self.u, self.d, self.c, self.mu)
+        bound = ob.first_moment_bound_paper(10_000, self.c, self.u_prime, self.d_prime, k, self.nu)
+        assert bound < 0.01
+
+    def test_bound_clipped_to_one(self):
+        bound = ob.first_moment_bound_paper(10, self.c, self.u_prime, self.d_prime, 3, self.nu)
+        assert 0.0 <= bound <= 1.0
+
+    def test_nu_validation(self):
+        with pytest.raises(ValueError):
+            ob.first_moment_bound_paper(10, self.c, self.u_prime, self.d_prime, 3, 1.5)
+
+    def test_exact_bound_at_most_paper_bound(self):
+        for n, k in ((30, 60), (100, 250)):
+            m = max(int(self.d * n // k), 1)
+            exact = ob.first_moment_bound_exact(n, self.c, m, k, self.u_prime, self.nu)
+            paper = ob.first_moment_bound_paper(
+                n, self.c, self.u_prime, self.d_prime, k, self.nu
+            )
+            assert exact <= paper + 1e-9
+
+    def test_exact_bound_decreases_with_k(self):
+        n = 60
+        values = [
+            ob.first_moment_bound_exact(n, self.c, 3, k, self.u_prime, self.nu)
+            for k in (40, 80, 150)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < values[0]
+
+
+class TestMinimumReplicationSearch:
+    def test_found_k_achieves_target(self):
+        u, d, mu, n = 2.0, 4.0, 1.3, 200
+        c = th.recommended_stripes_homogeneous(u, mu)
+        nu = th.nu_homogeneous(u, c, mu)
+        u_prime = th.effective_upload(u, c)
+        d_prime = th.d_prime(d, u)
+        k = ob.minimum_replication_for_failure_probability(
+            n, c, u_prime, d_prime, nu, target=0.05
+        )
+        assert ob.first_moment_bound_paper(n, c, u_prime, d_prime, k, nu) <= 0.05
+        if k > 1:
+            assert ob.first_moment_bound_paper(n, c, u_prime, d_prime, k - 1, nu) > 0.05
+
+    def test_search_below_theorem_prescription(self):
+        u, d, mu, n = 2.0, 4.0, 1.3, 1000
+        c = th.recommended_stripes_homogeneous(u, mu)
+        nu = th.nu_homogeneous(u, c, mu)
+        k_search = ob.minimum_replication_for_failure_probability(
+            n, c, th.effective_upload(u, c), th.d_prime(d, u), nu, target=1.0 / n
+        )
+        k_theorem = th.replication_homogeneous(u, d, c, mu)
+        assert k_search <= k_theorem
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            ob.minimum_replication_for_failure_probability(10, 5, 2.0, 4.0, 0.05, target=0.0)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            ob.minimum_replication_for_failure_probability(
+                10, 5, 2.0, 4.0, 0.05, target=1e-300, k_max=2
+            )
+
+
+class TestSummary:
+    def test_summarize_bound_fields(self):
+        u, d, mu, n = 2.0, 4.0, 1.3, 50
+        c = th.recommended_stripes_homogeneous(u, mu)
+        nu = th.nu_homogeneous(u, c, mu)
+        summary = ob.summarize_bound(
+            n=n,
+            c=c,
+            k=250,
+            u_prime=th.effective_upload(u, c),
+            d_prime=th.d_prime(d, u),
+            nu=nu,
+            m=2,
+            include_exact=True,
+        )
+        desc = summary.describe()
+        assert desc["paper_bound"] >= desc["exact_bound"] - 1e-12
+        assert desc["kappa"] == pytest.approx(nu * 250 - 2)
+
+    def test_exact_requires_catalog(self):
+        with pytest.raises(ValueError):
+            ob.summarize_bound(10, 5, 3, 2.0, 4.0, 0.05, include_exact=True)

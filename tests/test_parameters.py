@@ -1,0 +1,249 @@
+"""Tests for repro.core.parameters (Table 1 model and box populations)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.parameters import (
+    BoxPopulation,
+    SystemParameters,
+    homogeneous_population,
+    pareto_population,
+    proportional_population,
+    two_class_population,
+)
+
+
+class TestSystemParameters:
+    def test_derive_catalog_from_replication(self):
+        params = SystemParameters(n=100, u=2.0, d=4.0, c=5, k=8)
+        assert params.m == 50
+        assert params.k == 8
+
+    def test_derive_replication_from_catalog(self):
+        params = SystemParameters(n=100, u=2.0, d=4.0, c=5, m=40)
+        assert params.k == 10
+
+    def test_requires_m_or_k(self):
+        with pytest.raises(ValueError):
+            SystemParameters(n=10, u=1.5, d=2.0, c=4)
+
+    def test_rejects_overcommitted_storage(self):
+        with pytest.raises(ValueError):
+            SystemParameters(n=10, u=1.5, d=2.0, c=4, m=30, k=2)
+
+    def test_rejects_catalog_too_large_for_one_replica(self):
+        with pytest.raises(ValueError):
+            SystemParameters(n=10, u=1.5, d=1.0, c=4, m=100)
+
+    def test_chunk_and_stripe_sizes(self):
+        params = SystemParameters(n=10, u=1.5, d=2.0, c=4, k=2)
+        assert params.chunk_size == pytest.approx(0.25)
+        assert params.stripe_rate == pytest.approx(0.25)
+        assert params.total_stripes == params.m * 4
+        assert params.total_replicas == params.m * 4 * 2
+
+    def test_storage_and_upload_slots(self):
+        params = SystemParameters(n=10, u=1.3, d=2.5, c=4, k=2)
+        assert params.storage_slots_per_box == 10
+        assert params.uploads_per_box == 5
+        assert params.effective_upload == pytest.approx(1.25)
+
+    def test_mu_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            SystemParameters(n=10, u=1.5, d=2.0, c=4, k=2, mu=0.9)
+
+    def test_with_catalog_and_with_replication(self):
+        params = SystemParameters(n=100, u=2.0, d=4.0, c=5, k=8)
+        smaller = params.with_catalog(25)
+        assert smaller.m == 25 and smaller.k == 16
+        denser = params.with_replication(4)
+        assert denser.k == 4 and denser.m == 100
+
+    def test_describe_contains_table1_keys(self):
+        params = SystemParameters(n=10, u=1.5, d=2.0, c=4, k=2)
+        desc = params.describe()
+        for key in ("n", "m", "d", "k", "u", "c", "mu", "ell", "T"):
+            assert key in desc
+
+    def test_validation_of_basic_fields(self):
+        with pytest.raises(ValueError):
+            SystemParameters(n=0, u=1.0, d=1.0, c=4, k=1)
+        with pytest.raises(ValueError):
+            SystemParameters(n=10, u=1.0, d=-1.0, c=4, k=1)
+        with pytest.raises(ValueError):
+            SystemParameters(n=10, u=1.0, d=1.0, c=0, k=1)
+
+    @given(
+        n=st.integers(1, 500),
+        d=st.floats(0.5, 16, allow_nan=False),
+        c=st.integers(1, 16),
+        k=st.integers(1, 8),
+    )
+    def test_replication_times_catalog_never_exceeds_storage(self, n, d, c, k):
+        try:
+            params = SystemParameters(n=n, u=1.5, d=d, c=c, k=k)
+        except ValueError:
+            return
+        assert params.m * params.k <= d * n + 1e-9
+
+
+class TestBoxPopulationBasics:
+    def test_homogeneous_population(self):
+        pop = homogeneous_population(10, u=1.5, d=3.0)
+        assert pop.n == 10
+        assert pop.is_homogeneous()
+        assert pop.average_upload == pytest.approx(1.5)
+        assert pop.average_storage == pytest.approx(3.0)
+        assert pop.total_upload == pytest.approx(15.0)
+
+    def test_length_and_repr(self):
+        pop = homogeneous_population(4, u=1.0, d=1.0)
+        assert len(pop) == 4
+
+    def test_arrays_are_read_only(self):
+        pop = homogeneous_population(4, u=1.0, d=1.0)
+        with pytest.raises(ValueError):
+            pop.uploads[0] = 5.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            BoxPopulation([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxPopulation([], [])
+
+    def test_negative_capacities_rejected(self):
+        with pytest.raises(ValueError):
+            BoxPopulation([-1.0], [1.0])
+        with pytest.raises(ValueError):
+            BoxPopulation([1.0], [-1.0])
+
+    def test_proportional_population(self):
+        pop = proportional_population([1.0, 2.0, 4.0], storage_per_upload=2.0)
+        assert pop.is_proportionally_heterogeneous()
+        assert not pop.is_homogeneous()
+        np.testing.assert_allclose(pop.storages, [2.0, 4.0, 8.0])
+
+    def test_two_class_population_counts(self):
+        pop = two_class_population(
+            10, rich_fraction=0.3, u_rich=3.0, u_poor=0.5, d_rich=6.0, d_poor=1.0
+        )
+        assert pop.n == 10
+        assert int(np.sum(pop.uploads == 3.0)) == 3
+        assert int(np.sum(pop.uploads == 0.5)) == 7
+
+    def test_two_class_population_shuffle_is_seeded(self):
+        a = two_class_population(
+            10, 0.5, 3.0, 0.5, 6.0, 1.0, random_state=3, shuffle=True
+        )
+        b = two_class_population(
+            10, 0.5, 3.0, 0.5, 6.0, 1.0, random_state=3, shuffle=True
+        )
+        np.testing.assert_array_equal(a.uploads, b.uploads)
+
+    def test_pareto_population_properties(self):
+        pop = pareto_population(
+            50, u_min=0.5, shape=2.0, storage_per_upload=2.0, u_cap=8.0, random_state=0
+        )
+        assert pop.n == 50
+        assert pop.min_upload >= 0.5
+        assert pop.max_upload <= 8.0
+        assert pop.is_proportionally_heterogeneous()
+
+    def test_pareto_cap_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_population(10, u_min=1.0, shape=2.0, storage_per_upload=2.0, u_cap=0.5)
+
+
+class TestBoxPopulationClassification:
+    def test_upload_deficit(self):
+        pop = BoxPopulation([0.5, 0.8, 2.0, 3.0], [1.0, 1.6, 4.0, 6.0])
+        assert pop.upload_deficit(1.0) == pytest.approx(0.5 + 0.2)
+        assert pop.upload_deficit(2.0) == pytest.approx(1.5 + 1.2)
+
+    def test_poor_and_rich_boxes(self):
+        pop = BoxPopulation([0.5, 1.5, 2.0], [1.0, 3.0, 4.0])
+        assert pop.poor_boxes(1.2).tolist() == [0]
+        assert pop.rich_boxes(1.2).tolist() == [1, 2]
+
+    def test_storage_balance_of_proportional_system(self):
+        # d_b / u_b = 2 for all boxes, d/u* = 2 for u* = average upload.
+        pop = proportional_population([1.0, 2.0, 3.0], storage_per_upload=2.0)
+        assert pop.is_storage_balanced(u_star=pop.average_upload)
+
+    def test_storage_balance_violated_by_small_ratio(self):
+        pop = BoxPopulation([2.0, 2.0], [2.0, 8.0])  # first box has d/u = 1 < 2
+        assert not pop.is_storage_balanced(u_star=1.5)
+
+    def test_storage_balance_violated_by_large_ratio(self):
+        # second box has d/u = 8 > d/u* = 5/1.2
+        pop = BoxPopulation([2.0, 1.0], [2.0, 8.0])
+        assert not pop.is_storage_balanced(u_star=1.2)
+
+    def test_zero_upload_box_with_storage_unbalanced(self):
+        pop = BoxPopulation([0.0, 2.0], [2.0, 4.0])
+        assert not pop.is_storage_balanced(u_star=1.5)
+
+    def test_scalability_condition(self):
+        rich = homogeneous_population(10, u=1.5, d=3.0)
+        assert rich.satisfies_scalability_condition()
+        poor = homogeneous_population(10, u=0.9, d=3.0)
+        assert not poor.satisfies_scalability_condition()
+
+    def test_scalability_condition_heterogeneous(self):
+        # Average 1.25 but deficit Δ(1) = 0.5*5 = 2.5 → threshold 1 + 0.25 = 1.25.
+        pop = BoxPopulation([0.5] * 5 + [2.0] * 5, [1.0] * 5 + [4.0] * 5)
+        assert not pop.satisfies_scalability_condition()
+        pop2 = BoxPopulation([0.5] * 2 + [2.0] * 8, [1.0] * 2 + [4.0] * 8)
+        assert pop2.satisfies_scalability_condition()
+
+
+class TestBoxPopulationConversions:
+    def test_scaled_storage(self):
+        pop = homogeneous_population(3, u=1.0, d=2.0)
+        scaled = pop.scaled_storage(0.5)
+        np.testing.assert_allclose(scaled.storages, 1.0)
+
+    def test_truncated_storage_to_ratio(self):
+        pop = BoxPopulation([1.0, 2.0], [4.0, 5.0])
+        balanced = pop.truncated_storage_to_ratio()
+        # tau = min(4/1, 5/2) = 2.5
+        np.testing.assert_allclose(balanced.storages, [2.5, 5.0])
+        assert balanced.is_proportionally_heterogeneous()
+
+    def test_truncation_requires_some_upload(self):
+        pop = BoxPopulation([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            pop.truncated_storage_to_ratio()
+
+    def test_storage_and_upload_slots(self):
+        pop = BoxPopulation([1.3, 0.4], [2.5, 1.0])
+        np.testing.assert_array_equal(pop.storage_slots(4), [10, 4])
+        np.testing.assert_array_equal(pop.upload_slots(4), [5, 1])
+
+    def test_parameters_builder(self):
+        pop = homogeneous_population(20, u=2.0, d=3.0)
+        params = pop.parameters(c=4, mu=1.2, k=3)
+        assert params.n == 20
+        assert params.u == pytest.approx(2.0)
+        assert params.m == 20  # 3*20//3
+
+    @given(
+        uploads=st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=30),
+    )
+    def test_deficit_is_monotone_in_threshold(self, uploads):
+        storages = [max(u, 0.1) * 2 for u in uploads]
+        pop = BoxPopulation(uploads, storages)
+        assert pop.upload_deficit(1.0) <= pop.upload_deficit(2.0) + 1e-9
+
+    @given(
+        uploads=st.lists(st.floats(0.01, 10, allow_nan=False), min_size=1, max_size=30),
+    )
+    def test_deficit_zero_when_all_rich(self, uploads):
+        pop = BoxPopulation(uploads, [u * 2 for u in uploads])
+        threshold = min(uploads)
+        assert pop.upload_deficit(threshold) == pytest.approx(0.0, abs=1e-12)

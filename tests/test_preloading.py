@@ -1,0 +1,122 @@
+"""Tests for the preloading request strategy (Section 3)."""
+
+import pytest
+
+from repro.core.preloading import START_UP_DELAY_ROUNDS, Demand, PreloadingScheduler
+from repro.core.video import Catalog
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(num_videos=5, num_stripes=4, duration=30)
+
+
+class TestDemand:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Demand(time=-1, box_id=0, video_id=0)
+        with pytest.raises(ValueError):
+            Demand(time=0, box_id=-1, video_id=0)
+
+    def test_ordering_by_time(self):
+        assert Demand(1, 5, 2) < Demand(2, 0, 0)
+
+
+class TestPreloadingScheduler:
+    def test_single_demand_issues_one_preload_now(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        immediate = scheduler.on_demand(Demand(time=3, box_id=0, video_id=1))
+        assert len(immediate) == 1
+        request = immediate[0]
+        assert request.is_preload
+        assert request.request_time == 3
+        assert request.box_id == 0
+        assert catalog.video_of_stripe(request.stripe_id) == 1
+
+    def test_postponed_requests_queued_for_next_round(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        scheduler.on_demand(Demand(time=3, box_id=0, video_id=1))
+        postponed = scheduler.requests_due(4)
+        assert len(postponed) == catalog.num_stripes_per_video - 1
+        assert all(not r.is_preload for r in postponed)
+        assert all(r.request_time == 4 for r in postponed)
+        # All c stripes of the video are covered exactly once in total.
+        stripes = {r.stripe_id for r in postponed}
+        assert len(stripes) == 3
+
+    def test_requests_due_pops_only_once(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        scheduler.on_demand(Demand(time=3, box_id=0, video_id=1))
+        assert scheduler.requests_due(4)
+        assert scheduler.requests_due(4) == []
+
+    def test_preload_stripe_rotates_round_robin(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        c = catalog.num_stripes_per_video
+        preloads = []
+        for box in range(2 * c):
+            immediate = scheduler.on_demand(Demand(time=0, box_id=box, video_id=2))
+            preloads.append(catalog.stripe_index_of(immediate[0].stripe_id))
+        # The p-th box preloads stripe p mod c: indices cycle 0..c-1 twice.
+        assert preloads == [p % c for p in range(2 * c)]
+
+    def test_counters_are_per_video(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        a = scheduler.on_demand(Demand(time=0, box_id=0, video_id=0))[0]
+        b = scheduler.on_demand(Demand(time=0, box_id=1, video_id=1))[0]
+        assert catalog.stripe_index_of(a.stripe_id) == 0
+        assert catalog.stripe_index_of(b.stripe_id) == 0
+        assert scheduler.swarm_entry_count(0) == 1
+        assert scheduler.swarm_entry_count(1) == 1
+        assert scheduler.swarm_entry_count(4) == 0
+
+    def test_total_requests_per_demand_is_c(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        immediate = scheduler.on_demand(Demand(time=5, box_id=0, video_id=3))
+        postponed = scheduler.requests_due(6)
+        all_requests = immediate + postponed
+        assert len(all_requests) == catalog.num_stripes_per_video
+        assert {r.stripe_id for r in all_requests} == set(
+            catalog.stripes_of_video(3).tolist()
+        )
+
+    def test_skip_locally_stored(self, catalog):
+        scheduler = PreloadingScheduler(catalog, skip_locally_stored=True)
+        local = {int(catalog.stripe_id(1, 0)), int(catalog.stripe_id(1, 2))}
+        immediate = scheduler.on_demand(
+            Demand(time=0, box_id=0, video_id=1), locally_stored=local
+        )
+        postponed = scheduler.requests_due(1)
+        requested = {r.stripe_id for r in immediate + postponed}
+        assert requested == set(catalog.stripes_of_video(1).tolist()) - local
+
+    def test_skip_local_disabled_by_default(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        local = {int(catalog.stripe_id(1, 0))}
+        immediate = scheduler.on_demand(
+            Demand(time=0, box_id=0, video_id=1), locally_stored=local
+        )
+        postponed = scheduler.requests_due(1)
+        assert len(immediate) + len(postponed) == catalog.num_stripes_per_video
+
+    def test_start_up_delay_constant(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        assert scheduler.start_up_delay == START_UP_DELAY_ROUNDS == 3
+        demand = Demand(time=7, box_id=0, video_id=0)
+        assert scheduler.playback_start_round(demand) == 9
+
+    def test_pending_rounds_and_reset(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        scheduler.on_demand(Demand(time=2, box_id=0, video_id=0))
+        scheduler.on_demand(Demand(time=5, box_id=1, video_id=1))
+        assert scheduler.pending_rounds() == (3, 6)
+        assert len(scheduler.demands_seen) == 2
+        scheduler.reset()
+        assert scheduler.pending_rounds() == ()
+        assert scheduler.swarm_entry_count(0) == 0
+        assert scheduler.demands_seen == ()
+
+    def test_demand_for_unknown_video_raises(self, catalog):
+        scheduler = PreloadingScheduler(catalog)
+        with pytest.raises(ValueError):
+            scheduler.on_demand(Demand(time=0, box_id=0, video_id=99))

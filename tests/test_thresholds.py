@@ -1,0 +1,206 @@
+"""Tests for repro.core.thresholds (Theorem 1 and Theorem 2 formulas)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import thresholds as th
+
+
+class TestStripeChoices:
+    def test_minimum_stripes_satisfies_hypothesis(self):
+        c = th.minimum_stripes_homogeneous(u=1.5, mu=1.2)
+        assert c > (2 * 1.2**2 - 1) / 0.5
+        assert c - 1 <= (2 * 1.2**2 - 1) / 0.5
+
+    def test_recommended_is_at_least_minimum(self):
+        for u in (1.1, 1.5, 2.0, 3.0):
+            for mu in (1.0, 1.3, 2.0):
+                assert th.recommended_stripes_homogeneous(u, mu) >= th.minimum_stripes_homogeneous(
+                    u, mu
+                ) - 1
+
+    def test_stripes_grow_as_u_approaches_one(self):
+        assert th.recommended_stripes_homogeneous(1.05, 1.5) > th.recommended_stripes_homogeneous(
+            2.0, 1.5
+        )
+
+    def test_u_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            th.recommended_stripes_homogeneous(1.0, 1.5)
+        with pytest.raises(ValueError):
+            th.minimum_stripes_homogeneous(0.9, 1.5)
+
+    @given(u=st.floats(1.01, 10, allow_nan=False), mu=st.floats(1.0, 2.5, allow_nan=False))
+    def test_nu_positive_at_recommended_stripes(self, u, mu):
+        c = th.recommended_stripes_homogeneous(u, mu)
+        assert th.nu_homogeneous(u, c, mu) > 0
+
+
+class TestEffectiveUploadAndDPrime:
+    def test_effective_upload(self):
+        assert th.effective_upload(1.3, 4) == pytest.approx(1.25)
+        assert th.effective_upload(2.0, 5) == pytest.approx(2.0)
+
+    def test_d_prime_is_max(self):
+        assert th.d_prime(5.0, 2.0) == 5.0
+        assert th.d_prime(1.0, 4.0) == 4.0
+        assert th.d_prime(1.0, 1.0) == pytest.approx(math.e)
+
+
+class TestReplicationHomogeneous:
+    def test_matches_formula(self):
+        u, d, mu = 2.0, 4.0, 1.3
+        c = th.recommended_stripes_homogeneous(u, mu)
+        k = th.replication_homogeneous(u, d, c, mu)
+        nu = th.nu_homogeneous(u, c, mu)
+        u_prime = th.effective_upload(u, c)
+        expected = math.ceil(5 / nu * math.log(th.d_prime(d, u)) / math.log(u_prime))
+        assert k == expected
+
+    def test_raises_when_hypothesis_violated(self):
+        # c too small: ν ≤ 0.
+        with pytest.raises(ValueError):
+            th.replication_homogeneous(1.2, 4.0, 2, 1.5)
+
+    def test_raises_when_effective_upload_at_most_one(self):
+        # u=1.05, c=1 → u' = 1 and log u' = 0 — but ν would also be ≤ 0; use
+        # a case where ν > 0 but ⌊uc⌋/c = 1: impossible when ν>0, so check
+        # the ν error path directly with u'≤1 parameters.
+        with pytest.raises(ValueError):
+            th.replication_homogeneous(1.01, 4.0, 1, 1.0)
+
+    def test_replication_decreases_with_upload(self):
+        d, mu = 4.0, 1.3
+        ks = []
+        for u in (1.3, 1.6, 2.0, 3.0):
+            c = th.recommended_stripes_homogeneous(u, mu)
+            ks.append(th.replication_homogeneous(u, d, c, mu))
+        assert ks == sorted(ks, reverse=True)
+
+    def test_replication_increases_with_mu(self):
+        u, d = 2.0, 4.0
+        k_small = th.replication_homogeneous(
+            u, d, th.recommended_stripes_homogeneous(u, 1.1), 1.1
+        )
+        k_large = th.replication_homogeneous(
+            u, d, th.recommended_stripes_homogeneous(u, 2.0), 2.0
+        )
+        assert k_large > k_small
+
+
+class TestCatalogBounds:
+    def test_catalog_size_uses_storage_over_k(self):
+        m = th.catalog_size_homogeneous(n=10_000, u=2.0, d=4.0, mu=1.3)
+        c = th.recommended_stripes_homogeneous(2.0, 1.3)
+        k = th.replication_homogeneous(2.0, 4.0, c, 1.3)
+        assert m == int(4.0 * 10_000 // k)
+
+    def test_catalog_linear_in_n(self):
+        m1 = th.catalog_size_homogeneous(n=10_000, u=2.0, d=4.0, mu=1.3)
+        m2 = th.catalog_size_homogeneous(n=20_000, u=2.0, d=4.0, mu=1.3)
+        assert m2 == pytest.approx(2 * m1, rel=0.01)
+
+    def test_asymptotic_bound_linear_in_n(self):
+        b1 = th.catalog_lower_bound_theorem1(n=1000, u=2.0, d=4.0, mu=1.3)
+        b2 = th.catalog_lower_bound_theorem1(n=2000, u=2.0, d=4.0, mu=1.3)
+        assert b2 == pytest.approx(2 * b1)
+
+    def test_asymptotic_bound_vanishes_as_u_tends_to_one(self):
+        b_near = th.catalog_lower_bound_theorem1(n=1000, u=1.01, d=4.0, mu=1.3)
+        b_far = th.catalog_lower_bound_theorem1(n=1000, u=3.0, d=4.0, mu=1.3)
+        assert b_near < b_far / 100
+
+    def test_asymptotic_bound_decreases_with_mu(self):
+        b1 = th.catalog_lower_bound_theorem1(n=1000, u=2.0, d=4.0, mu=1.1)
+        b2 = th.catalog_lower_bound_theorem1(n=1000, u=2.0, d=4.0, mu=2.0)
+        assert b2 < b1
+
+    def test_cubic_behaviour_near_threshold(self):
+        # (u-1)^2 log((u+1)/2) ~ (u-1)^3 / 2 as u → 1: ratio of bounds at
+        # u = 1+2ε and u = 1+ε should approach 8.
+        n, d, mu = 1000, 4.0, 1.2
+        eps = 1e-3
+        b1 = th.catalog_lower_bound_theorem1(n, 1 + eps, d, mu)
+        b2 = th.catalog_lower_bound_theorem1(n, 1 + 2 * eps, d, mu)
+        assert b2 / b1 == pytest.approx(8.0, rel=0.05)
+
+
+class TestDesignHomogeneous:
+    def test_design_consistency(self):
+        design = th.design_homogeneous(n=500, u=2.0, d=4.0, mu=1.3)
+        assert design.regime == "homogeneous"
+        assert design.c == th.recommended_stripes_homogeneous(2.0, 1.3)
+        assert design.k == th.replication_homogeneous(2.0, 4.0, design.c, 1.3)
+        assert design.catalog_size == int(4.0 * 500 // design.k)
+        assert design.nu > 0
+        assert design.u_prime > 1
+        desc = design.describe()
+        assert desc["k"] == design.k
+
+    def test_design_with_explicit_c(self):
+        design = th.design_homogeneous(n=500, u=2.0, d=4.0, mu=1.3, c=20)
+        assert design.c == 20
+
+
+class TestTheorem2:
+    def test_recommended_stripes(self):
+        c = th.recommended_stripes_heterogeneous(u_star=1.5, mu=1.2)
+        assert c == math.ceil(10 * 1.2**4 / 0.5)
+
+    def test_minimum_stripes_hypothesis(self):
+        c = th.minimum_stripes_heterogeneous(u_star=1.5, mu=1.2)
+        assert c > 4 * 1.2**4 / 0.5
+
+    def test_nu_and_uprime_positive(self):
+        c = th.recommended_stripes_heterogeneous(1.5, 1.2)
+        assert th.nu_heterogeneous(c, 1.2) > 0
+        assert th.u_prime_heterogeneous(c, 1.2) > 1
+
+    def test_replication_heterogeneous_formula(self):
+        u_star, d, mu = 1.5, 4.0, 1.2
+        c = th.recommended_stripes_heterogeneous(u_star, mu)
+        k = th.replication_heterogeneous(u_star, d, c, mu)
+        nu = th.nu_heterogeneous(c, mu)
+        expected = math.ceil(
+            5 / nu * math.log(th.d_prime(d, u_star)) / math.log(th.u_prime_heterogeneous(c, mu))
+        )
+        assert k == expected
+
+    def test_catalog_bound_theorem2_linear_in_n(self):
+        b1 = th.catalog_lower_bound_theorem2(n=1000, u_star=1.5, d=4.0, mu=1.2)
+        b2 = th.catalog_lower_bound_theorem2(n=3000, u_star=1.5, d=4.0, mu=1.2)
+        assert b2 == pytest.approx(3 * b1)
+
+    def test_design_heterogeneous(self):
+        design = th.design_heterogeneous(n=1000, u_star=1.5, d=4.0, mu=1.2)
+        assert design.regime == "heterogeneous"
+        assert design.c == th.recommended_stripes_heterogeneous(1.5, 1.2)
+        assert design.catalog_size >= 0
+
+    def test_theorem2_bound_degrades_faster_in_mu(self):
+        # The heterogeneous guarantee pays µ⁴ instead of µ²: doubling µ
+        # must shrink the Theorem 2 bound by a larger factor.
+        def ratio(bound_fn, **kwargs):
+            return bound_fn(n=1000, d=4.0, mu=2.0, **kwargs) / bound_fn(
+                n=1000, d=4.0, mu=1.0, **kwargs
+            )
+
+        drop_hom = ratio(th.catalog_lower_bound_theorem1, u=1.5)
+        drop_het = ratio(th.catalog_lower_bound_theorem2, u_star=1.5)
+        assert drop_het < drop_hom
+
+
+class TestScalabilityCondition:
+    def test_homogeneous_reduces_to_u_gt_1(self):
+        assert th.scalability_threshold_satisfied(1.01, 0.0, 100)
+        assert not th.scalability_threshold_satisfied(1.0, 0.0, 100)
+
+    def test_deficit_raises_threshold(self):
+        assert not th.scalability_threshold_satisfied(1.2, 30.0, 100)
+        assert th.scalability_threshold_satisfied(1.2, 10.0, 100)
+
+    def test_negative_deficit_rejected(self):
+        with pytest.raises(ValueError):
+            th.scalability_threshold_satisfied(1.2, -1.0, 100)

@@ -1,0 +1,130 @@
+"""Tests for repro.util.intmath."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    effective_upload,
+    floor_multiple,
+    floor_to_stripe_units,
+    is_close_multiple,
+    lcm_of,
+    scale_to_integer_capacities,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(6, 3) == 2
+
+    def test_rounding_up(self):
+        assert ceil_div(7, 3) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10_000), st.integers(1, 500))
+    def test_matches_math_ceil(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestFloorMultiple:
+    def test_basic(self):
+        assert floor_multiple(0.7, 0.25) == pytest.approx(0.5)
+
+    def test_exact_multiple_preserved(self):
+        assert floor_multiple(0.75, 0.25) == pytest.approx(0.75)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            floor_multiple(1.0, 0.0)
+        with pytest.raises(ValueError):
+            floor_multiple(-1.0, 0.5)
+
+
+class TestStripeUnits:
+    def test_floor_to_stripe_units(self):
+        assert floor_to_stripe_units(1.0, 4) == 4
+        assert floor_to_stripe_units(1.3, 4) == 5
+        assert floor_to_stripe_units(0.0, 4) == 0
+
+    def test_float_representation_of_exact_multiple(self):
+        # 0.3 * 10 = 2.9999999999999996 in floats; the epsilon must fix it.
+        assert floor_to_stripe_units(0.3, 10) == 3
+
+    def test_effective_upload(self):
+        assert effective_upload(1.3, 4) == pytest.approx(5 / 4)
+        assert effective_upload(2.0, 5) == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            floor_to_stripe_units(1.0, 0)
+        with pytest.raises(ValueError):
+            floor_to_stripe_units(-0.5, 4)
+
+    @given(st.floats(0, 50, allow_nan=False), st.integers(1, 64))
+    def test_effective_upload_never_exceeds_upload(self, u, c):
+        assert effective_upload(u, c) <= u + 1e-9
+
+    @given(st.floats(0, 50, allow_nan=False), st.integers(1, 64))
+    def test_effective_upload_within_one_stripe(self, u, c):
+        assert u - effective_upload(u, c) < 1.0 / c + 1e-9
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm_of([2, 3, 4]) == 12
+
+    def test_single(self):
+        assert lcm_of([7]) == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lcm_of([])
+        with pytest.raises(ValueError):
+            lcm_of([2, 0])
+
+
+class TestScaleToIntegerCapacities:
+    def test_half_and_quarters(self):
+        scaled, scale = scale_to_integer_capacities([0.5, 1.25, 2.0])
+        assert scale == 4
+        assert scaled == [2, 5, 8]
+
+    def test_integers_stay_integers(self):
+        scaled, scale = scale_to_integer_capacities([1.0, 3.0])
+        assert scale == 1
+        assert scaled == [1, 3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            scale_to_integer_capacities([-0.5])
+
+    @given(st.lists(st.fractions(min_value=0, max_value=20, max_denominator=16), min_size=1, max_size=8))
+    def test_scaling_is_exact_for_small_denominators(self, fractions):
+        rates = [float(f) for f in fractions]
+        scaled, scale = scale_to_integer_capacities(rates)
+        for rate, value in zip(fractions, scaled):
+            assert rate * scale == value
+
+
+class TestIsCloseMultiple:
+    def test_true_cases(self):
+        assert is_close_multiple(0.75, 0.25)
+        assert is_close_multiple(3.0, 1.0)
+
+    def test_false_case(self):
+        assert not is_close_multiple(0.7, 0.25)
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            is_close_multiple(1.0, 0.0)

@@ -1,0 +1,114 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    as_generator,
+    choice_without_replacement,
+    derive_seed,
+    permutation,
+    spawn_generators,
+    weighted_choice,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(1 << 30)
+        b = as_generator(42).integers(1 << 30)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(1 << 30, size=8)
+        b = as_generator(2).integers(1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_generator(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_children_are_independent_but_reproducible(self):
+        a = [g.integers(1 << 30) for g in spawn_generators(7, 3)]
+        b = [g.integers(1 << 30) for g in spawn_generators(7, 3)]
+        assert a == b
+        assert len(set(a)) == 3
+
+    def test_zero_count(self):
+        assert spawn_generators(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(3, -1)
+
+    def test_generator_master(self):
+        gens = spawn_generators(np.random.default_rng(1), 2)
+        assert len(gens) == 2
+
+    def test_bad_master_type(self):
+        with pytest.raises(TypeError):
+            spawn_generators(object(), 2)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(9, stream=2) == derive_seed(9, stream=2)
+
+    def test_streams_differ(self):
+        assert derive_seed(9, stream=0) != derive_seed(9, stream=1)
+
+
+class TestHelpers:
+    def test_permutation_is_permutation(self):
+        p = permutation(3, 50)
+        assert sorted(p.tolist()) == list(range(50))
+
+    def test_permutation_negative_size(self):
+        with pytest.raises(ValueError):
+            permutation(3, -1)
+
+    def test_choice_without_replacement_distinct(self):
+        values = choice_without_replacement(1, population=20, count=10)
+        assert len(set(values.tolist())) == 10
+        assert values.max() < 20
+
+    def test_choice_without_replacement_too_many(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(1, population=5, count=6)
+
+    def test_weighted_choice_respects_zero_weight(self):
+        picks = weighted_choice(0, [0.0, 1.0], size=100)
+        assert np.all(picks == 1)
+
+    def test_weighted_choice_validations(self):
+        with pytest.raises(ValueError):
+            weighted_choice(0, [])
+        with pytest.raises(ValueError):
+            weighted_choice(0, [-1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(0, [0.0, 0.0])
+
+    def test_weighted_choice_scalar_mode(self):
+        out = weighted_choice(0, [1.0, 1.0])
+        assert out.shape == (1,)

@@ -1,0 +1,102 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_non_negative_integer,
+    check_positive,
+    check_positive_integer,
+    check_probability,
+    check_real,
+)
+
+
+class TestIntegerChecks:
+    def test_check_integer_accepts_int(self):
+        assert check_integer(5, "x") == 5
+
+    def test_check_integer_accepts_numpy_int(self):
+        import numpy as np
+
+        assert check_integer(np.int64(7), "x") == 7
+
+    def test_check_integer_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "x")
+
+    def test_check_integer_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(3.5, "x")
+
+    def test_positive_integer(self):
+        assert check_positive_integer(1, "x") == 1
+        with pytest.raises(ValueError):
+            check_positive_integer(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_integer(-3, "x")
+
+    def test_non_negative_integer(self):
+        assert check_non_negative_integer(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_non_negative_integer(-1, "x")
+
+
+class TestRealChecks:
+    def test_check_real(self):
+        assert check_real(2.5, "x") == 2.5
+        assert check_real(3, "x") == 3.0
+
+    def test_check_real_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_real(float("nan"), "x")
+
+    def test_check_real_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_real(True, "x")
+        with pytest.raises(TypeError):
+            check_real("1.0", "x")
+
+    def test_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.5, "x")
+
+    def test_probability(self):
+        assert check_probability(0.0, "x") == 0.0
+        assert check_probability(1.0, "x") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "x")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "x")
+
+
+class TestRangeCheck:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive_low=False)
+        assert check_in_range(1.1, "x", 1.0, 2.0, inclusive_low=False) == 1.1
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", 1.0, 2.0, inclusive_high=False)
+
+    def test_infinite_upper_bound(self):
+        assert check_in_range(1e12, "x", 1.0, math.inf) == 1e12
+
+    def test_out_of_range_message_names_variable(self):
+        with pytest.raises(ValueError, match="mu"):
+            check_in_range(0.5, "mu", 1.0, 2.0)

@@ -1,0 +1,153 @@
+"""Tests for repro.core.video (videos, stripes, catalogs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.video import Catalog, Stripe, Video, split_round_robin
+
+
+class TestVideo:
+    def test_stripe_ids_are_contiguous(self):
+        video = Video(video_id=3, num_stripes=4, duration=100)
+        assert video.stripe_ids == (12, 13, 14, 15)
+
+    def test_stripe_accessor(self):
+        video = Video(video_id=2, num_stripes=3, duration=50)
+        stripe = video.stripe(1)
+        assert stripe.stripe_id == 7
+        assert stripe.video_id == 2
+        assert stripe.index == 1
+        assert stripe.rate == pytest.approx(1 / 3)
+
+    def test_stripe_index_out_of_range(self):
+        video = Video(video_id=0, num_stripes=3, duration=50)
+        with pytest.raises(ValueError):
+            video.stripe(3)
+
+    def test_stripes_tuple(self):
+        video = Video(video_id=1, num_stripes=4, duration=10)
+        stripes = video.stripes
+        assert len(stripes) == 4
+        assert all(isinstance(s, Stripe) for s in stripes)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Video(video_id=-1, num_stripes=3, duration=10)
+        with pytest.raises(ValueError):
+            Video(video_id=0, num_stripes=0, duration=10)
+        with pytest.raises(ValueError):
+            Video(video_id=0, num_stripes=3, duration=0)
+
+
+class TestStripe:
+    def test_position_at(self):
+        stripe = Stripe(stripe_id=5, video_id=1, index=1, rate=0.25, duration=20)
+        assert stripe.position_at(request_time=3, current_time=10) == 7
+
+    def test_position_requires_causal_times(self):
+        stripe = Stripe(stripe_id=5, video_id=1, index=1, rate=0.25, duration=20)
+        with pytest.raises(ValueError):
+            stripe.position_at(request_time=10, current_time=3)
+
+    def test_is_finished(self):
+        stripe = Stripe(stripe_id=5, video_id=1, index=1, rate=0.25, duration=20)
+        assert not stripe.is_finished(request_time=0, current_time=19)
+        assert stripe.is_finished(request_time=0, current_time=20)
+
+
+class TestCatalog:
+    def test_sizes(self):
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=30)
+        assert catalog.num_videos == 10
+        assert catalog.num_stripes_per_video == 4
+        assert catalog.total_stripes == 40
+        assert catalog.chunk_size == pytest.approx(0.25)
+        assert len(catalog) == 10
+
+    def test_video_lookup(self):
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=30)
+        video = catalog.video(7)
+        assert video.video_id == 7
+        assert video.duration == 30
+
+    def test_video_out_of_range(self):
+        catalog = Catalog(num_videos=10, num_stripes=4)
+        with pytest.raises(ValueError):
+            catalog.video(10)
+
+    def test_stripe_round_trip(self):
+        catalog = Catalog(num_videos=6, num_stripes=5, duration=30)
+        for video_id in range(6):
+            for index in range(5):
+                sid = catalog.stripe_id(video_id, index)
+                assert catalog.video_of_stripe(sid) == video_id
+                assert catalog.stripe_index_of(sid) == index
+                stripe = catalog.stripe(sid)
+                assert stripe.video_id == video_id
+                assert stripe.index == index
+
+    def test_stripe_out_of_range(self):
+        catalog = Catalog(num_videos=2, num_stripes=3)
+        with pytest.raises(ValueError):
+            catalog.stripe(6)
+        with pytest.raises(ValueError):
+            catalog.stripe_id(2, 0)
+        with pytest.raises(ValueError):
+            catalog.stripe_id(0, 3)
+        with pytest.raises(ValueError):
+            catalog.video_of_stripe(6)
+
+    def test_stripes_of_video(self):
+        catalog = Catalog(num_videos=4, num_stripes=3)
+        np.testing.assert_array_equal(catalog.stripes_of_video(2), [6, 7, 8])
+
+    def test_stripe_ids_of_videos(self):
+        catalog = Catalog(num_videos=4, num_stripes=2)
+        np.testing.assert_array_equal(
+            catalog.stripe_ids_of_videos([0, 3]), [0, 1, 6, 7]
+        )
+
+    def test_stripe_ids_of_videos_out_of_range(self):
+        catalog = Catalog(num_videos=4, num_stripes=2)
+        with pytest.raises(ValueError):
+            catalog.stripe_ids_of_videos([4])
+
+    def test_iteration_yields_all_videos(self):
+        catalog = Catalog(num_videos=5, num_stripes=2)
+        assert [v.video_id for v in catalog] == list(range(5))
+
+    @given(m=st.integers(1, 40), c=st.integers(1, 16))
+    def test_stripe_ids_partition_videos(self, m, c):
+        catalog = Catalog(num_videos=m, num_stripes=c)
+        seen = set()
+        for video_id in range(m):
+            ids = catalog.stripes_of_video(video_id)
+            assert len(ids) == c
+            seen.update(int(x) for x in ids)
+        assert seen == set(range(m * c))
+
+
+class TestSplitRoundRobin:
+    def test_partition(self):
+        stripes = split_round_robin(10, 3)
+        assert len(stripes) == 3
+        all_packets = np.concatenate(stripes)
+        assert sorted(all_packets.tolist()) == list(range(10))
+
+    def test_round_robin_assignment(self):
+        stripes = split_round_robin(9, 3)
+        np.testing.assert_array_equal(stripes[0], [0, 3, 6])
+        np.testing.assert_array_equal(stripes[1], [1, 4, 7])
+        np.testing.assert_array_equal(stripes[2], [2, 5, 8])
+
+    def test_empty(self):
+        stripes = split_round_robin(0, 4)
+        assert all(s.size == 0 for s in stripes)
+
+    @given(packets=st.integers(0, 300), c=st.integers(1, 12))
+    def test_stripe_sizes_are_balanced(self, packets, c):
+        stripes = split_round_robin(packets, c)
+        sizes = [s.size for s in stripes]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == packets

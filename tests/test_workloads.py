@@ -1,0 +1,254 @@
+"""Tests for demand workloads (adversarial, flash crowd, popularity, sequential)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import random_permutation_allocation
+from repro.core.parameters import homogeneous_population
+from repro.core.preloading import Demand
+from repro.core.video import Catalog
+from repro.sim.swarm import SwarmRegistry
+from repro.workloads.adversarial import (
+    ColdStartAdversary,
+    LeastReplicatedAdversary,
+    MissingVideoAdversary,
+)
+from repro.workloads.base import StaticDemandSchedule, SystemView
+from repro.workloads.flashcrowd import FlashCrowdWorkload, StaggeredFlashCrowdWorkload
+from repro.workloads.popularity import UniformDemandWorkload, ZipfDemandWorkload, zipf_weights
+from repro.workloads.sequential import SequentialViewingWorkload
+
+
+def make_view(time=0, n=30, m=20, c=4, u=1.5, d=3.0, k=3, mu=2.0, busy=(), seed=0):
+    catalog = Catalog(num_videos=m, num_stripes=c, duration=25)
+    population = homogeneous_population(n, u=u, d=d)
+    allocation = random_permutation_allocation(catalog, population, k, random_state=seed)
+    swarms = SwarmRegistry(mu=mu, duration=25)
+    free = np.array([b for b in range(n) if b not in set(busy)], dtype=np.int64)
+    return SystemView(
+        time=time,
+        catalog=catalog,
+        allocation=allocation,
+        population=population,
+        swarms=swarms,
+        free_boxes=free,
+    )
+
+
+class TestStaticSchedule:
+    def test_demands_at_matching_round_only(self):
+        schedule = StaticDemandSchedule(
+            [Demand(0, 1, 2), Demand(2, 3, 4), Demand(2, 5, 6)]
+        )
+        assert len(schedule.demands_for_round(make_view(time=0))) == 1
+        assert len(schedule.demands_for_round(make_view(time=1))) == 0
+        assert len(schedule.demands_for_round(make_view(time=2))) == 2
+        assert schedule.total_demands == 3
+
+    def test_busy_boxes_filtered(self):
+        schedule = StaticDemandSchedule([Demand(0, 1, 2)])
+        assert schedule.demands_for_round(make_view(time=0, busy=(1,))) == []
+
+
+class TestFlashCrowd:
+    def test_growth_respects_mu(self):
+        view = make_view(mu=1.5)
+        workload = FlashCrowdWorkload(mu=1.5, random_state=0)
+        demands = workload.demands_for_round(view)
+        # Empty swarm: at most ceil(1.5) = 2 joiners.
+        assert 1 <= len(demands) <= 2
+        assert all(d.video_id == 0 for d in demands)
+
+    def test_growth_uses_registry_state(self):
+        view = make_view(mu=2.0)
+        # Pretend 4 boxes already joined video 0 at round -? use time 1.
+        for b in range(4):
+            view.swarms.enter(0, b, time=0)
+        view2 = SystemView(
+            time=1,
+            catalog=view.catalog,
+            allocation=view.allocation,
+            population=view.population,
+            swarms=view.swarms,
+            free_boxes=np.arange(4, 30, dtype=np.int64),
+        )
+        workload = FlashCrowdWorkload(mu=2.0, random_state=0)
+        demands = workload.demands_for_round(view2)
+        assert len(demands) == 4  # swarm may double from 4 to 8
+
+    def test_max_members_cap(self):
+        view = make_view(mu=4.0)
+        workload = FlashCrowdWorkload(mu=4.0, max_members=3, random_state=0)
+        total = len(workload.demands_for_round(view))
+        assert total <= 3
+
+    def test_start_time(self):
+        workload = FlashCrowdWorkload(mu=1.5, start_time=5, random_state=0)
+        assert workload.demands_for_round(make_view(time=0)) == []
+        assert workload.demands_for_round(make_view(time=5))
+
+    def test_target_video_out_of_range(self):
+        workload = FlashCrowdWorkload(mu=1.5, target_videos=(99,))
+        with pytest.raises(ValueError):
+            workload.demands_for_round(make_view())
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            FlashCrowdWorkload(mu=1.5, target_videos=())
+
+    def test_staggered_crowds(self):
+        workload = StaggeredFlashCrowdWorkload(
+            mu=2.0, target_videos=(0, 1), start_times=(0, 3), random_state=0
+        )
+        early = workload.demands_for_round(make_view(time=0))
+        assert {d.video_id for d in early} == {0}
+        late = workload.demands_for_round(make_view(time=3))
+        assert 1 in {d.video_id for d in late}
+
+    def test_staggered_validation(self):
+        with pytest.raises(ValueError):
+            StaggeredFlashCrowdWorkload(mu=2.0, target_videos=(0,), start_times=(0, 1))
+
+
+class TestAdversaries:
+    def test_missing_video_adversary_targets_unstored_videos(self):
+        view = make_view()
+        adversary = MissingVideoAdversary(random_state=0)
+        demands = adversary.demands_for_round(view)
+        assert demands, "every box should miss some video in this configuration"
+        c = view.catalog.num_stripes_per_video
+        for demand in demands:
+            stored = view.allocation.stripes_on_box(demand.box_id)
+            stored_videos = set((stored // c).tolist())
+            assert demand.video_id not in stored_videos
+
+    def test_missing_video_adversary_throttle(self):
+        adversary = MissingVideoAdversary(max_demands_per_round=5, random_state=0)
+        assert len(adversary.demands_for_round(make_view())) <= 5
+
+    def test_missing_video_adversary_respect_growth(self):
+        view = make_view(mu=1.5)
+        adversary = MissingVideoAdversary(respect_growth=True, mu=1.5, random_state=0)
+        demands = adversary.demands_for_round(view)
+        # With growth respected, each video receives at most ceil(1.5)=2 joiners.
+        per_video = {}
+        for d in demands:
+            per_video[d.video_id] = per_video.get(d.video_id, 0) + 1
+        assert all(count <= 2 for count in per_video.values())
+
+    def test_missing_video_adversary_start_time(self):
+        adversary = MissingVideoAdversary(start_time=4, random_state=0)
+        assert adversary.demands_for_round(make_view(time=0)) == []
+
+    def test_least_replicated_adversary_targets_weakest_video(self):
+        view = make_view(mu=2.0)
+        adversary = LeastReplicatedAdversary(mu=2.0, num_target_videos=1, random_state=0)
+        demands = adversary.demands_for_round(view)
+        assert demands
+        coverage = view.allocation.distinct_coverage()
+        per_video = coverage.reshape(view.catalog.num_videos, -1).min(axis=1)
+        target = demands[0].video_id
+        assert per_video[target] == per_video.min()
+
+    def test_least_replicated_adversary_validation(self):
+        with pytest.raises(ValueError):
+            LeastReplicatedAdversary(mu=2.0, num_target_videos=0)
+
+    def test_cold_start_adversary_targets_empty_swarms(self):
+        view = make_view()
+        view.swarms.enter(0, 0, time=0)
+        adversary = ColdStartAdversary(random_state=0)
+        demands = adversary.demands_for_round(
+            SystemView(
+                time=1,
+                catalog=view.catalog,
+                allocation=view.allocation,
+                population=view.population,
+                swarms=view.swarms,
+                free_boxes=np.arange(1, 30, dtype=np.int64),
+            )
+        )
+        assert demands
+        assert all(d.video_id != 0 for d in demands)
+        # Each cold video receives at most one demand.
+        videos = [d.video_id for d in demands]
+        assert len(videos) == len(set(videos))
+
+    def test_cold_start_adversary_throttle(self):
+        adversary = ColdStartAdversary(max_demands_per_round=3, random_state=0)
+        assert len(adversary.demands_for_round(make_view())) <= 3
+
+
+class TestPopularity:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(20, exponent=0.8)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) <= 0)
+
+    def test_zipf_weights_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, exponent=0.0)
+
+    def test_zipf_demand_counts_and_boxes(self):
+        workload = ZipfDemandWorkload(arrival_rate=5.0, random_state=0)
+        demands = workload.demands_for_round(make_view())
+        assert all(0 <= d.video_id < 20 for d in demands)
+        boxes = [d.box_id for d in demands]
+        assert len(boxes) == len(set(boxes))
+
+    def test_zipf_demand_truncated_to_free_boxes(self):
+        view = make_view(busy=tuple(range(28)))  # only 2 free boxes
+        workload = ZipfDemandWorkload(arrival_rate=50.0, random_state=0)
+        assert len(workload.demands_for_round(view)) <= 2
+
+    def test_zipf_start_time(self):
+        workload = ZipfDemandWorkload(arrival_rate=5.0, start_time=2, random_state=0)
+        assert workload.demands_for_round(make_view(time=0)) == []
+
+    def test_zipf_popularity_skew(self):
+        # Over many rounds, video 0 must receive more demands than video 19.
+        workload = ZipfDemandWorkload(arrival_rate=10.0, exponent=1.2, random_state=0)
+        counts = np.zeros(20)
+        for t in range(60):
+            for d in workload.demands_for_round(make_view(time=t)):
+                counts[d.video_id] += 1
+        assert counts[0] > counts[19]
+
+    def test_uniform_demands(self):
+        workload = UniformDemandWorkload(arrival_rate=5.0, random_state=0)
+        demands = workload.demands_for_round(make_view())
+        assert all(0 <= d.video_id < 20 for d in demands)
+
+
+class TestSequentialViewing:
+    def test_every_free_box_demands(self):
+        workload = SequentialViewingWorkload(random_state=0)
+        view = make_view()
+        demands = workload.demands_for_round(view)
+        assert len(demands) == view.free_boxes.size
+
+    def test_playlist_is_cycled(self):
+        workload = SequentialViewingWorkload(boxes=[0], playlist=[3, 7], random_state=0)
+        first = workload.demands_for_round(make_view(time=0))
+        second = workload.demands_for_round(make_view(time=1))
+        third = workload.demands_for_round(make_view(time=2))
+        assert [d[0].video_id for d in (first, second, third)] == [3, 7, 3]
+
+    def test_no_immediate_repeat_without_playlist(self):
+        workload = SequentialViewingWorkload(boxes=[0], random_state=0)
+        last = None
+        for t in range(10):
+            demand = workload.demands_for_round(make_view(time=t))[0]
+            assert demand.video_id != last
+            last = demand.video_id
+
+    def test_participant_filter(self):
+        workload = SequentialViewingWorkload(boxes=[2, 3], random_state=0)
+        demands = workload.demands_for_round(make_view())
+        assert {d.box_id for d in demands} == {2, 3}
+
+    def test_empty_playlist_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialViewingWorkload(playlist=[])
