@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""Old-vs-new matching-engine benchmarks; emits ``BENCH_matching.json``.
+
+Times the seed max-flow matching path against the Hopcroft–Karp CSR
+kernel on the bipartite instances one simulator round produces, plus the
+warm-started simulator loop and the parallel Monte-Carlo driver, and
+cross-validates the two kernels on randomized instances along the way:
+
+* ``unit_matching_kernel`` — ``solve_b_matching`` via the seed Dinic
+  reduction vs the Hopcroft–Karp kernel, same edge list (the acceptance
+  microbenchmark: the new kernel must be ≥5× faster);
+* ``per_round_matcher`` — full ``ConnectionMatcher.match`` round cost,
+  set-based edge building + Dinic vs CSR adjacency + Hopcroft–Karp;
+* ``warm_start_rounds`` — ``VodSimulator`` wall-clock with and without
+  carrying the previous round's assignment forward;
+* ``parallel_montecarlo`` — serial vs process-pool static obstruction
+  estimation (checked bit-identical for the fixed seed).
+
+Run ``python benchmarks/run_benchmarks.py --smoke`` for a quick pass at
+small sizes (what CI runs) and without arguments for the full sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+from repro.analysis.montecarlo import estimate_static_obstruction_probability
+from repro.core.allocation import random_permutation_allocation
+from repro.core.matching import ConnectionMatcher, PossessionIndex, RequestSet, StripeRequest
+from repro.core.parameters import homogeneous_population
+from repro.core.video import Catalog
+from repro.flow.bipartite import solve_b_matching
+from repro.sim.engine import VodSimulator
+from repro.workloads.flashcrowd import FlashCrowdWorkload
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_round_instance(n, m, c, k, num_requests, cache_entries, seed):
+    """A possession index + request set shaped like one simulator round."""
+    population = homogeneous_population(n, u=2.0, d=4.0)
+    catalog = Catalog(num_videos=m, num_stripes=c, duration=30)
+    allocation = random_permutation_allocation(catalog, population, k, random_state=seed)
+    possession = PossessionIndex(allocation, cache_window=catalog.duration)
+    rng = np.random.default_rng(seed)
+    for _ in range(cache_entries):
+        possession.record_download(
+            int(rng.integers(catalog.total_stripes)), int(rng.integers(n)), int(rng.integers(3))
+        )
+    requests = RequestSet(
+        StripeRequest(
+            stripe_id=int(rng.integers(catalog.total_stripes)),
+            request_time=int(rng.integers(4)),
+            box_id=int(rng.integers(n)),
+        )
+        for _ in range(num_requests)
+    )
+    return population, catalog, allocation, possession, requests
+
+
+def bench_unit_matching_kernel(sizes, repeats) -> Dict[str, object]:
+    """The acceptance microbenchmark: seed solve_b_matching vs the HK kernel."""
+    population, catalog, allocation, possession, requests = build_round_instance(**sizes)
+    edges = []
+    for idx, request in enumerate(requests):
+        for box in possession.servers_for(request, current_time=4):
+            if box != request.box_id:
+                edges.append((idx, int(box)))
+    caps = population.upload_slots(catalog.num_stripes_per_video).tolist()
+    num_left, num_right = len(requests), population.n
+
+    old = solve_b_matching(num_left, num_right, edges, caps, method="dinic")
+    new = solve_b_matching(num_left, num_right, edges, caps, method="hopcroft_karp")
+    assert old.matched == new.matched and old.feasible == new.feasible
+
+    t_old = best_of(
+        lambda: solve_b_matching(num_left, num_right, edges, caps, method="dinic"), repeats
+    )
+    t_new = best_of(
+        lambda: solve_b_matching(num_left, num_right, edges, caps, method="hopcroft_karp"),
+        repeats,
+    )
+    return {
+        "name": "unit_matching_kernel",
+        "requests": num_left,
+        "boxes": num_right,
+        "edges": len(edges),
+        "matched": int(new.matched),
+        "feasible": bool(new.feasible),
+        "old_seconds": t_old,
+        "new_seconds": t_new,
+        "speedup": t_old / t_new if t_new > 0 else float("inf"),
+    }
+
+
+def bench_per_round_matcher(sizes, repeats) -> Dict[str, object]:
+    """Full per-round match cost: edge building + solve, old path vs new."""
+    population, catalog, allocation, possession, requests = build_round_instance(**sizes)
+    slots = population.upload_slots(catalog.num_stripes_per_video)
+    old_matcher = ConnectionMatcher(slots, solver="dinic")
+    new_matcher = ConnectionMatcher(slots, solver="hopcroft_karp")
+
+    old = old_matcher.match(requests, possession, current_time=4)
+    new = new_matcher.match(requests, possession, current_time=4)
+    assert old.matched == new.matched and old.feasible == new.feasible
+
+    t_old = best_of(lambda: old_matcher.match(requests, possession, current_time=4), repeats)
+    t_new = best_of(lambda: new_matcher.match(requests, possession, current_time=4), repeats)
+    return {
+        "name": "per_round_matcher",
+        "requests": len(requests),
+        "boxes": population.n,
+        "matched": int(new.matched),
+        "old_seconds": t_old,
+        "new_seconds": t_new,
+        "speedup": t_old / t_new if t_new > 0 else float("inf"),
+    }
+
+
+def bench_warm_start_rounds(n, m, c, k, num_rounds, repeats) -> Dict[str, object]:
+    """Simulator wall-clock: warm-started rematch vs cold per-round solve."""
+
+    def run(warm: bool):
+        population = homogeneous_population(n, u=2.0, d=4.0)
+        catalog = Catalog(num_videos=m, num_stripes=c, duration=20)
+        allocation = random_permutation_allocation(catalog, population, k, random_state=9)
+        simulator = VodSimulator(allocation, mu=1.5, warm_start=warm)
+        workload = FlashCrowdWorkload(mu=1.5, random_state=9)
+        return simulator.run(workload, num_rounds)
+
+    cold_result = run(False)
+    warm_result = run(True)
+    assert cold_result.metrics.infeasible_rounds == warm_result.metrics.infeasible_rounds
+
+    t_cold = best_of(lambda: run(False), repeats)
+    t_warm = best_of(lambda: run(True), repeats)
+    return {
+        "name": "warm_start_rounds",
+        "boxes": n,
+        "rounds": num_rounds,
+        "feasible": bool(warm_result.feasible),
+        "old_seconds": t_cold,
+        "new_seconds": t_warm,
+        "speedup": t_cold / t_warm if t_warm > 0 else float("inf"),
+    }
+
+
+def bench_obstruction_estimator(n, trials, repeats) -> Dict[str, object]:
+    """End-to-end static obstruction estimation, Dinic vs Hopcroft–Karp."""
+    kwargs = dict(
+        n=n, u=1.5, d=3.0, c=6, k=2, num_cold_videos=[n // 3], trials=trials, random_state=7
+    )
+    old = estimate_static_obstruction_probability(**kwargs, solver="dinic")
+    new = estimate_static_obstruction_probability(**kwargs, solver="hopcroft_karp")
+    assert old.failures == new.failures
+
+    t_old = best_of(
+        lambda: estimate_static_obstruction_probability(**kwargs, solver="dinic"), repeats
+    )
+    t_new = best_of(
+        lambda: estimate_static_obstruction_probability(**kwargs, solver="hopcroft_karp"),
+        repeats,
+    )
+    return {
+        "name": "obstruction_estimator",
+        "boxes": n,
+        "trials": trials,
+        "failures": int(new.failures),
+        "old_seconds": t_old,
+        "new_seconds": t_new,
+        "speedup": t_old / t_new if t_new > 0 else float("inf"),
+    }
+
+
+def bench_parallel_montecarlo(n, trials, repeats) -> Dict[str, object]:
+    """Serial vs process-pool Monte-Carlo (checked bit-identical)."""
+    kwargs = dict(
+        n=n, u=1.5, d=3.0, c=4, k=2, num_cold_videos=[n // 4], trials=trials, random_state=7
+    )
+    serial = estimate_static_obstruction_probability(**kwargs)
+    parallel = estimate_static_obstruction_probability(**kwargs, n_jobs=2)
+    assert serial.failures == parallel.failures
+    assert serial.details == parallel.details
+
+    t_serial = best_of(lambda: estimate_static_obstruction_probability(**kwargs), repeats)
+    t_parallel = best_of(
+        lambda: estimate_static_obstruction_probability(**kwargs, n_jobs=2), repeats
+    )
+    return {
+        "name": "parallel_montecarlo",
+        "boxes": n,
+        "trials": trials,
+        "failures": int(serial.failures),
+        "bit_identical": True,
+        "old_seconds": t_serial,
+        "new_seconds": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel > 0 else float("inf"),
+    }
+
+
+def cross_validate_kernels(instances, seed) -> Dict[str, object]:
+    """HK vs Dinic on randomized bipartite instances (flow value + validity)."""
+    rng = np.random.default_rng(seed)
+    agreements = 0
+    for _ in range(instances):
+        num_left = int(rng.integers(1, 40))
+        num_right = int(rng.integers(1, 25))
+        caps = [int(rng.integers(0, 4)) for _ in range(num_right)]
+        density = float(rng.uniform(0.05, 0.5))
+        edges = [
+            (i, j)
+            for i in range(num_left)
+            for j in range(num_right)
+            if rng.random() < density
+        ]
+        old = solve_b_matching(num_left, num_right, edges, caps, method="dinic")
+        new = solve_b_matching(num_left, num_right, edges, caps, method="hopcroft_karp")
+        if old.matched == new.matched and old.feasible == new.feasible:
+            agreements += 1
+        loads = [0] * num_right
+        edge_set = set(edges)
+        for i, j in enumerate(new.assignment):
+            if j >= 0:
+                assert (i, int(j)) in edge_set, "assignment uses a non-edge"
+                loads[int(j)] += 1
+        assert all(l <= cap for l, cap in zip(loads, caps)), "capacity violated"
+    return {"instances": instances, "agreements": agreements, "all_agree": agreements == instances}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes, quick pass (CI)")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_matching.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        round_sizes = dict(n=120, m=60, c=4, k=3, num_requests=300, cache_entries=150, seed=0)
+        repeats, sim_rounds, mc_trials, xval = 3, 10, 6, 40
+        sim_n, sim_m = 60, 30
+    else:
+        round_sizes = dict(n=400, m=240, c=5, k=4, num_requests=1500, cache_entries=800, seed=0)
+        repeats, sim_rounds, mc_trials, xval = 5, 25, 12, 120
+        sim_n, sim_m = 120, 72
+
+    results: List[Dict[str, object]] = []
+    print(f"[bench] mode={'smoke' if args.smoke else 'full'}")
+    for fn in (
+        lambda: bench_unit_matching_kernel(round_sizes, repeats),
+        lambda: bench_per_round_matcher(round_sizes, repeats),
+        lambda: bench_warm_start_rounds(sim_n, sim_m, 4, 3, sim_rounds, max(2, repeats - 2)),
+        lambda: bench_obstruction_estimator(48, mc_trials, max(2, repeats - 2)),
+        lambda: bench_parallel_montecarlo(48, mc_trials, max(2, repeats - 2)),
+    ):
+        row = fn()
+        results.append(row)
+        print(
+            f"[bench] {row['name']:<22} old={row['old_seconds'] * 1e3:9.2f}ms  "
+            f"new={row['new_seconds'] * 1e3:9.2f}ms  speedup={row['speedup']:6.2f}x"
+        )
+
+    checks = cross_validate_kernels(xval, seed=1)
+    print(
+        f"[bench] cross-validation: {checks['agreements']}/{checks['instances']} "
+        f"instances agree (HK vs Dinic)"
+    )
+
+    kernel_speedup = next(r for r in results if r["name"] == "unit_matching_kernel")["speedup"]
+    target_met = kernel_speedup >= 5.0 and checks["all_agree"]
+    artifact = {
+        "benchmark": "matching_engine",
+        "mode": "smoke" if args.smoke else "full",
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "cross_validation": checks,
+        "kernel_speedup": kernel_speedup,
+        "target_speedup": 5.0,
+        "target_met": bool(target_met),
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+    print(f"[bench] kernel speedup {kernel_speedup:.2f}x (target 5x) -> {output}")
+    return 0 if target_met else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

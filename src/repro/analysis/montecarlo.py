@@ -13,11 +13,22 @@ obstruction; these estimators measure the same quantity empirically:
 * :func:`find_max_feasible_catalog` — binary-search the largest catalog
   ``m`` for which the failure estimate stays below a tolerance; the
   empirical analogue of "achievable catalog size".
+
+Every estimator accepts ``n_jobs``: with ``n_jobs > 1`` the trials are
+fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Each
+trial is driven by a :class:`numpy.random.SeedSequence` child spawned from
+the master seed *before* the fan-out, and results are reduced in trial
+order, so parallel runs are bit-identical to serial ones for a fixed seed.
+Parallel simulation trials additionally require the ``workload_factory``
+(and ``scheduler_factory`` / ``compensation_plan``, when given) to be
+picklable — module-level callables rather than lambdas.
 """
 
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -33,7 +44,7 @@ from repro.core.matching import ConnectionMatcher, PossessionIndex, RequestSet, 
 from repro.core.parameters import BoxPopulation, homogeneous_population
 from repro.core.video import Catalog
 from repro.sim.engine import VodSimulator
-from repro.util.rng import RandomState, spawn_generators
+from repro.util.rng import RandomState, spawn_seed_sequences
 from repro.util.validation import check_positive_integer, check_probability
 from repro.workloads.base import DemandGenerator
 
@@ -64,7 +75,7 @@ class MonteCarloResult:
     confidence_halfwidth:
         Half-width of the 95% normal-approximation confidence interval.
     details:
-        Optional per-trial payload (kept small).
+        Optional per-trial payload (kept small; every value is a float).
     """
 
     trials: int
@@ -98,6 +109,69 @@ def _allocator(scheme: str) -> Callable:
     raise ValueError(f"unknown allocation scheme {scheme!r}")
 
 
+def _resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` spec to a concrete worker count."""
+    if n_jobs is None or n_jobs == 1:
+        return 1
+    if n_jobs == -1:
+        return max(os.cpu_count() or 1, 1)
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be a positive count, -1, or None")
+    return int(n_jobs)
+
+
+def _run_trials(worker: Callable, payloads: List[tuple], n_jobs: int) -> List[tuple]:
+    """Run one payload per trial, serially or over a process pool.
+
+    Results come back in trial order either way, so the reduction (and
+    therefore failure counts, details and confidence intervals) is
+    bit-identical between the serial and parallel paths.
+    """
+    jobs = _resolve_jobs(n_jobs)
+    if jobs == 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    workers = min(jobs, len(payloads))
+    # Chunking amortizes the per-payload pickling of the shared objects
+    # (population, catalog, factories); map preserves order either way.
+    chunksize = max(1, len(payloads) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, payloads, chunksize=chunksize))
+
+
+# ---------------------------------------------------------------------- #
+# Static cold-start obstruction probe
+# ---------------------------------------------------------------------- #
+def _static_obstruction_trial(payload: tuple) -> Tuple[bool, int]:
+    """One static-probe trial; top-level so process pools can pickle it."""
+    (seed, n, u, d, c, k, m, num_cold_videos, scheme, duration, solver) = payload
+    gen = np.random.default_rng(seed)
+    catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
+    population = homogeneous_population(n, u, d)
+    allocation = _allocator(scheme)(catalog, population, k, gen)
+    possession = PossessionIndex(allocation, cache_window=duration)
+    matcher = ConnectionMatcher(population.upload_slots(c), solver=solver)
+    trial_failed = False
+    worst_unmatched = 0
+    for j in num_cold_videos:
+        videos = gen.choice(m, size=j, replace=False)
+        viewers = gen.choice(n, size=j, replace=False)
+        requests = RequestSet()
+        for video, viewer in zip(videos, viewers):
+            for stripe_index in range(c):
+                requests.add(
+                    StripeRequest(
+                        stripe_id=int(video) * c + stripe_index,
+                        request_time=0,
+                        box_id=int(viewer),
+                    )
+                )
+        matching = matcher.match(requests, possession, current_time=0)
+        if not matching.feasible:
+            trial_failed = True
+            worst_unmatched = max(worst_unmatched, len(requests) - matching.matched)
+    return trial_failed, worst_unmatched
+
+
 def estimate_static_obstruction_probability(
     n: int,
     u: float,
@@ -109,6 +183,8 @@ def estimate_static_obstruction_probability(
     scheme: str = "permutation",
     random_state: RandomState = None,
     duration: int = 120,
+    n_jobs: int = 1,
+    solver: str = "hopcroft_karp",
 ) -> MonteCarloResult:
     """Probability that a random allocation fails the cold-start sourcing test.
 
@@ -118,54 +194,39 @@ def estimate_static_obstruction_probability(
     distinct videos (one viewer per video, no cache help) and checks the
     Lemma 1 feasibility through max flow.  A trial fails if any probe is
     infeasible — i.e. the allocation admits a cold-start obstruction.
+
+    ``n_jobs > 1`` fans the trials out over worker processes; the result
+    is bit-identical to the serial run for a fixed ``random_state``.
     """
     check_positive_integer(trials, "trials")
     m = int(d * n // k)
     if m <= 0:
         raise ValueError(f"storage d·n={d * n} cannot hold k={k} replicas of any catalog")
-    catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
-    population = homogeneous_population(n, u, d)
-    allocate = _allocator(scheme)
-    generators = spawn_generators(random_state, trials)
-    upload_slots = population.upload_slots(c)
+    cold = [int(j) for j in num_cold_videos]
+    for j in cold:
+        if j <= 0 or j > min(m, n):
+            raise ValueError(
+                f"num_cold_videos entries must lie in [1, min(m, n)] = "
+                f"[1, {min(m, n)}], got {j}"
+            )
+    _allocator(scheme)  # validate the scheme before spawning workers
+    seeds = spawn_seed_sequences(random_state, trials)
+    payloads = [
+        (seed, n, u, d, c, k, m, cold, scheme, duration, solver) for seed in seeds
+    ]
+    outcomes = _run_trials(_static_obstruction_trial, payloads, n_jobs)
 
     failures = 0
     details: List[Dict[str, float]] = []
-    for trial, gen in enumerate(generators):
-        allocation = allocate(catalog, population, k, gen)
-        possession = PossessionIndex(allocation, cache_window=duration)
-        matcher = ConnectionMatcher(upload_slots)
-        trial_failed = False
-        worst_unmatched = 0
-        for j in num_cold_videos:
-            j = int(j)
-            if j <= 0 or j > min(m, n):
-                raise ValueError(
-                    f"num_cold_videos entries must lie in [1, min(m, n)] = "
-                    f"[1, {min(m, n)}], got {j}"
-                )
-            videos = gen.choice(m, size=j, replace=False)
-            viewers = gen.choice(n, size=j, replace=False)
-            requests = RequestSet()
-            for video, viewer in zip(videos, viewers):
-                for stripe_index in range(c):
-                    requests.add(
-                        StripeRequest(
-                            stripe_id=int(video) * c + stripe_index,
-                            request_time=0,
-                            box_id=int(viewer),
-                        )
-                    )
-            matching = matcher.match(requests, possession, current_time=0)
-            if not matching.feasible:
-                trial_failed = True
-                worst_unmatched = max(
-                    worst_unmatched, len(requests) - matching.matched
-                )
+    for trial, (trial_failed, worst_unmatched) in enumerate(outcomes):
         if trial_failed:
             failures += 1
         details.append(
-            {"trial": trial, "failed": float(trial_failed), "worst_unmatched": worst_unmatched}
+            {
+                "trial": float(trial),
+                "failed": float(trial_failed),
+                "worst_unmatched": float(worst_unmatched),
+            }
         )
     return MonteCarloResult(
         trials=trials,
@@ -173,6 +234,44 @@ def estimate_static_obstruction_probability(
         failure_probability=failures / trials,
         confidence_halfwidth=_confidence_halfwidth(failures, trials),
         details=tuple(details),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Full simulation estimator
+# ---------------------------------------------------------------------- #
+def _simulation_trial(payload: tuple) -> Tuple[bool, int, int]:
+    """One full-simulator trial; top-level so process pools can pickle it."""
+    (
+        alloc_seed,
+        workload_seed,
+        population,
+        catalog,
+        k,
+        mu,
+        workload_factory,
+        num_rounds,
+        scheme,
+        scheduler_factory,
+        compensation_plan,
+    ) = payload
+    alloc_gen = np.random.default_rng(alloc_seed)
+    workload_gen = np.random.default_rng(workload_seed)
+    allocation = _allocator(scheme)(catalog, population, k, alloc_gen)
+    scheduler = scheduler_factory(allocation) if scheduler_factory else None
+    simulator = VodSimulator(
+        allocation,
+        mu=mu,
+        scheduler=scheduler,
+        compensation_plan=compensation_plan,
+        stop_on_infeasible=True,
+    )
+    workload = workload_factory(workload_gen)
+    result = simulator.run(workload, num_rounds)
+    return (
+        not result.feasible,
+        result.metrics.infeasible_rounds,
+        result.metrics.total_demands,
     )
 
 
@@ -188,6 +287,7 @@ def estimate_simulation_failure_probability(
     random_state: RandomState = None,
     scheduler_factory: Optional[Callable[[Allocation], object]] = None,
     compensation_plan=None,
+    n_jobs: int = 1,
 ) -> MonteCarloResult:
     """Probability that a random allocation yields an infeasible simulated run.
 
@@ -195,36 +295,43 @@ def estimate_simulation_failure_probability(
     from ``workload_factory(rng)`` and the full simulator is run for
     ``num_rounds`` rounds; the trial fails if any round's matching is
     infeasible.
+
+    ``n_jobs > 1`` fans the trials out over worker processes (requires the
+    factories to be picklable); results are bit-identical to serial runs.
     """
     check_positive_integer(trials, "trials")
     check_positive_integer(num_rounds, "num_rounds")
-    allocate = _allocator(scheme)
-    generators = spawn_generators(random_state, 2 * trials)
+    _allocator(scheme)  # validate the scheme before spawning workers
+    seeds = spawn_seed_sequences(random_state, 2 * trials)
+    payloads = [
+        (
+            seeds[2 * trial],
+            seeds[2 * trial + 1],
+            population,
+            catalog,
+            k,
+            mu,
+            workload_factory,
+            num_rounds,
+            scheme,
+            scheduler_factory,
+            compensation_plan,
+        )
+        for trial in range(trials)
+    ]
+    outcomes = _run_trials(_simulation_trial, payloads, n_jobs)
+
     failures = 0
     details: List[Dict[str, float]] = []
-    for trial in range(trials):
-        alloc_gen = generators[2 * trial]
-        workload_gen = generators[2 * trial + 1]
-        allocation = allocate(catalog, population, k, alloc_gen)
-        scheduler = scheduler_factory(allocation) if scheduler_factory else None
-        simulator = VodSimulator(
-            allocation,
-            mu=mu,
-            scheduler=scheduler,
-            compensation_plan=compensation_plan,
-            stop_on_infeasible=True,
-        )
-        workload = workload_factory(workload_gen)
-        result = simulator.run(workload, num_rounds)
-        failed = not result.feasible
+    for trial, (failed, infeasible_rounds, demands) in enumerate(outcomes):
         if failed:
             failures += 1
         details.append(
             {
-                "trial": trial,
+                "trial": float(trial),
                 "failed": float(failed),
-                "infeasible_rounds": result.metrics.infeasible_rounds,
-                "demands": result.metrics.total_demands,
+                "infeasible_rounds": float(infeasible_rounds),
+                "demands": float(demands),
             }
         )
     return MonteCarloResult(
@@ -252,12 +359,16 @@ def find_max_feasible_catalog(
     random_state: RandomState = None,
     m_min: int = 1,
     m_max: Optional[int] = None,
+    n_jobs: int = 1,
 ) -> Dict[str, float]:
     """Binary-search the largest catalog whose empirical failure rate ≤ ``tolerance``.
 
     Returns a dictionary with the located catalog, the failure rate at
     that point and the search bounds.  The storage constraint
-    ``m ≤ ⌊d·n/k⌋`` caps the search range.
+    ``m ≤ ⌊d·n/k⌋`` caps the search range.  Each probed catalog size gets
+    an independent child seed stream spawned from ``random_state`` (any
+    :data:`~repro.util.rng.RandomState` spec, including a
+    ``numpy.random.Generator``, is accepted).
     """
     check_probability(tolerance, "tolerance")
     storage_cap = int(d * n // k)
@@ -268,6 +379,14 @@ def find_max_feasible_catalog(
     if lo > hi:
         raise ValueError(f"empty search range [{lo}, {hi}]")
     population = homogeneous_population(n, u, d)
+
+    # One child stream per possible binary-search probe, spawned up front
+    # so any RandomState spec (int, Generator, SeedSequence) works.
+    max_evals = (hi - lo + 1).bit_length() + 1
+    if random_state is None:
+        streams: List[Optional[np.random.SeedSequence]] = [None] * max_evals
+    else:
+        streams = list(spawn_seed_sequences(random_state, max_evals))
 
     def failure_rate(m: int, seed_offset: int) -> float:
         catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
@@ -280,7 +399,8 @@ def find_max_feasible_catalog(
             num_rounds=num_rounds,
             trials=trials_per_point,
             scheme=scheme,
-            random_state=None if random_state is None else int(random_state) + seed_offset,
+            random_state=streams[seed_offset],
+            n_jobs=n_jobs,
         )
         return result.failure_probability
 

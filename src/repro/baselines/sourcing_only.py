@@ -15,11 +15,15 @@ from __future__ import annotations
 
 from typing import Set
 
+import numpy as np
+
 from repro.core.allocation import Allocation
 from repro.core.matching import PossessionIndex, StripeRequest
 from repro.core.video import StripeId
 
 __all__ = ["SourcingOnlyPossessionIndex", "sourcing_capacity_bound"]
+
+_NO_SERVERS = np.empty(0, dtype=np.int64)
 
 
 class SourcingOnlyPossessionIndex(PossessionIndex):
@@ -30,6 +34,12 @@ class SourcingOnlyPossessionIndex(PossessionIndex):
     accept updates so the index is a drop-in replacement inside the
     simulator, but :meth:`cache_servers` always reports no servers.
     """
+
+    def _cache_boxes_array(
+        self, stripe_id: int, request_time: int, current_time: int
+    ) -> np.ndarray:
+        """Sourcing-only: the playback caches of other viewers never help."""
+        return _NO_SERVERS
 
     def cache_servers(
         self, stripe_id: StripeId, request_time: int, current_time: int

@@ -21,15 +21,17 @@ This module provides:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.video import StripeId
 from repro.flow.bipartite import BMatchingResult, solve_b_matching
+from repro.flow.hopcroft_karp import hopcroft_karp_matching
 from repro.util.validation import check_non_negative_integer, check_positive_integer
 
 __all__ = [
@@ -107,6 +109,83 @@ class RequestSet:
         return f"RequestSet(size={len(self._requests)}, distinct={len(self.distinct_stripes())})"
 
 
+_EMPTY_INT64 = np.empty(0, dtype=np.int64)
+
+
+class _StripeSwarm:
+    """Ring buffer of (box, request time) playback-cache entries for one stripe.
+
+    Entries are appended in (normally non-decreasing) time order into a
+    pair of numpy arrays; eviction advances a head offset in O(expired)
+    and window queries are ``searchsorted`` slices.  Out-of-order appends
+    (exercised by tests, never by the simulator) flip a flag and the live
+    segment is re-sorted lazily on the next query.
+    """
+
+    __slots__ = ("boxes", "times", "head", "tail", "sorted")
+
+    def __init__(self):
+        self.boxes = np.empty(8, dtype=np.int64)
+        self.times = np.empty(8, dtype=np.int64)
+        self.head = 0
+        self.tail = 0
+        self.sorted = True
+
+    def __len__(self) -> int:
+        return self.tail - self.head
+
+    def append(self, box: int, time: int) -> None:
+        if self.tail == self.boxes.size:
+            self._grow()
+        if self.tail > self.head and time < self.times[self.tail - 1]:
+            self.sorted = False
+        self.boxes[self.tail] = box
+        self.times[self.tail] = time
+        self.tail += 1
+
+    def _grow(self) -> None:
+        live = self.tail - self.head
+        if self.head > 0 and live <= self.boxes.size // 2:
+            # Enough slack at the head: compact instead of reallocating.
+            self.boxes[:live] = self.boxes[self.head: self.tail]
+            self.times[:live] = self.times[self.head: self.tail]
+        else:
+            new_size = max(8, 2 * self.boxes.size)
+            new_boxes = np.empty(new_size, dtype=np.int64)
+            new_times = np.empty(new_size, dtype=np.int64)
+            new_boxes[:live] = self.boxes[self.head: self.tail]
+            new_times[:live] = self.times[self.head: self.tail]
+            self.boxes, self.times = new_boxes, new_times
+        self.head, self.tail = 0, live
+
+    def _ensure_sorted(self) -> None:
+        if not self.sorted:
+            order = np.argsort(self.times[self.head: self.tail], kind="stable")
+            self.boxes[self.head: self.tail] = self.boxes[self.head: self.tail][order]
+            self.times[self.head: self.tail] = self.times[self.head: self.tail][order]
+            self.sorted = True
+
+    def evict_before(self, horizon: int) -> None:
+        """Advance the head past every entry with time < ``horizon``."""
+        self._ensure_sorted()
+        head, tail, times = self.head, self.tail, self.times
+        while head < tail and times[head] < horizon:
+            head += 1
+        self.head = head
+
+    def window(self, lo_time: int, hi_time: int) -> np.ndarray:
+        """Boxes with an entry time in ``[lo_time, hi_time)`` (may repeat)."""
+        self._ensure_sorted()
+        view = self.times[self.head: self.tail]
+        a = int(np.searchsorted(view, lo_time, side="left"))
+        b = int(np.searchsorted(view, hi_time, side="left"))
+        return self.boxes[self.head + a: self.head + b]
+
+    def live_boxes(self) -> np.ndarray:
+        """All non-evicted boxes (may repeat)."""
+        return self.boxes[self.head: self.tail]
+
+
 class PossessionIndex:
     """The relation "box ``b`` possesses the data needed by request ``x``".
 
@@ -118,15 +197,41 @@ class PossessionIndex:
     * it caches ``s`` as the relay of a poor box;
     * it itself requested ``s`` at some ``t_j`` with ``t − T ≤ t_j < t_i``
       (playback cache: it is further ahead in the same stripe).
+
+    The static stripe→boxes relation is precomputed once from the
+    allocation as a CSR (``indptr``/``indices``) index; the dynamic caches
+    live in per-stripe ring buffers (O(expired) eviction).  The batched
+    :meth:`adjacency_for` emits the whole round's bipartite adjacency as
+    CSR arrays, which is what the Hopcroft–Karp matching kernel consumes.
     """
 
     def __init__(self, allocation: Allocation, cache_window: int):
         self._allocation = allocation
         self._window = check_positive_integer(cache_window, "cache_window")
-        # stripe_id -> list of (box_id, request_time) of boxes downloading it.
-        self._swarm: Dict[int, List[Tuple[int, int]]] = {}
+        # Static stripe -> sorted distinct holder boxes, in CSR form.
+        k = allocation.replicas_per_stripe
+        num_stripes = allocation.num_stripes
+        if num_stripes and k:
+            grid = np.sort(allocation.replica_box.reshape(num_stripes, k), axis=1)
+            keep = np.ones_like(grid, dtype=bool)
+            if k > 1:
+                keep[:, 1:] = grid[:, 1:] != grid[:, :-1]
+            counts = keep.sum(axis=1)
+            self._static_indptr = np.zeros(num_stripes + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._static_indptr[1:])
+            self._static_boxes = grid[keep].astype(np.int64)
+        else:
+            self._static_indptr = np.zeros(num_stripes + 1, dtype=np.int64)
+            self._static_boxes = _EMPTY_INT64
+        # stripe_id -> ring buffer of (box, time) playback-cache entries.
+        self._swarm: Dict[int, _StripeSwarm] = {}
+        # Global (time, stripe) arrival log driving O(expired) eviction.
+        self._timeline: Deque[Tuple[int, int]] = deque()
+        self._timeline_sorted = True
+        self._last_time: Optional[int] = None
         # stripe_id -> set of boxes relay-caching it (Section 4).
         self._relays: Dict[int, Set[int]] = {}
+        self._relay_arrays: Dict[int, np.ndarray] = {}
 
     @property
     def allocation(self) -> Allocation:
@@ -143,51 +248,208 @@ class PossessionIndex:
     # ------------------------------------------------------------------ #
     def record_download(self, stripe_id: StripeId, box_id: int, time: int) -> None:
         """Record that ``box_id`` requested/downloads ``stripe_id`` starting at ``time``."""
-        self._swarm.setdefault(int(stripe_id), []).append((int(box_id), int(time)))
+        stripe_id, box_id, time = int(stripe_id), int(box_id), int(time)
+        swarm = self._swarm.get(stripe_id)
+        if swarm is None:
+            swarm = self._swarm[stripe_id] = _StripeSwarm()
+        swarm.append(box_id, time)
+        if self._last_time is not None and time < self._last_time:
+            self._timeline_sorted = False
+        else:
+            self._last_time = time
+        self._timeline.append((time, stripe_id))
 
     def record_relay_cache(self, stripe_id: StripeId, box_id: int) -> None:
         """Record that ``box_id`` relay-caches ``stripe_id`` for a poor box."""
-        self._relays.setdefault(int(stripe_id), set()).add(int(box_id))
+        stripe_id = int(stripe_id)
+        self._relays.setdefault(stripe_id, set()).add(int(box_id))
+        self._relay_arrays.pop(stripe_id, None)
 
     def evict_before(self, current_time: int) -> None:
         """Drop cache entries older than ``current_time − T``."""
         horizon = current_time - self._window
-        stale: List[int] = []
-        for stripe_id, entries in self._swarm.items():
-            kept = [(b, t) for (b, t) in entries if t >= horizon]
-            if kept:
-                self._swarm[stripe_id] = kept
-            else:
-                stale.append(stripe_id)
-        for stripe_id in stale:
-            del self._swarm[stripe_id]
+        if self._timeline_sorted:
+            timeline = self._timeline
+            while timeline and timeline[0][0] < horizon:
+                _, stripe_id = timeline.popleft()
+                swarm = self._swarm.get(stripe_id)
+                if swarm is None:
+                    continue
+                swarm.evict_before(horizon)
+                if not len(swarm):
+                    del self._swarm[stripe_id]
+        else:
+            # Out-of-order recordings (test-only path): scan every stripe.
+            self._timeline = deque(
+                (t, s) for (t, s) in sorted(self._timeline) if t >= horizon
+            )
+            self._timeline_sorted = True
+            for stripe_id in list(self._swarm):
+                swarm = self._swarm[stripe_id]
+                swarm.evict_before(horizon)
+                if not len(swarm):
+                    del self._swarm[stripe_id]
 
     # ------------------------------------------------------------------ #
     # Possession queries
     # ------------------------------------------------------------------ #
+    def static_servers(self, stripe_id: StripeId) -> np.ndarray:
+        """Sorted distinct boxes statically holding ``stripe_id`` (CSR slice)."""
+        stripe_id = int(stripe_id)
+        return self._static_boxes[
+            self._static_indptr[stripe_id]: self._static_indptr[stripe_id + 1]
+        ]
+
+    def _cache_boxes_array(
+        self, stripe_id: int, request_time: int, current_time: int
+    ) -> np.ndarray:
+        """Playback-cache servers as an array slice (may contain duplicates)."""
+        swarm = self._swarm.get(int(stripe_id))
+        if swarm is None:
+            return _EMPTY_INT64
+        horizon = current_time - self._window
+        return swarm.window(horizon, request_time)
+
+    def _relay_array(self, stripe_id: int) -> np.ndarray:
+        relays = self._relays.get(stripe_id)
+        if not relays:
+            return _EMPTY_INT64
+        cached = self._relay_arrays.get(stripe_id)
+        if cached is None or cached.size != len(relays):
+            cached = np.fromiter(relays, dtype=np.int64, count=len(relays))
+            self._relay_arrays[stripe_id] = cached
+        return cached
+
     def cache_servers(
         self, stripe_id: StripeId, request_time: int, current_time: int
     ) -> Set[int]:
         """Boxes able to serve ``stripe_id`` from their playback cache."""
-        horizon = current_time - self._window
-        entries = self._swarm.get(int(stripe_id), [])
-        return {b for (b, t_j) in entries if horizon <= t_j < request_time}
+        return {
+            int(b)
+            for b in self._cache_boxes_array(int(stripe_id), request_time, current_time)
+        }
 
     def servers_for(self, request: StripeRequest, current_time: int) -> Set[int]:
         """The neighbourhood ``B(x)`` of a request in the bipartite graph ``G``."""
-        servers: Set[int] = set(
-            int(b) for b in self._allocation.boxes_with_stripe(request.stripe_id)
-        )
+        servers: Set[int] = set(self.static_servers(request.stripe_id).tolist())
         servers |= self._relays.get(int(request.stripe_id), set())
         servers |= self.cache_servers(request.stripe_id, request.request_time, current_time)
         return servers
+
+    def adjacency_for(
+        self,
+        requests: Sequence[StripeRequest],
+        current_time: int,
+        exclude_self: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency (requests → candidate server boxes) for one round.
+
+        Row ``i`` lists the boxes that possess the data of ``requests[i]``
+        — excluding the requesting box itself unless ``exclude_self`` is
+        disabled.  Rows may contain duplicates (a box can hold a stripe
+        statically *and* cache it); the matching kernel tolerates them.
+        The output feeds
+        :func:`repro.flow.hopcroft_karp.hopcroft_karp_matching` directly.
+        """
+        num = len(requests)
+        if num == 0:
+            return np.zeros(1, dtype=np.int64), _EMPTY_INT64
+        # Subclasses predating the batched API may override the set-based
+        # ``servers_for``/``cache_servers`` only; honour their overrides
+        # through the (slower) set-driven fallback.
+        set_override = type(self).servers_for is not PossessionIndex.servers_for or (
+            type(self).cache_servers is not PossessionIndex.cache_servers
+            and type(self)._cache_boxes_array is PossessionIndex._cache_boxes_array
+        )
+        if set_override:
+            return self._adjacency_from_sets(requests, current_time, exclude_self)
+
+        stripes = np.fromiter((r.stripe_id for r in requests), dtype=np.int64, count=num)
+        boxes = np.fromiter((r.box_id for r in requests), dtype=np.int64, count=num)
+        # Static holders, gathered for all requests at once: row i is the
+        # CSR slice of its stripe, materialized through one fancy index.
+        row_starts = self._static_indptr[stripes]
+        lens = self._static_indptr[stripes + 1] - row_starts
+        total = int(lens.sum())
+        offsets = np.zeros(num + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        gather = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets[:-1], lens)
+            + np.repeat(row_starts, lens)
+        )
+        all_vals = self._static_boxes[gather]
+        all_rows = np.repeat(np.arange(num, dtype=np.int64), lens)
+
+        # Dynamic additions (playback caches, relays) touch few stripes;
+        # only requests whose stripe has dynamic state pay a per-row cost.
+        # An overridden cache hook may draw on state outside the base
+        # ``_swarm`` dict, so it must be consulted for every request.
+        cache_hook_overridden = (
+            type(self)._cache_boxes_array is not PossessionIndex._cache_boxes_array
+        )
+        if self._swarm or self._relays or cache_hook_overridden:
+            extra_vals: List[np.ndarray] = []
+            extra_rows: List[np.ndarray] = []
+            swarm, relays = self._swarm, self._relays
+            for i, request in enumerate(requests):
+                stripe_id = int(stripes[i])
+                if cache_hook_overridden or stripe_id in swarm:
+                    window = self._cache_boxes_array(
+                        stripe_id, request.request_time, current_time
+                    )
+                    if window.size:
+                        extra_vals.append(window)
+                        extra_rows.append(np.full(window.size, i, dtype=np.int64))
+                if stripe_id in relays:
+                    relay = self._relay_array(stripe_id)
+                    if relay.size:
+                        extra_vals.append(relay)
+                        extra_rows.append(np.full(relay.size, i, dtype=np.int64))
+            if extra_vals:
+                all_vals = np.concatenate([all_vals] + extra_vals)
+                all_rows = np.concatenate([all_rows] + extra_rows)
+                order = np.argsort(all_rows, kind="stable")
+                all_vals = all_vals[order]
+                all_rows = all_rows[order]
+
+        if exclude_self:
+            mask = all_vals != boxes[all_rows]
+            if not mask.all():
+                all_vals = all_vals[mask]
+                all_rows = all_rows[mask]
+        counts = np.bincount(all_rows, minlength=num)
+        indptr = np.zeros(num + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, all_vals
+
+    def _adjacency_from_sets(
+        self,
+        requests: Sequence[StripeRequest],
+        current_time: int,
+        exclude_self: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compatibility adjacency builder driven by :meth:`servers_for`."""
+        rows: List[np.ndarray] = []
+        indptr = np.zeros(len(requests) + 1, dtype=np.int64)
+        for i, request in enumerate(requests):
+            servers = self.servers_for(request, current_time)
+            if exclude_self:
+                servers.discard(request.box_id)
+            row = np.fromiter(servers, dtype=np.int64, count=len(servers))
+            rows.append(row)
+            indptr[i + 1] = indptr[i] + row.size
+        indices = np.concatenate(rows) if rows else _EMPTY_INT64
+        return indptr, indices
 
     def swarm_size(self, video_id: int, num_stripes_per_video: int) -> int:
         """Number of distinct boxes currently downloading any stripe of a video."""
         base = video_id * num_stripes_per_video
         boxes: Set[int] = set()
         for stripe_id in range(base, base + num_stripes_per_video):
-            boxes.update(b for (b, _t) in self._swarm.get(stripe_id, []))
+            swarm = self._swarm.get(stripe_id)
+            if swarm is not None:
+                boxes.update(swarm.live_boxes().tolist())
         return len(boxes)
 
 
@@ -230,20 +492,33 @@ class ConnectionMatcher:
         Per-box number of stripes uploadable per round, ``⌊u_b·c⌋``,
         possibly already reduced by statically reserved relay capacity
         (Section 4).
+    solver:
+        ``"hopcroft_karp"`` (default) matches directly on the CSR
+        adjacency emitted by :meth:`PossessionIndex.adjacency_for`;
+        ``"dinic"`` keeps the original edge-list → max-flow reduction and
+        serves as the oracle in cross-validation tests and benchmarks.
     """
 
-    def __init__(self, upload_slots: Sequence[int]):
+    def __init__(self, upload_slots: Sequence[int], solver: str = "hopcroft_karp"):
         slots = np.asarray(upload_slots, dtype=np.int64)
         if slots.ndim != 1 or slots.size == 0:
             raise ValueError("upload_slots must be a non-empty 1-D sequence")
         if np.any(slots < 0):
             raise ValueError("upload_slots must be non-negative")
+        if solver not in ("hopcroft_karp", "dinic"):
+            raise ValueError(f"solver must be 'hopcroft_karp' or 'dinic', got {solver!r}")
         self._slots = slots
+        self._solver = solver
 
     @property
     def upload_slots(self) -> np.ndarray:
         """Per-box stripe-upload capacity used for the matching."""
         return self._slots
+
+    @property
+    def solver(self) -> str:
+        """Name of the matching kernel in use."""
+        return self._solver
 
     def match(
         self,
@@ -251,6 +526,7 @@ class ConnectionMatcher:
         possession: PossessionIndex,
         current_time: int,
         busy_slots: Optional[Sequence[int]] = None,
+        warm_start: Optional[Sequence[int]] = None,
     ) -> ConnectionMatching:
         """Wire the requests of round ``current_time``.
 
@@ -258,6 +534,13 @@ class ConnectionMatcher:
         slots already consumed by connections carried over from previous
         rounds (ongoing stripe transfers); they are subtracted from the
         capacity available to new requests.
+
+        ``warm_start`` optionally seeds the matching with a previous
+        round's request→box assignment (``-1`` = unmatched).  Stale pairs
+        (departed boxes, evicted caches, exhausted capacity) are dropped
+        during validation, so the result is always a maximum matching of
+        the *current* instance; only the solve gets cheaper.  Ignored by
+        the ``"dinic"`` oracle solver.
         """
         n = self._slots.size
         capacities = self._slots.copy()
@@ -280,30 +563,48 @@ class ConnectionMatcher:
                 box_load=np.zeros(n, dtype=np.int64),
             )
 
-        edges: List[Tuple[int, int]] = []
-        for idx, request in enumerate(request_list):
-            for box in possession.servers_for(request, current_time):
-                if box == request.box_id:
-                    # A box never serves its own request: it needs the data.
-                    continue
-                edges.append((idx, int(box)))
+        if self._solver == "dinic":
+            edges: List[Tuple[int, int]] = []
+            for idx, request in enumerate(request_list):
+                for box in possession.servers_for(request, current_time):
+                    if box == request.box_id:
+                        # A box never serves its own request: it needs the data.
+                        continue
+                    edges.append((idx, int(box)))
+            result: BMatchingResult = solve_b_matching(
+                num_left=len(request_list),
+                num_right=n,
+                edges=edges,
+                right_capacities=capacities.tolist(),
+                method="dinic",
+            )
+            assignment = result.assignment
+            feasible, matched = result.feasible, result.matched
+            witness = result.unsatisfied_witness
+        else:
+            if warm_start is not None and len(warm_start) != len(request_list):
+                raise ValueError("warm_start must have one entry per request")
+            indptr, indices = possession.adjacency_for(request_list, current_time)
+            hk = hopcroft_karp_matching(
+                num_left=len(request_list),
+                num_right=n,
+                indptr=indptr,
+                indices=indices,
+                right_capacities=capacities.tolist(),
+                initial_assignment=warm_start,
+            )
+            assignment = hk.assignment
+            feasible, matched = hk.feasible, hk.matched
+            witness = hk.unsatisfied_witness
 
-        result: BMatchingResult = solve_b_matching(
-            num_left=len(request_list),
-            num_right=n,
-            edges=edges,
-            right_capacities=capacities.tolist(),
-        )
-        box_load = np.zeros(n, dtype=np.int64)
-        for box in result.assignment:
-            if box >= 0:
-                box_load[box] += 1
+        served = assignment[assignment >= 0]
+        box_load = np.bincount(served, minlength=n).astype(np.int64)
         return ConnectionMatching(
-            feasible=result.feasible,
-            assignment=result.assignment,
-            matched=result.matched,
+            feasible=feasible,
+            assignment=assignment,
+            matched=matched,
             request_set=requests,
-            obstruction_witness=result.unsatisfied_witness,
+            obstruction_witness=witness,
             box_load=box_load,
         )
 

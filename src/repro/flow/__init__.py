@@ -17,6 +17,11 @@ implements that substrate from scratch:
 from repro.flow.network import Edge, FlowNetwork, build_bipartite_network
 from repro.flow.edmonds_karp import edmonds_karp_max_flow
 from repro.flow.dinic import dinic_max_flow
+from repro.flow.hopcroft_karp import (
+    HKMatchingResult,
+    csr_from_edges,
+    hopcroft_karp_matching,
+)
 from repro.flow.push_relabel import push_relabel_max_flow
 from repro.flow.mincut import (
     cut_capacity,
@@ -39,6 +44,9 @@ __all__ = [
     "edmonds_karp_max_flow",
     "dinic_max_flow",
     "push_relabel_max_flow",
+    "HKMatchingResult",
+    "csr_from_edges",
+    "hopcroft_karp_matching",
     "cut_capacity",
     "min_cut",
     "residual_reachable",

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.flow.dinic import dinic_max_flow
+from repro.flow.hopcroft_karp import csr_from_edges, hopcroft_karp_matching
 from repro.flow.mincut import residual_reachable
 from repro.flow.network import FlowNetwork, build_bipartite_network
 
@@ -71,6 +72,7 @@ def solve_b_matching(
     edges: Sequence[Tuple[int, int]],
     right_capacities: Sequence[int],
     left_demands: Optional[Sequence[int]] = None,
+    method: str = "auto",
 ) -> BMatchingResult:
     """Solve a bipartite b-matching (left demands vs right capacities).
 
@@ -85,6 +87,11 @@ def solve_b_matching(
     left_demands:
         Required degree of each left node; defaults to 1 for every node
         (each stripe request needs exactly one server).
+    method:
+        ``"auto"`` (default) uses the Hopcroft–Karp kernel when every left
+        demand is 1 and falls back to the Dinic max-flow reduction
+        otherwise; ``"hopcroft_karp"`` and ``"dinic"`` force one path
+        (the Dinic path doubles as the oracle in cross-validation tests).
     """
     demands = [1] * num_left if left_demands is None else [int(x) for x in left_demands]
     if len(demands) != num_left:
@@ -92,6 +99,27 @@ def solve_b_matching(
     caps = [int(x) for x in right_capacities]
     if len(caps) != num_right:
         raise ValueError("right_capacities length must equal num_right")
+
+    unit_demand = all(x == 1 for x in demands)
+    if method == "auto":
+        method = "hopcroft_karp" if unit_demand else "dinic"
+    if method == "hopcroft_karp":
+        if not unit_demand:
+            raise ValueError(
+                "method='hopcroft_karp' requires unit left demands; "
+                "use method='dinic' (or 'auto') for general demands"
+            )
+        indptr, indices = csr_from_edges(num_left, num_right, edges)
+        hk = hopcroft_karp_matching(num_left, num_right, indptr, indices, caps)
+        return BMatchingResult(
+            feasible=hk.feasible,
+            assignment=hk.assignment,
+            matched=hk.matched,
+            deficient_left=hk.deficient_left,
+            unsatisfied_witness=hk.unsatisfied_witness,
+        )
+    if method != "dinic":
+        raise ValueError(f"unknown b-matching method {method!r}")
 
     network, source, sink = build_bipartite_network(
         num_left=num_left,

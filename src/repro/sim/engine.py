@@ -96,6 +96,26 @@ class VodSimulator:
         neither demand videos nor serve any stripe while offline (their
         upload capacity is zeroed in the matching); their stored replicas
         become available again when they come back.
+    warm_start:
+        Carry each round's request→box assignment into the next round as
+        the seed of an incremental rematch: surviving pairs are validated
+        (box still possesses the data, still has capacity, not offline)
+        and only the delta is re-solved.  Each round's matched count and
+        feasibility are identical to a cold solve of the same state (the
+        kernel always returns a maximum matching), so fully feasible runs
+        agree on every request-level observable: per-round matched
+        counts, service rounds, startup delays, metrics.  *Which* box
+        serves each request may still differ (maximum matchings are not
+        unique), so connection-level records (``record_connections``
+        events, per-box loads) are solver- and warm-start-dependent.  In
+        overload regimes a partially matched round may serve a different
+        (equally sized) request subset than a cold solve would, after
+        which the two trajectories can diverge — as they also do between
+        different cold solvers.  Experiments comparing trajectories at
+        either level should pin both ``warm_start`` and ``solver``.
+    solver:
+        Matching kernel handed to :class:`ConnectionMatcher` —
+        ``"hopcroft_karp"`` (default) or the ``"dinic"`` max-flow oracle.
     """
 
     def __init__(
@@ -107,6 +127,8 @@ class VodSimulator:
         record_connections: bool = False,
         stop_on_infeasible: bool = False,
         churn: Optional[ChurnSchedule] = None,
+        warm_start: bool = True,
+        solver: str = "hopcroft_karp",
     ):
         self._allocation = allocation
         self._catalog = allocation.catalog
@@ -117,13 +139,14 @@ class VodSimulator:
         self._record_connections = record_connections
         self._stop_on_infeasible = stop_on_infeasible
         self._churn = churn
+        self._warm_start = warm_start
 
         c = self._catalog.num_stripes_per_video
         upload_slots = self._population.upload_slots(c)
         if compensation_plan is not None:
             reserved = np.floor(compensation_plan.reserved_upload * c + 1e-9).astype(np.int64)
             upload_slots = np.maximum(upload_slots - reserved, 0)
-        self._matcher = ConnectionMatcher(upload_slots)
+        self._matcher = ConnectionMatcher(upload_slots, solver=solver)
         self._upload_capacity_total = int(upload_slots.sum())
 
         duration = self._catalog.duration
@@ -254,6 +277,7 @@ class VodSimulator:
 
         # 3. Connection matching over all active requests.  Offline boxes
         # cannot serve: their whole capacity is marked busy for this round.
+        records = self._pool.active
         request_set = self._pool.request_set()
         busy_slots = None
         offline = self.offline_boxes(time)
@@ -261,12 +285,21 @@ class VodSimulator:
             busy_slots = np.zeros(self._population.n, dtype=np.int64)
             for box in offline:
                 busy_slots[box] = self._matcher.upload_slots[box]
+        warm = None
+        if self._warm_start and records:
+            warm = np.fromiter(
+                (record.assigned_box for record in records),
+                dtype=np.int64,
+                count=len(records),
+            )
         matching = self._matcher.match(
-            request_set, self._possession, time, busy_slots=busy_slots
+            request_set, self._possession, time, busy_slots=busy_slots, warm_start=warm
         )
-        matched_indices = [
-            idx for idx, box in enumerate(matching.assignment) if box >= 0
-        ]
+        matched_indices = []
+        for idx, box in enumerate(matching.assignment):
+            records[idx].assigned_box = int(box)
+            if box >= 0:
+                matched_indices.append(idx)
         self._pool.mark_matched(matched_indices, time)
 
         if self._record_connections:

@@ -30,6 +30,9 @@ class ActiveRequest:
     #: Identifier of the demand that generated the request (index into the
     #: engine's demand log), used to detect playback starts.
     demand_index: Optional[int] = None
+    #: Box that served the request in the previous round's matching
+    #: (``-1`` = unmatched); seeds the warm-started incremental rematch.
+    assigned_box: int = -1
 
     @property
     def is_served(self) -> bool:

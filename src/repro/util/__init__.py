@@ -6,7 +6,12 @@ construction (:mod:`repro.util.rng`), argument validation helpers
 stripe-rate bookkeeping (:mod:`repro.util.intmath`).
 """
 
-from repro.util.rng import RandomState, as_generator, spawn_generators
+from repro.util.rng import (
+    RandomState,
+    as_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+)
 from repro.util.validation import (
     check_integer,
     check_positive,
@@ -26,6 +31,7 @@ __all__ = [
     "RandomState",
     "as_generator",
     "spawn_generators",
+    "spawn_seed_sequences",
     "check_integer",
     "check_positive",
     "check_positive_integer",

@@ -51,11 +51,14 @@ def as_generator(random_state: RandomState = None) -> np.random.Generator:
     )
 
 
-def spawn_generators(random_state: RandomState, count: int) -> List[np.random.Generator]:
-    """Spawn ``count`` statistically independent child generators.
+def spawn_seed_sequences(
+    random_state: RandomState, count: int
+) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` statistically independent child seed sequences.
 
-    Used by the Monte-Carlo harness so that independent trials remain
-    reproducible yet uncorrelated when a single master seed is supplied.
+    The children are plain :class:`numpy.random.SeedSequence` objects —
+    cheap to pickle, so the parallel Monte-Carlo driver ships them to
+    worker processes and reproduces the serial trial streams exactly.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -73,7 +76,19 @@ def spawn_generators(random_state: RandomState, count: int) -> List[np.random.Ge
             "random_state must be None, an int, a numpy SeedSequence or a "
             f"numpy Generator, got {type(random_state).__name__}"
         )
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return seq.spawn(count)
+
+
+def spawn_generators(random_state: RandomState, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` statistically independent child generators.
+
+    Used by the Monte-Carlo harness so that independent trials remain
+    reproducible yet uncorrelated when a single master seed is supplied.
+    """
+    return [
+        np.random.default_rng(child)
+        for child in spawn_seed_sequences(random_state, count)
+    ]
 
 
 def derive_seed(random_state: RandomState, stream: int = 0) -> int:

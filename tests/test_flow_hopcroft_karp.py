@@ -1,0 +1,197 @@
+"""Cross-validation of the Hopcroft–Karp kernel against the max-flow solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.flow import MAX_FLOW_SOLVERS
+from repro.flow.bipartite import solve_b_matching
+from repro.flow.hopcroft_karp import csr_from_edges, hopcroft_karp_matching
+from repro.flow.network import build_bipartite_network
+
+solver_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_instance(seed):
+    """A random bipartite unit-demand instance (possibly infeasible)."""
+    rng = np.random.default_rng(seed)
+    num_left = int(rng.integers(0, 14))
+    num_right = int(rng.integers(1, 10))
+    caps = [int(rng.integers(0, 4)) for _ in range(num_right)]
+    density = float(rng.uniform(0.1, 0.7))
+    edges = [
+        (i, j)
+        for i in range(num_left)
+        for j in range(num_right)
+        if rng.random() < density
+    ]
+    return num_left, num_right, edges, caps, rng
+
+
+def assert_valid_assignment(result, num_right, edges, caps):
+    """The assignment respects adjacency and right capacities."""
+    edge_set = set(edges)
+    loads = [0] * num_right
+    for left, right in enumerate(result.assignment):
+        right = int(right)
+        if right >= 0:
+            assert (left, right) in edge_set
+            loads[right] += 1
+    assert all(load <= cap for load, cap in zip(loads, caps))
+    assert result.matched == sum(loads)
+    assert result.feasible == (result.matched == len(result.assignment))
+
+
+class TestKernelAgainstMaxFlowSolvers:
+    @solver_settings
+    @given(seed=st.integers(0, 100_000))
+    def test_all_four_solvers_agree_on_flow_value(self, seed):
+        """Edmonds–Karp, Dinic, push–relabel and HK find the same optimum."""
+        num_left, num_right, edges, caps, _ = random_instance(seed)
+        indptr, indices = csr_from_edges(num_left, num_right, edges)
+        hk = hopcroft_karp_matching(num_left, num_right, indptr, indices, caps)
+        values = {"hopcroft_karp": hk.matched}
+        for name, solver in MAX_FLOW_SOLVERS.items():
+            network, source, sink = build_bipartite_network(
+                num_left=num_left,
+                num_right=num_right,
+                edges=edges,
+                left_capacities=[1] * num_left,
+                right_capacities=caps,
+            )
+            values[name] = solver(network, source, sink)
+        assert len(set(values.values())) == 1, values
+        assert_valid_assignment(hk, num_right, edges, caps)
+
+    @solver_settings
+    @given(seed=st.integers(0, 100_000))
+    def test_solve_b_matching_methods_agree(self, seed):
+        """The dispatching front-end returns equivalent results per method."""
+        num_left, num_right, edges, caps, _ = random_instance(seed)
+        dinic = solve_b_matching(num_left, num_right, edges, caps, method="dinic")
+        hk = solve_b_matching(num_left, num_right, edges, caps, method="hopcroft_karp")
+        auto = solve_b_matching(num_left, num_right, edges, caps, method="auto")
+        assert dinic.matched == hk.matched == auto.matched
+        assert dinic.feasible == hk.feasible == auto.feasible
+        assert set(dinic.deficient_left) == set() or len(hk.deficient_left) == len(
+            dinic.deficient_left
+        )
+        assert_valid_assignment(hk, num_right, edges, caps)
+
+    @solver_settings
+    @given(seed=st.integers(0, 100_000))
+    def test_witness_is_a_hall_violation(self, seed):
+        """The infeasibility witness genuinely violates the Hall condition."""
+        num_left, num_right, edges, caps, _ = random_instance(seed)
+        hk = solve_b_matching(num_left, num_right, edges, caps, method="hopcroft_karp")
+        if hk.feasible:
+            assert hk.unsatisfied_witness is None
+            return
+        witness = hk.unsatisfied_witness
+        assert witness is not None and len(witness) >= 1
+        neighbourhood = set()
+        for left in witness:
+            neighbourhood |= {j for (i, j) in edges if i == left}
+        assert sum(caps[j] for j in neighbourhood) < len(witness)
+
+    @solver_settings
+    @given(seed=st.integers(0, 100_000))
+    def test_warm_start_never_changes_the_optimum(self, seed):
+        """Any warm start — exact, stale or garbage — yields the same optimum."""
+        num_left, num_right, edges, caps, rng = random_instance(seed)
+        indptr, indices = csr_from_edges(num_left, num_right, edges)
+        cold = hopcroft_karp_matching(num_left, num_right, indptr, indices, caps)
+        warm_starts = [
+            cold.assignment,
+            np.full(num_left, -1, dtype=np.int64),
+            rng.integers(-1, num_right, size=num_left),
+        ]
+        for warm in warm_starts:
+            again = hopcroft_karp_matching(
+                num_left, num_right, indptr, indices, caps, initial_assignment=warm
+            )
+            assert again.matched == cold.matched
+            assert again.feasible == cold.feasible
+            assert_valid_assignment(again, num_right, edges, caps)
+
+
+class TestKernelEdgeCases:
+    def test_empty_instance(self):
+        result = hopcroft_karp_matching(0, 3, [0], [], [1, 1, 1])
+        assert result.feasible
+        assert result.matched == 0
+        assert result.unsatisfied_witness is None
+
+    def test_no_edges_is_infeasible(self):
+        indptr, indices = csr_from_edges(2, 2, [])
+        result = hopcroft_karp_matching(2, 2, indptr, indices, [1, 1])
+        assert not result.feasible
+        assert result.matched == 0
+        assert set(result.deficient_left) == {0, 1}
+        assert result.unsatisfied_witness is not None
+
+    def test_zero_capacity_right_is_useless(self):
+        indptr, indices = csr_from_edges(1, 1, [(0, 0)])
+        result = hopcroft_karp_matching(1, 1, indptr, indices, [0])
+        assert not result.feasible
+        assert result.assignment[0] == -1
+
+    def test_duplicate_edges_are_harmless(self):
+        indptr, indices = csr_from_edges(2, 1, [(0, 0), (0, 0), (1, 0)])
+        result = hopcroft_karp_matching(2, 1, indptr, indices, [2])
+        assert result.feasible
+        assert result.matched == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp_matching(2, 1, [0, 1], [0], [1, 1])  # wrong cap length
+        with pytest.raises(ValueError):
+            hopcroft_karp_matching(1, 1, [0], [], [-1])  # negative capacity
+        with pytest.raises(ValueError):
+            hopcroft_karp_matching(2, 1, [0, 0], [], [1])  # wrong indptr length
+        with pytest.raises(ValueError):
+            hopcroft_karp_matching(
+                1, 1, [0, 0], [], [1], initial_assignment=[0, 0]
+            )  # wrong warm-start length
+        with pytest.raises(ValueError):
+            csr_from_edges(1, 1, [(1, 0)])
+        with pytest.raises(ValueError):
+            csr_from_edges(1, 1, [(0, 5)])
+
+    def test_solve_b_matching_rejects_hk_with_general_demands(self):
+        with pytest.raises(ValueError):
+            solve_b_matching(
+                1, 1, [(0, 0)], [2], left_demands=[2], method="hopcroft_karp"
+            )
+
+    def test_solve_b_matching_auto_falls_back_for_general_demands(self):
+        result = solve_b_matching(
+            num_left=2,
+            num_right=2,
+            edges=[(0, 0), (0, 1), (1, 1)],
+            right_capacities=[1, 2],
+            left_demands=[2, 1],
+            method="auto",
+        )
+        assert result.feasible
+        assert result.matched == 3
+
+    def test_solve_b_matching_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve_b_matching(1, 1, [(0, 0)], [1], method="bogus")
+
+    def test_large_deficit_uses_phase_path(self):
+        # Many unmatched lefts (far above the Kuhn threshold) exercise the
+        # layered BFS/DFS phases and the witness extraction.
+        num_left, num_right = 60, 3
+        edges = [(i, j) for i in range(num_left) for j in range(num_right)]
+        indptr, indices = csr_from_edges(num_left, num_right, edges)
+        result = hopcroft_karp_matching(num_left, num_right, indptr, indices, [2, 2, 2])
+        assert result.matched == 6
+        assert not result.feasible
+        assert result.unsatisfied_witness is not None
+        assert len(result.unsatisfied_witness) == num_left

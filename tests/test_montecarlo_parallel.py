@@ -1,0 +1,142 @@
+"""Parallel Monte-Carlo driver: determinism, seed handling and detail types."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    estimate_simulation_failure_probability,
+    estimate_static_obstruction_probability,
+    find_max_feasible_catalog,
+)
+from repro.core.parameters import homogeneous_population
+from repro.core.video import Catalog
+from repro.util.rng import spawn_generators, spawn_seed_sequences
+from repro.workloads.flashcrowd import FlashCrowdWorkload
+
+
+class FlashCrowdFactory:
+    """Module-level picklable workload factory for process-pool trials."""
+
+    def __init__(self, mu):
+        self.mu = mu
+
+    def __call__(self, rng):
+        return FlashCrowdWorkload(mu=self.mu, random_state=rng)
+
+
+STATIC_KWARGS = dict(
+    n=24, u=1.5, d=3.0, c=3, k=1, num_cold_videos=[8], trials=6, random_state=13
+)
+
+
+class TestParallelDeterminism:
+    def test_static_estimator_parallel_matches_serial(self):
+        serial = estimate_static_obstruction_probability(**STATIC_KWARGS)
+        parallel = estimate_static_obstruction_probability(**STATIC_KWARGS, n_jobs=2)
+        assert serial.failures == parallel.failures
+        assert serial.failure_probability == parallel.failure_probability
+        assert serial.details == parallel.details
+
+    def test_simulation_estimator_parallel_matches_serial(self):
+        population = homogeneous_population(20, u=1.2, d=2.5)
+        catalog = Catalog(num_videos=10, num_stripes=3, duration=15)
+        kwargs = dict(
+            population=population,
+            catalog=catalog,
+            k=2,
+            mu=1.5,
+            workload_factory=FlashCrowdFactory(mu=1.5),
+            num_rounds=5,
+            trials=4,
+            random_state=3,
+        )
+        serial = estimate_simulation_failure_probability(**kwargs)
+        parallel = estimate_simulation_failure_probability(**kwargs, n_jobs=2)
+        assert serial.failures == parallel.failures
+        assert serial.details == parallel.details
+
+    def test_n_jobs_validation(self):
+        with pytest.raises(ValueError):
+            estimate_static_obstruction_probability(**STATIC_KWARGS, n_jobs=0)
+        # Only -1 means "all cores"; other negatives are rejected rather
+        # than silently oversubscribing.
+        with pytest.raises(ValueError):
+            estimate_static_obstruction_probability(**STATIC_KWARGS, n_jobs=-2)
+
+    def test_dinic_oracle_agrees_with_default_solver(self):
+        fast = estimate_static_obstruction_probability(**STATIC_KWARGS)
+        oracle = estimate_static_obstruction_probability(**STATIC_KWARGS, solver="dinic")
+        assert fast.failures == oracle.failures
+        assert fast.details == oracle.details
+
+
+class TestDetailTypes:
+    def test_static_details_are_floats(self):
+        """`worst_unmatched` (and every other detail) is coerced to float."""
+        result = estimate_static_obstruction_probability(**STATIC_KWARGS)
+        assert result.failures > 0  # k=1 at this size does fail sometimes
+        for row in result.details:
+            for key, value in row.items():
+                assert isinstance(value, float), (key, type(value))
+        assert any(row["worst_unmatched"] > 0 for row in result.details)
+
+    def test_simulation_details_are_floats(self):
+        population = homogeneous_population(20, u=1.2, d=2.5)
+        catalog = Catalog(num_videos=10, num_stripes=3, duration=15)
+        result = estimate_simulation_failure_probability(
+            population=population,
+            catalog=catalog,
+            k=2,
+            mu=1.5,
+            workload_factory=FlashCrowdFactory(mu=1.5),
+            num_rounds=4,
+            trials=3,
+            random_state=1,
+        )
+        for row in result.details:
+            for key, value in row.items():
+                assert isinstance(value, float), (key, type(value))
+
+
+class TestSeedHandling:
+    def test_find_max_feasible_catalog_accepts_generator(self):
+        """A np.random.Generator master seed no longer crashes the search."""
+        summary = find_max_feasible_catalog(
+            n=24,
+            u=1.5,
+            d=2.0,
+            c=3,
+            k=3,
+            mu=1.5,
+            workload_factory=FlashCrowdFactory(mu=1.5),
+            num_rounds=4,
+            trials_per_point=2,
+            random_state=np.random.default_rng(3),
+            m_min=2,
+        )
+        assert 0 < summary["max_feasible_catalog"] <= summary["storage_cap"]
+
+    def test_find_max_feasible_catalog_reproducible_for_fixed_seed(self):
+        kwargs = dict(
+            n=24,
+            u=1.5,
+            d=2.0,
+            c=3,
+            k=3,
+            mu=1.5,
+            workload_factory=FlashCrowdFactory(mu=1.5),
+            num_rounds=4,
+            trials_per_point=2,
+            m_min=2,
+        )
+        first = find_max_feasible_catalog(**kwargs, random_state=17)
+        second = find_max_feasible_catalog(**kwargs, random_state=17)
+        assert first == second
+
+    def test_spawn_seed_sequences_match_spawn_generators(self):
+        """Both spawners derive the same child streams from one master seed."""
+        seqs = spawn_seed_sequences(99, 4)
+        gens = spawn_generators(99, 4)
+        for seq, gen in zip(seqs, gens):
+            expected = np.random.default_rng(seq)
+            assert expected.integers(1 << 30) == gen.integers(1 << 30)
