@@ -104,7 +104,7 @@ from repro.baselines import (
     max_catalog_full_replication,
     sourcing_capacity_bound,
 )
-from repro import analysis, baselines, flow, sim, workloads
+from repro import analysis, baselines, flow, scenarios, sim, workloads
 
 __version__ = "1.0.0"
 
@@ -178,6 +178,7 @@ __all__ = [
     "analysis",
     "baselines",
     "flow",
+    "scenarios",
     "sim",
     "workloads",
 ]

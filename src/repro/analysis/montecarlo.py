@@ -111,7 +111,11 @@ def _allocator(scheme: str) -> Callable:
 
 def _resolve_jobs(n_jobs: Optional[int]) -> int:
     """Normalize an ``n_jobs`` spec to a concrete worker count."""
-    if n_jobs is None or n_jobs == 1:
+    if n_jobs is None:
+        return 1
+    if isinstance(n_jobs, bool) or not isinstance(n_jobs, (int, np.integer)):
+        raise TypeError(f"n_jobs must be an integer, -1, or None, got {n_jobs!r}")
+    if n_jobs == 1:
         return 1
     if n_jobs == -1:
         return max(os.cpu_count() or 1, 1)

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.video import StripeId
-from repro.flow.bipartite import BMatchingResult, solve_b_matching
+from repro.flow.bipartite import BMatchingResult, FLOW_SOLVERS, solve_b_matching
 from repro.flow.hopcroft_karp import hopcroft_karp_matching
 from repro.util.validation import check_non_negative_integer, check_positive_integer
 
@@ -473,6 +473,11 @@ class ConnectionMatching:
         violating the Lemma 1 condition ``U_{B(X)} ≥ |X|/c``.
     box_load:
         Per-box number of stripes served under the returned assignment.
+    capacities:
+        Effective per-box capacities the matching was solved against
+        (upload slots minus any ``busy_slots``, clipped at zero) — the
+        exact right-hand side of the solved instance, reused by the
+        differential solver oracle.
     """
 
     feasible: bool
@@ -481,6 +486,7 @@ class ConnectionMatching:
     request_set: RequestSet
     obstruction_witness: Optional[Tuple[int, ...]]
     box_load: np.ndarray
+    capacities: np.ndarray
 
 
 class ConnectionMatcher:
@@ -495,8 +501,9 @@ class ConnectionMatcher:
     solver:
         ``"hopcroft_karp"`` (default) matches directly on the CSR
         adjacency emitted by :meth:`PossessionIndex.adjacency_for`;
-        ``"dinic"`` keeps the original edge-list → max-flow reduction and
-        serves as the oracle in cross-validation tests and benchmarks.
+        ``"dinic"``, ``"push_relabel"`` and ``"edmonds_karp"`` keep the
+        original edge-list → max-flow reduction and serve as oracles in
+        cross-validation tests and benchmarks.
     """
 
     def __init__(self, upload_slots: Sequence[int], solver: str = "hopcroft_karp"):
@@ -505,8 +512,9 @@ class ConnectionMatcher:
             raise ValueError("upload_slots must be a non-empty 1-D sequence")
         if np.any(slots < 0):
             raise ValueError("upload_slots must be non-negative")
-        if solver not in ("hopcroft_karp", "dinic"):
-            raise ValueError(f"solver must be 'hopcroft_karp' or 'dinic', got {solver!r}")
+        if solver != "hopcroft_karp" and solver not in FLOW_SOLVERS:
+            known = ", ".join(["hopcroft_karp"] + sorted(FLOW_SOLVERS))
+            raise ValueError(f"solver must be one of {known}, got {solver!r}")
         self._slots = slots
         self._solver = solver
 
@@ -540,7 +548,7 @@ class ConnectionMatcher:
         (departed boxes, evicted caches, exhausted capacity) are dropped
         during validation, so the result is always a maximum matching of
         the *current* instance; only the solve gets cheaper.  Ignored by
-        the ``"dinic"`` oracle solver.
+        the max-flow oracle solvers.
         """
         n = self._slots.size
         capacities = self._slots.copy()
@@ -561,9 +569,10 @@ class ConnectionMatcher:
                 request_set=requests,
                 obstruction_witness=None,
                 box_load=np.zeros(n, dtype=np.int64),
+                capacities=capacities,
             )
 
-        if self._solver == "dinic":
+        if self._solver in FLOW_SOLVERS:
             edges: List[Tuple[int, int]] = []
             for idx, request in enumerate(request_list):
                 for box in possession.servers_for(request, current_time):
@@ -576,7 +585,7 @@ class ConnectionMatcher:
                 num_right=n,
                 edges=edges,
                 right_capacities=capacities.tolist(),
-                method="dinic",
+                method=self._solver,
             )
             assignment = result.assignment
             feasible, matched = result.feasible, result.matched
@@ -606,6 +615,7 @@ class ConnectionMatcher:
             request_set=requests,
             obstruction_witness=witness,
             box_load=box_load,
+            capacities=capacities,
         )
 
 

@@ -24,17 +24,28 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.flow.dinic import dinic_max_flow
+from repro.flow.edmonds_karp import edmonds_karp_max_flow
 from repro.flow.hopcroft_karp import csr_from_edges, hopcroft_karp_matching
 from repro.flow.mincut import residual_reachable
 from repro.flow.network import FlowNetwork, build_bipartite_network
+from repro.flow.push_relabel import push_relabel_max_flow
 
 __all__ = [
     "BMatchingResult",
+    "FLOW_SOLVERS",
     "solve_b_matching",
     "hall_violations",
     "worst_expansion_subset",
     "expansion_ratio",
 ]
+
+#: Max-flow kernels usable on the network-reduction path of
+#: :func:`solve_b_matching` (every entry is a valid ``method=``).
+FLOW_SOLVERS = {
+    "dinic": dinic_max_flow,
+    "push_relabel": push_relabel_max_flow,
+    "edmonds_karp": edmonds_karp_max_flow,
+}
 
 
 @dataclass(frozen=True)
@@ -90,8 +101,10 @@ def solve_b_matching(
     method:
         ``"auto"`` (default) uses the Hopcroft–Karp kernel when every left
         demand is 1 and falls back to the Dinic max-flow reduction
-        otherwise; ``"hopcroft_karp"`` and ``"dinic"`` force one path
-        (the Dinic path doubles as the oracle in cross-validation tests).
+        otherwise; ``"hopcroft_karp"``, ``"dinic"``, ``"push_relabel"``
+        and ``"edmonds_karp"`` force one path (the max-flow reductions
+        double as oracles in cross-validation tests — see
+        :mod:`repro.scenarios.oracle`).
     """
     demands = [1] * num_left if left_demands is None else [int(x) for x in left_demands]
     if len(demands) != num_left:
@@ -118,8 +131,9 @@ def solve_b_matching(
             deficient_left=hk.deficient_left,
             unsatisfied_witness=hk.unsatisfied_witness,
         )
-    if method != "dinic":
+    if method not in FLOW_SOLVERS:
         raise ValueError(f"unknown b-matching method {method!r}")
+    max_flow = FLOW_SOLVERS[method]
 
     network, source, sink = build_bipartite_network(
         num_left=num_left,
@@ -129,7 +143,7 @@ def solve_b_matching(
         right_capacities=caps,
         edge_capacity=max(demands) if demands else 1,
     )
-    matched = dinic_max_flow(network, source, sink)
+    matched = max_flow(network, source, sink)
     demand_total = sum(demands)
     feasible = matched == demand_total
 

@@ -1,0 +1,296 @@
+"""Compile a :class:`~repro.scenarios.spec.ScenarioSpec` into a live run.
+
+The compiler derives every stochastic ingredient from one master seed:
+``SeedSequence(seed)`` is spawned into named child streams — population,
+allocation, churn, then one stream per workload phase, in that fixed
+order — so the same ``(spec, seed)`` pair always wires byte-identical
+components regardless of which ones are actually random.  This is the
+foundation of the deterministic replay layer
+(:mod:`repro.scenarios.replay`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.allocation import (
+    Allocation,
+    random_independent_allocation,
+    random_permutation_allocation,
+    round_robin_allocation,
+)
+from repro.core.parameters import (
+    BoxPopulation,
+    homogeneous_population,
+    pareto_population,
+    two_class_population,
+)
+from repro.core.video import Catalog
+from repro.scenarios.phases import PhasedWorkload, WorkloadPhase
+from repro.scenarios.spec import ScenarioSpec, WorkloadPhaseSpec
+from repro.sim.churn import ChurnSchedule, random_churn_schedule
+from repro.sim.engine import RoundObservation, VodSimulator
+from repro.workloads.adversarial import (
+    ColdStartAdversary,
+    LeastReplicatedAdversary,
+    MissingVideoAdversary,
+)
+from repro.workloads.flashcrowd import FlashCrowdWorkload, StaggeredFlashCrowdWorkload
+from repro.workloads.popularity import UniformDemandWorkload, ZipfDemandWorkload
+from repro.workloads.sequential import SequentialViewingWorkload
+
+__all__ = ["CompiledScenario", "build_scenario"]
+
+
+@dataclass
+class CompiledScenario:
+    """A scenario wired and ready to run.
+
+    ``run()`` executes the simulator for the spec's horizon (or an
+    override) and returns the engine's
+    :class:`~repro.sim.engine.SimulationResult`.  A compiled scenario is
+    single-use: the simulator carries state, so build a fresh one per run.
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    catalog: Catalog
+    population: BoxPopulation
+    allocation: Allocation
+    churn: Optional[ChurnSchedule]
+    workload: PhasedWorkload
+    simulator: VodSimulator
+
+    def run(self, num_rounds: Optional[int] = None):
+        """Run the compiled simulator for ``num_rounds`` (default: horizon)."""
+        rounds = self.spec.horizon if num_rounds is None else int(num_rounds)
+        return self.simulator.run(self.workload, rounds)
+
+
+# ---------------------------------------------------------------------- #
+# Component factories
+# ---------------------------------------------------------------------- #
+def _build_population(
+    kind: str, params: Dict[str, Any], rng: np.random.Generator
+) -> BoxPopulation:
+    if kind == "homogeneous":
+        return homogeneous_population(
+            n=int(params["n"]), u=float(params["u"]), d=float(params["d"])
+        )
+    if kind == "two_class":
+        return two_class_population(
+            n=int(params["n"]),
+            rich_fraction=float(params["rich_fraction"]),
+            u_rich=float(params["u_rich"]),
+            u_poor=float(params["u_poor"]),
+            d_rich=float(params["d_rich"]),
+            d_poor=float(params["d_poor"]),
+            random_state=rng,
+            shuffle=bool(params.get("shuffle", False)),
+        )
+    if kind == "pareto":
+        u_cap = params.get("u_cap")
+        return pareto_population(
+            n=int(params["n"]),
+            u_min=float(params["u_min"]),
+            shape=float(params["shape"]),
+            storage_per_upload=float(params["storage_per_upload"]),
+            u_cap=None if u_cap is None else float(u_cap),
+            random_state=rng,
+        )
+    raise ValueError(f"unknown population kind {kind!r}")
+
+
+def _build_allocation(
+    spec: ScenarioSpec,
+    catalog: Catalog,
+    population: BoxPopulation,
+    rng: np.random.Generator,
+) -> Allocation:
+    alloc = spec.allocation
+    if alloc.scheme == "permutation":
+        return random_permutation_allocation(
+            catalog, population, alloc.replicas_per_stripe, random_state=rng
+        )
+    if alloc.scheme == "independent":
+        return random_independent_allocation(
+            catalog,
+            population,
+            alloc.replicas_per_stripe,
+            random_state=rng,
+            on_full=str(alloc.params.get("on_full", "redraw")),
+        )
+    if alloc.scheme == "round_robin":
+        return round_robin_allocation(
+            catalog,
+            population,
+            alloc.replicas_per_stripe,
+            offset=int(alloc.params.get("offset", 0)),
+        )
+    raise ValueError(f"unknown allocation scheme {alloc.scheme!r}")
+
+
+def _build_phase_generator(
+    phase: WorkloadPhaseSpec, spec: ScenarioSpec, rng: np.random.Generator
+):
+    p = phase.params
+    mu = float(p.get("mu", spec.mu))
+    if phase.kind == "zipf":
+        return ZipfDemandWorkload(
+            arrival_rate=float(p["arrival_rate"]),
+            exponent=float(p.get("exponent", 0.8)),
+            start_time=phase.start,
+            random_state=rng,
+        )
+    if phase.kind == "uniform":
+        return UniformDemandWorkload(
+            arrival_rate=float(p["arrival_rate"]),
+            start_time=phase.start,
+            random_state=rng,
+        )
+    if phase.kind == "flashcrowd":
+        max_members = p.get("max_members")
+        return FlashCrowdWorkload(
+            mu=mu,
+            target_videos=tuple(int(v) for v in p.get("target_videos", (0,))),
+            start_time=phase.start,
+            max_members=None if max_members is None else int(max_members),
+            random_state=rng,
+        )
+    if phase.kind == "staggered_flashcrowd":
+        max_members = p.get("max_members")
+        return StaggeredFlashCrowdWorkload(
+            mu=mu,
+            target_videos=tuple(int(v) for v in p["target_videos"]),
+            start_times=tuple(int(t) for t in p["start_times"]),
+            max_members=None if max_members is None else int(max_members),
+            random_state=rng,
+        )
+    if phase.kind == "sequential":
+        boxes = p.get("boxes")
+        playlist = p.get("playlist")
+        return SequentialViewingWorkload(
+            boxes=None if boxes is None else tuple(int(b) for b in boxes),
+            playlist=None if playlist is None else tuple(int(v) for v in playlist),
+            start_time=phase.start,
+            random_state=rng,
+        )
+    if phase.kind == "missing_video":
+        cap = p.get("max_demands_per_round")
+        return MissingVideoAdversary(
+            start_time=phase.start,
+            max_demands_per_round=None if cap is None else int(cap),
+            respect_growth=bool(p.get("respect_growth", False)),
+            mu=mu,
+            random_state=rng,
+        )
+    if phase.kind == "least_replicated":
+        return LeastReplicatedAdversary(
+            mu=mu,
+            num_target_videos=int(p.get("num_target_videos", 1)),
+            start_time=phase.start,
+            random_state=rng,
+        )
+    if phase.kind == "cold_start":
+        cap = p.get("max_demands_per_round")
+        return ColdStartAdversary(
+            start_time=phase.start,
+            max_demands_per_round=None if cap is None else int(cap),
+            random_state=rng,
+        )
+    raise ValueError(f"unknown workload kind {phase.kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# The compiler
+# ---------------------------------------------------------------------- #
+def build_scenario(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    record_connections: bool = False,
+    stop_on_infeasible: bool = False,
+    round_observer: Optional[Callable[[RoundObservation], None]] = None,
+    min_horizon: Optional[int] = None,
+) -> CompiledScenario:
+    """Compile ``spec`` into a fully wired simulator run.
+
+    ``seed`` defaults to ``spec.default_seed``.  All randomness —
+    population draw, allocation draw, churn schedule, every workload
+    phase — is derived from child streams of ``SeedSequence(seed)``
+    spawned in a fixed order, so two builds with the same arguments
+    produce bit-identical runs.
+
+    ``min_horizon`` extends the churn schedule beyond ``spec.horizon``
+    when the caller intends to run more rounds than the spec declares
+    (otherwise the extra rounds would silently be churn-free).  The
+    per-round churn draw is prefix-stable, so a longer schedule never
+    changes the outages of the earlier rounds.
+    """
+    if seed is None:
+        seed = spec.default_seed
+    seed = int(seed)
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+
+    root = np.random.SeedSequence(seed)
+    streams = root.spawn(3 + len(spec.workload))
+    population_rng = np.random.default_rng(streams[0])
+    allocation_rng = np.random.default_rng(streams[1])
+    churn_rng = np.random.default_rng(streams[2])
+
+    catalog = Catalog(
+        num_videos=spec.catalog.num_videos,
+        num_stripes=spec.catalog.num_stripes,
+        duration=spec.catalog.duration,
+    )
+    population = _build_population(
+        spec.population.kind, spec.population.params, population_rng
+    )
+    allocation = _build_allocation(spec, catalog, population, allocation_rng)
+
+    churn: Optional[ChurnSchedule] = None
+    if spec.churn is not None:
+        churn = random_churn_schedule(
+            num_boxes=population.n,
+            horizon=max(spec.horizon, min_horizon or 0),
+            failure_probability=spec.churn.failure_probability,
+            outage_duration=spec.churn.outage_duration,
+            random_state=churn_rng,
+            protected_boxes=spec.churn.protected_boxes,
+        )
+
+    phases = [
+        WorkloadPhase(
+            generator=_build_phase_generator(
+                phase, spec, np.random.default_rng(streams[3 + index])
+            ),
+            start=phase.start,
+            stop=phase.stop,
+        )
+        for index, phase in enumerate(spec.workload)
+    ]
+    workload = PhasedWorkload(phases)
+
+    simulator = VodSimulator(
+        allocation,
+        mu=spec.mu,
+        record_connections=record_connections,
+        stop_on_infeasible=stop_on_infeasible,
+        churn=churn,
+        warm_start=spec.warm_start,
+        solver=spec.solver,
+        round_observer=round_observer,
+    )
+    return CompiledScenario(
+        spec=spec,
+        seed=seed,
+        catalog=catalog,
+        population=population,
+        allocation=allocation,
+        churn=churn,
+        workload=workload,
+        simulator=simulator,
+    )

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro.scenarios <command>``.
+
+Commands
+--------
+``list``
+    Table of registered scenarios with the paper claim each one stresses.
+``run NAME``
+    Build + run a scenario and print its digest and summary; optionally
+    record a golden trace.
+``verify PATH``
+    Replay a golden-trace file and diff it (exit code 1 on divergence).
+``oracle NAME``
+    Differentially re-solve sampled rounds with Dinic and push–relabel
+    (exit code 1 on any disagreement).
+``smoke``
+    Run every registered scenario for a few rounds — the CI canary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.scenarios.oracle import run_differential_oracle
+from repro.scenarios.registry import all_scenarios, get_scenario, scenario_names
+from repro.scenarios.replay import (
+    diff_golden,
+    load_golden,
+    run_scenario,
+    verify_golden_file,
+    write_golden,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Named, reproducible end-to-end scenarios for the VoD repro.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios")
+
+    run_p = sub.add_parser("run", help="run a scenario and print its digest")
+    run_p.add_argument("name", help="registered scenario name")
+    run_p.add_argument("--seed", type=int, default=None, help="master seed")
+    run_p.add_argument("--rounds", type=int, default=None, help="override horizon")
+    run_p.add_argument(
+        "--solver",
+        default=None,
+        choices=["hopcroft_karp", "dinic", "push_relabel", "edmonds_karp"],
+        help="override the matching kernel",
+    )
+    run_p.add_argument(
+        "--cold-start",
+        action="store_true",
+        help="disable warm-started rounds for this run",
+    )
+    run_p.add_argument(
+        "--write-golden", metavar="PATH", default=None, help="record a golden trace"
+    )
+    run_p.add_argument(
+        "--json", action="store_true", help="emit the full digest payload as JSON"
+    )
+
+    verify_p = sub.add_parser("verify", help="replay and diff a golden trace")
+    verify_p.add_argument("golden", help="path to the golden-trace JSON file")
+    verify_p.add_argument(
+        "--embedded-spec",
+        action="store_true",
+        help="replay from the spec embedded in the file instead of the registry",
+    )
+
+    oracle_p = sub.add_parser("oracle", help="differential solver cross-check")
+    oracle_p.add_argument("name", help="registered scenario name")
+    oracle_p.add_argument("--seed", type=int, default=None)
+    oracle_p.add_argument("--rounds", type=int, default=None)
+    oracle_p.add_argument(
+        "--sample-every", type=int, default=1, help="check every k-th round"
+    )
+
+    smoke_p = sub.add_parser("smoke", help="run every scenario briefly")
+    smoke_p.add_argument("names", nargs="*", help="subset of scenarios (default: all)")
+    smoke_p.add_argument("--rounds", type=int, default=3)
+    smoke_p.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in scenario_names())
+    for spec in all_scenarios():
+        print(f"{spec.name:<{width}}  {spec.description}")
+        claim = spec.paper_claim or "(no paper claim recorded)"
+        print(f"{'':<{width}}  ↳ {claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.name).with_overrides(
+        solver=args.solver, warm_start=False if args.cold_start else None
+    )
+    run = run_scenario(spec, seed=args.seed, num_rounds=args.rounds)
+    if args.json:
+        print(json.dumps(run.to_golden_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"scenario : {run.spec.name}")
+        print(f"seed     : {run.seed}")
+        print(f"rounds   : {run.rounds}")
+        print(f"digest   : {run.digest}")
+        for key, value in run.summary.items():
+            print(f"  {key} = {value}")
+    if args.write_golden:
+        path = write_golden(run, args.write_golden)
+        print(f"golden trace written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    run, diffs = verify_golden_file(args.golden, use_registry=not args.embedded_spec)
+    if not diffs:
+        print(f"OK: {run.spec.name} seed={run.seed} replays bit-identically "
+              f"({run.digest})")
+        return 0
+    print(f"DIVERGED: {run.spec.name} seed={run.seed}")
+    for diff in diffs:
+        print(f"  - {diff}")
+    return 1
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    report = run_differential_oracle(
+        args.name,
+        seed=args.seed,
+        num_rounds=args.rounds,
+        sample_every=args.sample_every,
+    )
+    print(report.describe())
+    for disagreement in report.disagreements:
+        print(f"  - {disagreement}")
+    return 0 if report.ok else 1
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    names = args.names or scenario_names()
+    failures = 0
+    for name in names:
+        try:
+            run = run_scenario(name, seed=args.seed, num_rounds=args.rounds)
+        except Exception as exc:  # pragma: no cover - defensive CI surface
+            print(f"{name:<22} ERROR {exc}")
+            failures += 1
+            continue
+        feasible = "feasible" if run.summary["infeasible_rounds"] == 0 else (
+            f"{run.summary['infeasible_rounds']} infeasible rounds"
+        )
+        print(f"{name:<22} {run.digest[:16]}  {feasible}")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "oracle":
+        return _cmd_oracle(args)
+    if args.command == "smoke":
+        return _cmd_smoke(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

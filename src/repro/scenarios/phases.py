@@ -1,0 +1,70 @@
+"""Phased workload composition.
+
+A scenario's workload is a mix of phases: each phase owns a demand
+generator and an active window ``[start, stop)``.  :class:`PhasedWorkload`
+multiplexes them into the single :class:`~repro.workloads.base.DemandGenerator`
+the engine expects, querying every phase whose window covers the current
+round and dropping duplicate demands for the same box (first phase wins —
+the engine would reject the duplicate anyway, since a box plays at most
+one video).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.preloading import Demand
+from repro.workloads.base import DemandGenerator, SystemView
+
+__all__ = ["WorkloadPhase", "PhasedWorkload"]
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A generator together with its active round window ``[start, stop)``."""
+
+    generator: DemandGenerator
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active_at(self, time: int) -> bool:
+        """Whether the phase produces demands at round ``time``."""
+        if time < self.start:
+            return False
+        return self.stop is None or time < self.stop
+
+
+class PhasedWorkload:
+    """Multiplex several windowed demand generators into one.
+
+    Phases are queried in declaration order; a box demanded by an earlier
+    phase in the same round is withheld from later phases' output.  A
+    phase outside its window is *not* queried at all, so its internal
+    random stream advances only during its own window — this keeps
+    replays of multi-phase scenarios deterministic round by round.
+    """
+
+    def __init__(self, phases: Sequence[WorkloadPhase]):
+        if not phases:
+            raise ValueError("PhasedWorkload requires at least one phase")
+        self._phases: Tuple[WorkloadPhase, ...] = tuple(phases)
+
+    @property
+    def phases(self) -> Tuple[WorkloadPhase, ...]:
+        """The phases, in declaration (priority) order."""
+        return self._phases
+
+    def demands_for_round(self, view: SystemView) -> List[Demand]:
+        """Collect demands from every phase active at ``view.time``."""
+        demands: List[Demand] = []
+        taken_boxes: set = set()
+        for phase in self._phases:
+            if not phase.active_at(view.time):
+                continue
+            for demand in phase.generator.demands_for_round(view):
+                if demand.box_id in taken_boxes:
+                    continue
+                taken_boxes.add(demand.box_id)
+                demands.append(demand)
+        return demands

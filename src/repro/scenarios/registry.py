@@ -1,0 +1,240 @@
+"""The registry of named end-to-end scenarios.
+
+Each entry composes population, allocation, a phased workload mix, churn
+and a horizon into one reproducible run keyed by name.  The parameters
+are deliberately small (tens of boxes, tens of rounds) so that the full
+registry replays in seconds — these are regression scenarios for the
+matching engine and simulator, not scale benchmarks; the `paper_claim`
+field says which claim of the paper each one stresses.
+
+Use :func:`get_scenario` / :func:`scenario_names` to look entries up and
+:func:`register` to add project-local ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    AllocationSpec,
+    CatalogSpec,
+    ChurnSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    WorkloadPhaseSpec,
+)
+
+__all__ = ["register", "get_scenario", "scenario_names", "all_scenarios"]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry (refusing silent redefinitions)."""
+    if not overwrite and spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of all registered scenarios."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------- #
+# Built-in scenarios
+# ---------------------------------------------------------------------- #
+register(
+    ScenarioSpec(
+        name="steady_state",
+        description="Zipf-popular Poisson demand on a comfortable homogeneous system.",
+        paper_claim=(
+            "Theorem 1 baseline regime: u > 1 with moderate replication keeps "
+            "every round feasible under benign demand."
+        ),
+        catalog=CatalogSpec(num_videos=16, num_stripes=4, duration=12),
+        population=PopulationSpec("homogeneous", {"n": 32, "u": 2.0, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=4),
+        workload=(WorkloadPhaseSpec("zipf", params={"arrival_rate": 3.0}),),
+        mu=1.5,
+        horizon=24,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="flashcrowd_spike",
+        description="A mu-rate flash crowd on one video over light background demand.",
+        paper_claim=(
+            "Lemma 2 tightness: a swarm growing at the maximal rate mu is fed by "
+            "the previous generation's preloaded stripes."
+        ),
+        catalog=CatalogSpec(num_videos=12, num_stripes=4, duration=10),
+        population=PopulationSpec("homogeneous", {"n": 40, "u": 2.0, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=4),
+        workload=(
+            WorkloadPhaseSpec("zipf", params={"arrival_rate": 1.0}),
+            WorkloadPhaseSpec(
+                "flashcrowd",
+                start=2,
+                params={"target_videos": [0], "max_members": 25},
+            ),
+        ),
+        mu=1.5,
+        horizon=20,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="adaptive_adversary",
+        description="Demand floods the least-replicated videos of the drawn allocation.",
+        paper_claim=(
+            "Worst-case quantification over any demand sequence: an adaptive "
+            "adversary probes the weakest part of the expander."
+        ),
+        catalog=CatalogSpec(num_videos=14, num_stripes=4, duration=10),
+        population=PopulationSpec("homogeneous", {"n": 36, "u": 2.0, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=4),
+        workload=(
+            WorkloadPhaseSpec(
+                "least_replicated", params={"num_target_videos": 2, "mu": 1.4}
+            ),
+        ),
+        mu=1.4,
+        horizon=20,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="hetero_upload_tiers",
+        description="Rich/poor two-class population served without relaying.",
+        paper_claim=(
+            "Section 4 premise: heterogeneous upload tiers with average u > 1 "
+            "still admit per-round feasible matchings."
+        ),
+        catalog=CatalogSpec(num_videos=12, num_stripes=4, duration=10),
+        population=PopulationSpec(
+            "two_class",
+            {
+                "n": 40,
+                "rich_fraction": 0.4,
+                "u_rich": 3.0,
+                "u_poor": 1.0,
+                "d_rich": 4.5,
+                "d_poor": 1.5,
+                "shuffle": True,
+            },
+        ),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=4),
+        workload=(WorkloadPhaseSpec("zipf", params={"arrival_rate": 2.5}),),
+        mu=1.5,
+        horizon=20,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="churn_storm",
+        description="Random box outages take replicas and upload offline mid-run.",
+        paper_claim=(
+            "Robustness extension: k independent replicas tolerate moderate "
+            "churn without any repair mechanism."
+        ),
+        catalog=CatalogSpec(num_videos=12, num_stripes=4, duration=10),
+        population=PopulationSpec("homogeneous", {"n": 36, "u": 2.5, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=5),
+        workload=(WorkloadPhaseSpec("zipf", params={"arrival_rate": 2.0}),),
+        churn=ChurnSpec(failure_probability=0.03, outage_duration=4),
+        mu=1.5,
+        horizon=24,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="catalog_growth_ramp",
+        description="Cold-start demand ramps across a catalog near the storage cap.",
+        paper_claim=(
+            "Achievable catalog size: sourcing pressure on an m close to d*n/k "
+            "catalog probes the obstruction-probability regime of Lemmas 3-4."
+        ),
+        catalog=CatalogSpec(num_videos=23, num_stripes=4, duration=8),
+        population=PopulationSpec("homogeneous", {"n": 32, "u": 2.0, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=4),
+        workload=(
+            WorkloadPhaseSpec(
+                "cold_start", start=0, stop=8, params={"max_demands_per_round": 1}
+            ),
+            WorkloadPhaseSpec(
+                "cold_start", start=8, stop=16, params={"max_demands_per_round": 3}
+            ),
+            WorkloadPhaseSpec(
+                "cold_start", start=16, params={"max_demands_per_round": 5}
+            ),
+        ),
+        mu=1.5,
+        horizon=24,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="warm_cold_restart",
+        description="Two flash crowds separated by an idle gap on one simulator.",
+        paper_claim=(
+            "Warm-start correctness: after caches evict and requests expire, "
+            "re-matching from a stale assignment must equal a cold solve."
+        ),
+        catalog=CatalogSpec(num_videos=12, num_stripes=4, duration=8),
+        population=PopulationSpec("homogeneous", {"n": 40, "u": 2.0, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=4),
+        workload=(
+            WorkloadPhaseSpec(
+                "flashcrowd",
+                start=1,
+                params={"target_videos": [0], "max_members": 20},
+            ),
+            WorkloadPhaseSpec(
+                "flashcrowd",
+                start=12,
+                params={"target_videos": [1], "max_members": 20},
+            ),
+        ),
+        mu=1.5,
+        horizon=24,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="near_threshold_load",
+        description="Aggressive uniform demand with upload barely above the threshold.",
+        paper_claim=(
+            "The u > 1 threshold itself: just above it the system is workable "
+            "but obstruction witnesses appear under heavy load."
+        ),
+        catalog=CatalogSpec(num_videos=14, num_stripes=4, duration=10),
+        population=PopulationSpec("homogeneous", {"n": 48, "u": 1.05, "d": 2.5}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=3),
+        workload=(WorkloadPhaseSpec("uniform", params={"arrival_rate": 10.0}),),
+        mu=1.5,
+        horizon=20,
+    )
+)

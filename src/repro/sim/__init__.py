@@ -10,7 +10,7 @@ growth-bound validation, metrics aggregation and a structured event trace.
 
 from repro.sim.churn import ChurnSchedule, Outage, random_churn_schedule
 from repro.sim.clock import RoundClock
-from repro.sim.engine import SimulationResult, VodSimulator
+from repro.sim.engine import RoundObservation, SimulationResult, VodSimulator
 from repro.sim.events import (
     ConnectionEvent,
     DemandEvent,
@@ -29,6 +29,7 @@ __all__ = [
     "Outage",
     "random_churn_schedule",
     "RoundClock",
+    "RoundObservation",
     "SimulationResult",
     "VodSimulator",
     "ConnectionEvent",

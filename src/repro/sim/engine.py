@@ -25,13 +25,18 @@ early, which the catalog-search experiments use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.heterogeneous import CompensationPlan, RelayedPreloadingScheduler
-from repro.core.matching import ConnectionMatcher, PossessionIndex, RequestSet
+from repro.core.matching import (
+    ConnectionMatcher,
+    ConnectionMatching,
+    PossessionIndex,
+    RequestSet,
+)
 from repro.core.preloading import Demand, PreloadingScheduler
 from repro.sim.churn import ChurnSchedule
 from repro.sim.clock import RoundClock
@@ -49,7 +54,34 @@ from repro.sim.trace import SimulationTrace
 from repro.workloads.base import DemandGenerator, SystemView
 from repro.util.validation import check_positive_integer
 
-__all__ = ["SimulationResult", "VodSimulator"]
+__all__ = ["RoundObservation", "SimulationResult", "VodSimulator"]
+
+
+@dataclass(frozen=True)
+class RoundObservation:
+    """Snapshot of one round's matching instance, handed to observers.
+
+    The observation is emitted *after* the round's matching and *before*
+    the possession index mutates again (eviction happens at the start of
+    the next round), so ``possession.adjacency_for(list(request_set),
+    time)`` reproduces the exact bipartite instance the matcher solved.
+    The differential solver oracle (:mod:`repro.scenarios.oracle`) relies
+    on this to re-solve sampled rounds with independent kernels.
+    """
+
+    #: Round the matching was computed for.
+    time: int
+    #: The request multiset ``Y`` handed to the matcher.
+    request_set: RequestSet
+    #: The matching the engine's solver returned.
+    matching: "ConnectionMatching"
+    #: The possession index, still in this round's state.
+    possession: PossessionIndex
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Effective per-box capacities of this round's solved instance."""
+        return self.matching.capacities
 
 
 @dataclass(frozen=True)
@@ -115,7 +147,13 @@ class VodSimulator:
         either level should pin both ``warm_start`` and ``solver``.
     solver:
         Matching kernel handed to :class:`ConnectionMatcher` —
-        ``"hopcroft_karp"`` (default) or the ``"dinic"`` max-flow oracle.
+        ``"hopcroft_karp"`` (default) or one of the max-flow oracles
+        (``"dinic"``, ``"push_relabel"``, ``"edmonds_karp"``).
+    round_observer:
+        Optional callable invoked with a :class:`RoundObservation` after
+        every round's matching, while the possession index still holds
+        this round's state.  Used by the differential solver oracle and
+        by custom per-round instrumentation; must not mutate the system.
     """
 
     def __init__(
@@ -129,6 +167,7 @@ class VodSimulator:
         churn: Optional[ChurnSchedule] = None,
         warm_start: bool = True,
         solver: str = "hopcroft_karp",
+        round_observer: Optional[Callable[[RoundObservation], None]] = None,
     ):
         self._allocation = allocation
         self._catalog = allocation.catalog
@@ -140,6 +179,7 @@ class VodSimulator:
         self._stop_on_infeasible = stop_on_infeasible
         self._churn = churn
         self._warm_start = warm_start
+        self._round_observer = round_observer
 
         c = self._catalog.num_stripes_per_video
         upload_slots = self._population.upload_slots(c)
@@ -343,6 +383,16 @@ class VodSimulator:
             box_load=matching.box_load,
             upload_capacity=self._upload_capacity_total,
         )
+
+        if self._round_observer is not None:
+            self._round_observer(
+                RoundObservation(
+                    time=time,
+                    request_set=request_set,
+                    matching=matching,
+                    possession=self._possession,
+                )
+            )
 
         # 4. Playback starts.
         self._detect_playback_starts(time)

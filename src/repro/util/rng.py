@@ -70,6 +70,8 @@ def spawn_seed_sequences(
     elif random_state is None:
         seq = np.random.SeedSequence()
     elif isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValueError(f"seed must be non-negative, got {random_state}")
         seq = np.random.SeedSequence(int(random_state))
     else:
         raise TypeError(
@@ -97,7 +99,10 @@ def derive_seed(random_state: RandomState, stream: int = 0) -> int:
     Handy when a component needs to record "the seed it used" in a report
     while having been constructed from a shared master seed.
     """
+    if stream < 0:
+        raise ValueError(f"stream must be non-negative, got {stream}")
     gen = as_generator(random_state)
+    value = 0
     for _ in range(stream + 1):
         value = int(gen.integers(0, 2**63 - 1))
     return value

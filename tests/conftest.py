@@ -10,6 +10,22 @@ from repro.core.parameters import BoxPopulation, homogeneous_population
 from repro.core.video import Catalog
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden scenario traces under tests/golden/ "
+        "instead of diffing against them (for intentional behaviour changes)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether the run was asked to regenerate golden traces."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic NumPy generator."""

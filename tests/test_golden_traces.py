@@ -1,0 +1,92 @@
+"""Golden-trace regression tests.
+
+Three representative scenarios are recorded under ``tests/golden/``; each
+test replays the scenario from the registry at the recorded seed and
+requires a bit-identical digest.  After an *intentional* behaviour change
+(new solver default, workload fix, ...) regenerate the recordings with
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --regen-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.replay import (
+    diff_golden,
+    load_golden,
+    run_scenario,
+    verify_golden_file,
+    write_golden,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (scenario name, recorded seed) — keep in sync with the files on disk.
+GOLDEN_SCENARIOS = [
+    ("steady_state", 1234),
+    ("flashcrowd_spike", 1234),
+    ("churn_storm", 1234),
+]
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name,seed", GOLDEN_SCENARIOS)
+def test_golden_trace_replays_bit_identically(name, seed, regen_golden):
+    path = _golden_path(name)
+    if regen_golden:
+        run = run_scenario(name, seed=seed)
+        write_golden(run, path)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden trace {path}; record it with --regen-golden"
+    )
+    run, diffs = verify_golden_file(path)
+    assert not diffs, "golden trace diverged:\n" + "\n".join(f"  {d}" for d in diffs)
+    assert run.digest == load_golden(path)["digest"]
+
+
+@pytest.mark.parametrize("name,seed", GOLDEN_SCENARIOS)
+def test_golden_file_embeds_registry_spec(name, seed, regen_golden):
+    if regen_golden:
+        pytest.skip("regeneration run")
+    golden = load_golden(_golden_path(name))
+    assert golden["scenario"] == name
+    assert golden["seed"] == seed
+    assert golden["spec"]["name"] == name
+
+
+def test_diff_golden_detects_tampered_rounds(regen_golden):
+    if regen_golden:
+        pytest.skip("regeneration run")
+    name, seed = GOLDEN_SCENARIOS[0]
+    golden = load_golden(_golden_path(name))
+    golden["round_records"][2]["matched"] += 1
+    run = run_scenario(name, seed=seed, num_rounds=golden["rounds"])
+    diffs = diff_golden(run, golden)
+    assert any("round 2" in d for d in diffs)
+
+
+def test_diff_golden_detects_tampered_digest(tmp_path, regen_golden):
+    if regen_golden:
+        pytest.skip("regeneration run")
+    name, seed = GOLDEN_SCENARIOS[0]
+    golden = load_golden(_golden_path(name))
+    golden["digest"] = "0" * 64
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(golden))
+    _, diffs = verify_golden_file(tampered)
+    assert any(d.startswith("digest:") for d in diffs)
+
+
+def test_load_golden_rejects_unknown_format(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"format": 99}))
+    with pytest.raises(ValueError, match="format"):
+        load_golden(bad)

@@ -140,3 +140,114 @@ class TestSeedHandling:
         for seq, gen in zip(seqs, gens):
             expected = np.random.default_rng(seq)
             assert expected.integers(1 << 30) == gen.integers(1 << 30)
+
+
+def _sim_kwargs():
+    return dict(
+        population=homogeneous_population(20, u=1.2, d=2.5),
+        catalog=Catalog(num_videos=10, num_stripes=3, duration=15),
+        k=2,
+        mu=1.5,
+        workload_factory=FlashCrowdFactory(mu=1.5),
+        num_rounds=5,
+        trials=4,
+    )
+
+
+def _catalog_kwargs():
+    return dict(
+        n=16,
+        u=1.5,
+        d=2.0,
+        c=3,
+        k=2,
+        mu=1.5,
+        workload_factory=FlashCrowdFactory(mu=1.5),
+        num_rounds=4,
+        trials_per_point=3,
+        m_max=8,
+    )
+
+
+SEED_SPECS = [
+    ("int", lambda seed: seed),
+    ("seedseq", lambda seed: np.random.SeedSequence(seed)),
+    ("generator", lambda seed: np.random.default_rng(seed)),
+]
+
+
+class TestAllEstimatorsDeterministic:
+    """n_jobs>1 must be digest-identical to serial for *every* estimator and
+    every RandomState spec the library accepts (int, SeedSequence, Generator)."""
+
+    @pytest.mark.parametrize("label,make_seed", SEED_SPECS)
+    def test_static_estimator_all_seed_specs(self, label, make_seed):
+        kwargs = dict(STATIC_KWARGS)
+        kwargs.pop("random_state")
+        serial = estimate_static_obstruction_probability(
+            **kwargs, random_state=make_seed(13)
+        )
+        parallel = estimate_static_obstruction_probability(
+            **kwargs, random_state=make_seed(13), n_jobs=2
+        )
+        assert serial.describe() == parallel.describe()
+        assert serial.details == parallel.details
+
+    @pytest.mark.parametrize("label,make_seed", SEED_SPECS)
+    def test_simulation_estimator_all_seed_specs(self, label, make_seed):
+        serial = estimate_simulation_failure_probability(
+            **_sim_kwargs(), random_state=make_seed(3)
+        )
+        parallel = estimate_simulation_failure_probability(
+            **_sim_kwargs(), random_state=make_seed(3), n_jobs=2
+        )
+        assert serial.describe() == parallel.describe()
+        assert serial.details == parallel.details
+
+    @pytest.mark.parametrize("label,make_seed", SEED_SPECS)
+    def test_find_max_feasible_catalog_all_seed_specs(self, label, make_seed):
+        serial = find_max_feasible_catalog(
+            **_catalog_kwargs(), random_state=make_seed(5)
+        )
+        parallel = find_max_feasible_catalog(
+            **_catalog_kwargs(), random_state=make_seed(5), n_jobs=2
+        )
+        assert serial == parallel
+
+    def test_new_flow_solvers_agree_with_hk_in_static_estimator(self):
+        baseline = estimate_static_obstruction_probability(**STATIC_KWARGS)
+        for solver in ("push_relabel", "edmonds_karp"):
+            oracle = estimate_static_obstruction_probability(
+                **STATIC_KWARGS, solver=solver
+            )
+            assert oracle.failures == baseline.failures
+            assert oracle.details == baseline.details
+
+    def test_n_jobs_rejects_non_integers(self):
+        with pytest.raises(TypeError):
+            estimate_static_obstruction_probability(**STATIC_KWARGS, n_jobs=2.5)
+        with pytest.raises(TypeError):
+            estimate_static_obstruction_probability(**STATIC_KWARGS, n_jobs=True)
+
+
+class TestSeedDerivationEdgeCases:
+    """Edge cases surfaced by the scenario determinism work (PR 2)."""
+
+    def test_spawn_seed_sequences_rejects_negative_seed(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_seed_sequences(-5, 3)
+
+    def test_spawn_seed_sequences_zero_children(self):
+        assert spawn_seed_sequences(0, 0) == []
+
+    def test_derive_seed_rejects_negative_stream(self):
+        from repro.util.rng import derive_seed
+
+        with pytest.raises(ValueError, match="non-negative"):
+            derive_seed(1, stream=-1)
+
+    def test_derive_seed_streams_are_stable(self):
+        from repro.util.rng import derive_seed
+
+        assert derive_seed(42, stream=0) == derive_seed(42, stream=0)
+        assert derive_seed(42, stream=0) != derive_seed(42, stream=1)

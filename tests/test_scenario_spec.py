@@ -1,0 +1,227 @@
+"""Scenario spec, registry and compiler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preloading import Demand
+from repro.scenarios.build import build_scenario
+from repro.scenarios.phases import PhasedWorkload, WorkloadPhase
+from repro.scenarios.registry import all_scenarios, get_scenario, register, scenario_names
+from repro.scenarios.spec import (
+    AllocationSpec,
+    CatalogSpec,
+    ChurnSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    WorkloadPhaseSpec,
+)
+from repro.workloads.base import StaticDemandSchedule
+
+
+def _minimal_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="mini",
+        description="minimal test scenario",
+        catalog=CatalogSpec(num_videos=4, num_stripes=3, duration=6),
+        population=PopulationSpec("homogeneous", {"n": 12, "u": 2.0, "d": 2.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=2),
+        workload=(WorkloadPhaseSpec("uniform", params={"arrival_rate": 1.0}),),
+        horizon=6,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecValidation:
+    def test_unknown_population_kind(self):
+        with pytest.raises(ValueError, match="population kind"):
+            PopulationSpec("exotic", {})
+
+    def test_unknown_allocation_scheme(self):
+        with pytest.raises(ValueError, match="allocation scheme"):
+            AllocationSpec("striped")
+
+    def test_unknown_workload_kind(self):
+        with pytest.raises(ValueError, match="workload kind"):
+            WorkloadPhaseSpec("bursty")
+
+    def test_phase_window_ordering(self):
+        with pytest.raises(ValueError, match="after its start"):
+            WorkloadPhaseSpec("uniform", start=5, stop=5, params={"arrival_rate": 1.0})
+
+    def test_scenario_requires_workload(self):
+        with pytest.raises(ValueError, match="workload phase"):
+            _minimal_spec(workload=())
+
+    def test_scenario_rejects_unknown_solver(self):
+        with pytest.raises(ValueError, match="solver"):
+            _minimal_spec(solver="simplex")
+
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(failure_probability=1.5, outage_duration=2)
+        with pytest.raises(ValueError):
+            ChurnSpec(failure_probability=0.1, outage_duration=0)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_registry_specs_roundtrip_through_json_dicts(self, name):
+        spec = get_scenario(name)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_churn_and_overrides_roundtrip(self):
+        spec = _minimal_spec(
+            churn=ChurnSpec(0.05, 3, protected_boxes=(0, 1)),
+            solver="dinic",
+            warm_start=False,
+            default_seed=9,
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.churn.protected_boxes == (0, 1)
+
+    def test_with_overrides(self):
+        spec = _minimal_spec()
+        tweaked = spec.with_overrides(horizon=3, solver="push_relabel", warm_start=False)
+        assert tweaked.horizon == 3
+        assert tweaked.solver == "push_relabel"
+        assert not tweaked.warm_start
+        # Untouched fields carry over.
+        assert tweaked.catalog == spec.catalog
+        assert spec.horizon == 6
+
+
+class TestRegistry:
+    def test_registry_has_the_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+        for spec in all_scenarios():
+            assert spec.description
+            assert spec.paper_claim
+
+    def test_unknown_scenario_lookup(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("does_not_exist")
+
+    def test_duplicate_registration_refused(self):
+        spec = get_scenario("steady_state")
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec)
+        register(spec, overwrite=True)  # explicit overwrite is allowed
+
+
+class TestCompiler:
+    def test_same_seed_builds_identical_components(self):
+        spec = get_scenario("churn_storm")
+        a = build_scenario(spec, seed=5)
+        b = build_scenario(spec, seed=5)
+        assert np.array_equal(a.allocation.replica_box, b.allocation.replica_box)
+        assert a.churn is not None and b.churn is not None
+        assert a.churn.outages == b.churn.outages
+        assert np.array_equal(a.population.uploads, b.population.uploads)
+
+    def test_different_seeds_build_different_allocations(self):
+        spec = get_scenario("steady_state")
+        a = build_scenario(spec, seed=1)
+        b = build_scenario(spec, seed=2)
+        assert not np.array_equal(a.allocation.replica_box, b.allocation.replica_box)
+
+    def test_default_seed_is_used(self):
+        spec = _minimal_spec(default_seed=17)
+        assert build_scenario(spec).seed == 17
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            build_scenario(_minimal_spec(), seed=-1)
+
+    def test_two_class_population_is_built(self):
+        compiled = build_scenario(get_scenario("hetero_upload_tiers"), seed=0)
+        uploads = compiled.population.uploads
+        assert set(np.unique(uploads)) == {1.0, 3.0}
+
+    def test_run_executes_for_horizon(self):
+        compiled = build_scenario(_minimal_spec(), seed=1)
+        result = compiled.run()
+        assert result.metrics.rounds == 6
+
+    @pytest.mark.parametrize(
+        "kind,params",
+        [
+            ("zipf", {"arrival_rate": 1.0, "exponent": 0.7}),
+            ("uniform", {"arrival_rate": 1.0}),
+            ("flashcrowd", {"target_videos": [0], "max_members": 5}),
+            (
+                "staggered_flashcrowd",
+                {"target_videos": [0, 1], "start_times": [0, 2], "max_members": 4},
+            ),
+            ("sequential", {"boxes": [0, 1, 2], "playlist": [0, 1]}),
+            ("missing_video", {"max_demands_per_round": 2, "respect_growth": True}),
+            ("least_replicated", {"num_target_videos": 1}),
+            ("cold_start", {"max_demands_per_round": 2}),
+        ],
+    )
+    def test_every_workload_kind_compiles_and_runs(self, kind, params):
+        spec = _minimal_spec(
+            workload=(WorkloadPhaseSpec(kind, params=params),), horizon=3
+        )
+        result = build_scenario(spec, seed=2).run()
+        assert result.metrics.rounds == 3
+
+    @pytest.mark.parametrize(
+        "scheme,params",
+        [("independent", {"on_full": "redraw"}), ("round_robin", {"offset": 1})],
+    )
+    def test_every_allocation_scheme_compiles(self, scheme, params):
+        spec = _minimal_spec(
+            allocation=AllocationSpec(scheme, replicas_per_stripe=2, params=params)
+        )
+        compiled = build_scenario(spec, seed=3)
+        assert compiled.allocation.scheme == scheme
+
+    def test_pareto_population_compiles(self):
+        spec = _minimal_spec(
+            population=PopulationSpec(
+                "pareto",
+                {"n": 12, "u_min": 1.0, "shape": 2.0, "storage_per_upload": 2.0,
+                 "u_cap": 4.0},
+            )
+        )
+        compiled = build_scenario(spec, seed=4)
+        assert compiled.population.n == 12
+        assert compiled.population.max_upload <= 4.0
+
+
+class TestPhasedWorkload:
+    def test_requires_at_least_one_phase(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            PhasedWorkload(())
+
+    def test_window_gating_and_dedup(self):
+        demands_a = [Demand(time=t, box_id=0, video_id=0) for t in range(4)]
+        demands_b = [Demand(time=t, box_id=0, video_id=1) for t in range(4)] + [
+            Demand(time=t, box_id=1, video_id=1) for t in range(4)
+        ]
+        workload = PhasedWorkload(
+            [
+                WorkloadPhase(StaticDemandSchedule(demands_a), start=0, stop=2),
+                WorkloadPhase(StaticDemandSchedule(demands_b), start=1),
+            ]
+        )
+
+        class _View:
+            free_boxes = np.array([0, 1], dtype=np.int64)
+
+            def __init__(self, time):
+                self.time = time
+
+        # Round 0: only phase A is active.
+        round0 = workload.demands_for_round(_View(0))
+        assert [(d.box_id, d.video_id) for d in round0] == [(0, 0)]
+        # Round 1: both active; box 0 deduped in favour of phase A.
+        round1 = workload.demands_for_round(_View(1))
+        assert [(d.box_id, d.video_id) for d in round1] == [(0, 0), (1, 1)]
+        # Round 2: phase A's window is over.
+        round2 = workload.demands_for_round(_View(2))
+        assert [(d.box_id, d.video_id) for d in round2] == [(0, 1), (1, 1)]
