@@ -25,10 +25,10 @@ from repro.baselines.full_replication import (
     max_catalog_full_replication,
 )
 from repro.baselines.sourcing_only import SourcingOnlyPossessionIndex
+from repro.api import VodSystem
 from repro.core.allocation import random_permutation_allocation
 from repro.core.parameters import homogeneous_population
 from repro.core.video import Catalog
-from repro.sim.engine import VodSimulator
 from repro.workloads.flashcrowd import FlashCrowdWorkload
 
 N, U, D, C, K, MU = 48, 1.5, 2.0, 4, 3, 2.0
@@ -36,7 +36,7 @@ DURATION = 40
 
 
 def run_system(name, allocation, sourcing_only=False, seed=9):
-    simulator = VodSimulator(allocation, mu=MU)
+    simulator = VodSystem.for_allocation(allocation, mu=MU).build_simulator()
     if sourcing_only:
         simulator._possession = SourcingOnlyPossessionIndex(allocation, cache_window=DURATION)
     workload = FlashCrowdWorkload(mu=MU, target_videos=(0,), random_state=seed)

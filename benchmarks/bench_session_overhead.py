@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Stepwise-session overhead benchmark; merges into ``BENCH_matching.json``.
+
+The session layer promises to be a *free* abstraction: driving rounds one
+at a time through :class:`repro.api.VodSession` (with its admission
+bookkeeping and per-round :class:`RoundReport` construction) must add
+less than 5% per-round overhead over the batch ``VodSimulator.run`` loop,
+and must produce bit-identical per-round metrics.
+
+The script times best-of-``--repeats`` wall clock of both execution
+styles on freshly built, identically seeded systems, verifies metric
+parity, asserts the <5% overhead target and merges a
+``session_overhead`` section into ``BENCH_matching.json``.  Exit code 1
+when the target is missed or parity breaks.
+
+Run ``python benchmarks/bench_session_overhead.py --smoke`` for the quick
+CI pass, without arguments for the full sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+from repro.api import VodSystem, create_component
+
+#: The <5% per-round overhead acceptance target.
+OVERHEAD_TARGET = 0.05
+
+
+def build(n: int, m: int, arrival: float, rounds: int, seed: int):
+    """A medium homogeneous system + workload, identically seeded per call."""
+    system = VodSystem.configure(
+        catalog={"num_videos": m, "num_stripes": 4, "duration": 30},
+        population=("homogeneous", {"n": n, "u": 2.0, "d": 3.0}),
+        mu=1.5,
+    )
+    system.allocate("permutation", replicas_per_stripe=4, seed=seed)
+    workload = create_component(
+        "workload",
+        "zipf",
+        {"arrival_rate": arrival},
+        0,
+        system.mu,
+        np.random.default_rng(seed),
+    )
+    return system, workload
+
+
+def sample_batch(n, m, arrival, rounds, seed):
+    system, workload = build(n, m, arrival, rounds, seed)
+    engine = system.build_simulator()
+    start = time.perf_counter()
+    result = engine.run(workload, rounds)
+    elapsed = time.perf_counter() - start
+    return elapsed, [stats.to_dict() for stats in result.metrics.round_stats]
+
+
+def sample_session(n, m, arrival, rounds, seed):
+    system, workload = build(n, m, arrival, rounds, seed)
+    session = system.open_session(workload=workload, horizon=rounds)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        session.step()
+    elapsed = time.perf_counter() - start
+    records = [r.to_round_stats().to_dict() for r in session.reports]
+    return elapsed, records
+
+
+def time_both(n, m, arrival, rounds, seed, repeats):
+    """Interleaved batch/session sample pairs.
+
+    Interleaving matters: machine-state drift (frequency scaling, page
+    cache) otherwise biases whichever style is measured second.  The
+    overhead estimate is the *minimum over paired ratios* — scheduler
+    noise only ever inflates a sample, so the cleanest pair bounds the
+    inherent overhead from above.
+    """
+    pairs = []
+    batch_records = session_records = None
+    for _ in range(repeats):
+        batch_elapsed, batch_records = sample_batch(n, m, arrival, rounds, seed)
+        session_elapsed, session_records = sample_session(n, m, arrival, rounds, seed)
+        pairs.append((batch_elapsed, session_elapsed))
+    return pairs, batch_records, session_records
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small CI sizes")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_matching.json"
+        ),
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        n, m, arrival, rounds = 60, 24, 4.0, 20
+    else:
+        n, m, arrival, rounds = 160, 48, 8.0, 60
+    seed = 42
+
+    # Warm-up (imports, allocator caches) outside the timed region.
+    sample_batch(n, m, arrival, 3, seed)
+    sample_session(n, m, arrival, 3, seed)
+
+    pairs, batch_records, session_records = time_both(
+        n, m, arrival, rounds, seed, args.repeats
+    )
+
+    parity = session_records == batch_records
+    batch_best = min(b for b, _ in pairs)
+    session_best = min(s for _, s in pairs)
+    overhead = min(s / b for b, s in pairs) - 1.0
+
+    print(f"rounds                 : {rounds} (n={n}, m={m}, arrival={arrival})")
+    print(f"batch run() best       : {batch_best * 1e3:8.2f} ms "
+          f"({batch_best / rounds * 1e6:7.1f} us/round)")
+    print(f"session step() best    : {session_best * 1e3:8.2f} ms "
+          f"({session_best / rounds * 1e6:7.1f} us/round)")
+    print(f"pair ratios            : "
+          + ", ".join(f"{s / b - 1.0:+.2%}" for b, s in pairs))
+    print(f"per-round overhead     : {overhead * 100:+.2f}%  (min pair ratio; "
+          f"target < {OVERHEAD_TARGET * 100:.0f}%)")
+    print(f"metric parity          : {'OK' if parity else 'DIVERGED'}")
+
+    section = {
+        "n": n,
+        "m": m,
+        "rounds": rounds,
+        "arrival_rate": arrival,
+        "repeats": args.repeats,
+        "batch_seconds": batch_best,
+        "session_seconds": session_best,
+        "overhead_fraction": overhead,
+        "overhead_target": OVERHEAD_TARGET,
+        "metric_parity": parity,
+        "target_met": parity and overhead < OVERHEAD_TARGET,
+    }
+    output = os.path.abspath(args.output)
+    artifact = {}
+    if os.path.exists(output):
+        try:
+            with open(output) as handle:
+                artifact = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            artifact = {}
+    artifact["session_overhead"] = section
+    with open(output, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"merged session_overhead into {output}")
+
+    if not parity:
+        print("FAIL: session rounds diverged from batch rounds", file=sys.stderr)
+        return 1
+    if overhead >= OVERHEAD_TARGET:
+        print(
+            f"FAIL: session overhead {overhead * 100:.2f}% exceeds the "
+            f"{OVERHEAD_TARGET * 100:.0f}% target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

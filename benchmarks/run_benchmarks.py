@@ -298,6 +298,17 @@ def main(argv=None) -> int:
         "target_met": bool(target_met),
     }
     output = os.path.abspath(args.output)
+    # Preserve sections other benchmarks own (e.g. bench_session_overhead's
+    # ``session_overhead``) instead of clobbering the shared artifact.
+    if os.path.exists(output):
+        try:
+            with open(output) as handle:
+                previous = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        for key, value in previous.items():
+            if key not in artifact:
+                artifact[key] = value
     with open(output, "w") as handle:
         json.dump(artifact, handle, indent=2)
     print(f"[bench] kernel speedup {kernel_speedup:.2f}x (target 5x) -> {output}")

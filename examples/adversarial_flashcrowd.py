@@ -23,7 +23,7 @@ from repro import (
     ColdStartAdversary,
     FlashCrowdWorkload,
     LeastReplicatedAdversary,
-    VodSimulator,
+    VodSystem,
     homogeneous_population,
     random_permutation_allocation,
 )
@@ -32,7 +32,7 @@ from repro.baselines.sourcing_only import SourcingOnlyPossessionIndex
 
 
 def run(allocation, workload, mu, rounds=10, sourcing_only=False):
-    simulator = VodSimulator(allocation, mu=mu)
+    simulator = VodSystem.for_allocation(allocation, mu=mu).build_simulator()
     if sourcing_only:
         simulator._possession = SourcingOnlyPossessionIndex(
             allocation, cache_window=allocation.catalog.duration

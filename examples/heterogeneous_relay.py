@@ -27,7 +27,7 @@ from repro import (
     Catalog,
     FlashCrowdWorkload,
     RelayedPreloadingScheduler,
-    VodSimulator,
+    VodSystem,
     ZipfDemandWorkload,
     compute_compensation_plan,
     is_balanced,
@@ -85,7 +85,9 @@ def main() -> None:
     catalog = Catalog(num_videos=m, num_stripes=c, duration=40)
     allocation = random_permutation_allocation(catalog, population, k, random_state=1)
     scheduler = RelayedPreloadingScheduler(catalog, population, plan, mu=1.1)
-    simulator = VodSimulator(allocation, mu=1.1, scheduler=scheduler, compensation_plan=plan)
+    simulator = VodSystem.for_allocation(allocation, mu=1.1).build_simulator(
+        scheduler=scheduler, compensation_plan=plan
+    )
     result = simulator.run(ZipfDemandWorkload(arrival_rate=3, random_state=1), num_rounds=16)
     print_table([result.metrics.describe()], title="Relayed strategy (Theorem 2) metrics")
     print(f"Relayed run feasible: {result.feasible}")
@@ -98,7 +100,9 @@ def main() -> None:
     )
     catalog2 = Catalog(num_videos=10, num_stripes=4, duration=40)
     allocation2 = random_permutation_allocation(catalog2, poor_heavy, 2, random_state=2)
-    plain = VodSimulator(allocation2, mu=2.0, stop_on_infeasible=True)
+    plain = VodSystem.for_allocation(allocation2, mu=2.0).build_simulator(
+        stop_on_infeasible=True
+    )
     crowd = FlashCrowdWorkload(mu=2.0, target_videos=(0,), random_state=2)
     result2 = plain.run(crowd, num_rounds=10)
     print(

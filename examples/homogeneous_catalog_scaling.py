@@ -18,7 +18,7 @@ Run with:  python examples/homogeneous_catalog_scaling.py
 from repro import (
     Catalog,
     MissingVideoAdversary,
-    VodSimulator,
+    VodSystem,
     homogeneous_population,
     random_permutation_allocation,
 )
@@ -33,7 +33,9 @@ def survives_adversary(n, u, d, m, c, k, mu, rounds=8, seed=0) -> bool:
     population = homogeneous_population(n, u=u, d=d)
     catalog = Catalog(num_videos=m, num_stripes=c, duration=30)
     allocation = random_permutation_allocation(catalog, population, k, random_state=seed)
-    simulator = VodSimulator(allocation, mu=mu, stop_on_infeasible=True)
+    simulator = VodSystem.for_allocation(allocation, mu=mu).build_simulator(
+        stop_on_infeasible=True
+    )
     adversary = MissingVideoAdversary(
         respect_growth=(u > 1.0), mu=mu, max_demands_per_round=max(n // 4, 4),
         random_state=seed,

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Online serving: mid-run demand injection, checkpoint/resume, live growth.
+
+The batch simulator answers "was this run feasible?"; the session layer
+answers the operational questions a live deployment asks:
+
+1. open a :class:`repro.api.VodSession` over a configured system and
+   drive rounds one at a time, reading per-round :class:`RoundReport`\\ s;
+2. inject demands from *outside* any workload generator (an admission
+   front-end), and see typed ``AdmissionError``\\ s for busy boxes;
+3. checkpoint the full deterministic state mid-run, keep serving, then
+   restore the checkpoint and verify the continuation replays the same
+   rounds bit for bit;
+4. grow the system live: new boxes join, a new video is published, a
+   box's upload is re-provisioned — all between rounds.
+
+Run with:  python examples/online_session.py
+"""
+
+from repro.api import AdmissionError, VodSession, VodSystem
+
+
+def main() -> None:
+    # ----------------------------------------------------------------- #
+    # 1. Configure -> allocate -> open a session
+    # ----------------------------------------------------------------- #
+    system = VodSystem.configure(
+        catalog={"num_videos": 20, "num_stripes": 4, "duration": 12},
+        population=("homogeneous", {"n": 48, "u": 2.0, "d": 3.0}),
+        mu=1.5,
+    )
+    system.allocate("permutation", replicas_per_stripe=4, seed=7)
+    session = system.open_session(
+        workload=("zipf", {"arrival_rate": 2.0}),  # background traffic
+        workload_seed=7,
+        horizon=24,
+    )
+    print(system)
+
+    # ----------------------------------------------------------------- #
+    # 2. Drive rounds, injecting demands like an admission front-end
+    # ----------------------------------------------------------------- #
+    session.submit_demands([(0, 5), (1, 5), (2, 5)])   # a micro flash crowd
+    for _ in range(6):
+        report = session.step()
+        print(
+            f"t={report.time:<2d} injected={report.demands_injected} "
+            f"active={report.active_requests:<3d} matched={report.matched:<3d} "
+            f"feasible={report.feasible} util={report.utilization:.3f}"
+        )
+
+    try:  # box 0 is still playing video 5: admission rejects, typed.
+        session.submit(0, 1)
+    except AdmissionError as exc:
+        print(f"admission control: {exc}")
+
+    # ----------------------------------------------------------------- #
+    # 3. Checkpoint, keep serving, restore, verify bit-identical replay
+    # ----------------------------------------------------------------- #
+    checkpoint = session.snapshot()
+    print(f"checkpoint taken at round {checkpoint.time}")
+
+    session.step_until(rounds=6)             # the "primary" keeps serving
+
+    replica = VodSession.restore(checkpoint)  # a "standby" catches up
+    replica.step_until(rounds=6)
+    identical = [r.to_dict() for r in replica.reports] == [
+        r.to_dict() for r in session.reports
+    ]
+    print(f"restored continuation bit-identical: {identical}")
+
+    # ----------------------------------------------------------------- #
+    # 4. Live reconfiguration between rounds
+    # ----------------------------------------------------------------- #
+    joined = session.join_boxes(uploads=[2.0, 2.0], storages=[0.0, 0.0])
+    print(f"boxes joined live: {joined}")
+    published = session.add_videos(1, random_state=7)
+    print(f"video published live: {published}")
+    session.set_capacity(joined[0], 4.0)      # re-provision a joiner
+    session.submit(joined[0], published[0])   # a new box demands the new video
+    report = session.step()
+    print(
+        f"t={report.time} new box watching new video: "
+        f"matched={report.matched}/{report.active_requests} "
+        f"(capacity now {report.upload_capacity} slots/round)"
+    )
+
+    result = session.result()
+    print(
+        f"after {result.metrics.rounds} rounds: "
+        f"{result.metrics.total_demands} demands, "
+        f"infeasible rounds: {result.metrics.infeasible_rounds}, "
+        f"max startup delay: {result.metrics.max_startup_delay}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,10 +18,9 @@ Run with:  python examples/quickstart.py
 from repro import (
     Catalog,
     FlashCrowdWorkload,
-    VodSimulator,
+    VodSystem,
     design_homogeneous,
     homogeneous_population,
-    random_permutation_allocation,
 )
 from repro.analysis.report import print_table
 
@@ -53,15 +52,15 @@ def main() -> None:
     # ----------------------------------------------------------------- #
     population = homogeneous_population(n, u=u, d=d)
     catalog = Catalog(num_videos=m, num_stripes=c, duration=duration)
-    allocation = random_permutation_allocation(catalog, population, k, random_state=42)
+    system = VodSystem(catalog=catalog, population=population, mu=mu)
+    allocation = system.allocate("permutation", replicas_per_stripe=k, seed=42)
     print_table([allocation.describe()], title="Random permutation allocation")
 
     # ----------------------------------------------------------------- #
     # 3. Simulate a flash crowd at maximal growth µ
     # ----------------------------------------------------------------- #
-    simulator = VodSimulator(allocation, mu=mu)
     workload = FlashCrowdWorkload(mu=mu, target_videos=(0, 7), random_state=42)
-    result = simulator.run(workload, num_rounds=12)
+    result = system.run(workload, num_rounds=12)
 
     # ----------------------------------------------------------------- #
     # 4. Report

@@ -20,17 +20,25 @@ The package provides, as a library:
 
 Quickstart
 ----------
->>> from repro import (
-...     Catalog, homogeneous_population, random_permutation_allocation,
-...     VodSimulator, FlashCrowdWorkload,
+The canonical public surface is the service layer in :mod:`repro.api`:
+configure a system, allocate replicas, then open batch runs or stepwise
+sessions with online admission and checkpoint/restore.
+
+>>> from repro import VodSystem
+>>> system = VodSystem.configure(
+...     catalog={"num_videos": 40, "num_stripes": 5, "duration": 40},
+...     population=("homogeneous", {"n": 60, "u": 2.0, "d": 4.0}),
+...     mu=1.3,
 ... )
->>> population = homogeneous_population(60, u=2.0, d=4.0)      # n=60 boxes, u>1
->>> catalog = Catalog(num_videos=40, num_stripes=5, duration=40)
->>> allocation = random_permutation_allocation(catalog, population, replicas_per_stripe=4,
-...                                             random_state=0)
->>> sim = VodSimulator(allocation, mu=1.3)
->>> result = sim.run(FlashCrowdWorkload(mu=1.3, random_state=0), num_rounds=10)
->>> result.feasible
+>>> _ = system.allocate("permutation", replicas_per_stripe=4, seed=0)
+>>> session = system.open_session(
+...     workload=("flashcrowd", {"target_videos": [0]}), workload_seed=0,
+...     horizon=10,
+... )
+>>> session.step().feasible
+True
+>>> snapshot = session.snapshot()          # restorable, bit-identical
+>>> session.run_to_horizon().feasible
 True
 
 Note that the replication prescribed by Theorem 1
@@ -38,6 +46,8 @@ Note that the replication prescribed by Theorem 1
 constants and is far larger than what simulations need; the experiments
 use small empirical ``k`` and compare against the theorem's guarantee.
 """
+
+import warnings as _warnings
 
 from repro.core import (
     Allocation,
@@ -85,7 +95,18 @@ from repro.core.thresholds import (
     recommended_stripes_homogeneous,
 )
 from repro.core import negative, obstruction, thresholds
-from repro.sim import SimulationResult, VodSimulator
+from repro.sim import SimulationResult
+from repro.api import (
+    AdmissionError,
+    RoundReport,
+    SessionClosedError,
+    SessionSnapshot,
+    VodSession,
+    VodSystem,
+    available_components,
+    create_component,
+    register_component,
+)
 from repro.workloads import (
     ColdStartAdversary,
     FlashCrowdWorkload,
@@ -104,9 +125,38 @@ from repro.baselines import (
     max_catalog_full_replication,
     sourcing_capacity_bound,
 )
-from repro import analysis, baselines, flow, scenarios, sim, workloads
+from repro import analysis, api, baselines, flow, scenarios, sim, workloads
 
 __version__ = "1.0.0"
+
+#: Legacy construction paths superseded by the repro.api facade: accessing
+#: them from the top-level package warns but keeps working, so downstream
+#: code migrates without breaking.  (The engine itself remains available,
+#: warning-free, at repro.sim.engine.VodSimulator for embedders.)
+_DEPRECATED_FACADE_ALIASES = {
+    "VodSimulator": (
+        "repro.sim.engine",
+        "VodSimulator",
+        "construct engines through repro.api.VodSystem "
+        "(VodSystem.for_allocation(...).build_simulator(...) or open_session(...))",
+    ),
+}
+
+
+def __getattr__(name):
+    """Serve deprecated legacy names lazily, with a migration warning."""
+    alias = _DEPRECATED_FACADE_ALIASES.get(name)
+    if alias is not None:
+        module_name, attr, hint = alias
+        _warnings.warn(
+            f"repro.{name} is deprecated; {hint}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "__version__",
@@ -156,9 +206,20 @@ __all__ = [
     "thresholds",
     "obstruction",
     "negative",
-    # simulator + workloads
+    # service layer (repro.api)
+    "VodSystem",
+    "VodSession",
+    "RoundReport",
+    "SessionSnapshot",
+    "SessionClosedError",
+    "AdmissionError",
+    "register_component",
+    "create_component",
+    "available_components",
+    # simulator + workloads.  repro.VodSimulator still resolves (with a
+    # DeprecationWarning) via __getattr__, but is kept out of __all__ so
+    # `from repro import *` stays warning-free for users who never touch it.
     "SimulationResult",
-    "VodSimulator",
     "ColdStartAdversary",
     "FlashCrowdWorkload",
     "LeastReplicatedAdversary",
@@ -176,6 +237,7 @@ __all__ = [
     "sourcing_capacity_bound",
     # subpackages
     "analysis",
+    "api",
     "baselines",
     "flow",
     "scenarios",

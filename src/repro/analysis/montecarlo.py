@@ -34,16 +34,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.allocation import (
-    Allocation,
-    AllocationError,
-    random_independent_allocation,
-    random_permutation_allocation,
-)
+from repro.api.registry import component_factory
+from repro.api.system import VodSystem
+from repro.core.allocation import Allocation, AllocationError
 from repro.core.matching import ConnectionMatcher, PossessionIndex, RequestSet, StripeRequest
 from repro.core.parameters import BoxPopulation, homogeneous_population
 from repro.core.video import Catalog
-from repro.sim.engine import VodSimulator
 from repro.util.rng import RandomState, spawn_seed_sequences
 from repro.util.validation import check_positive_integer, check_probability
 from repro.workloads.base import DemandGenerator
@@ -102,11 +98,21 @@ def _confidence_halfwidth(successes: int, trials: int) -> float:
 
 
 def _allocator(scheme: str) -> Callable:
-    if scheme == "permutation":
-        return random_permutation_allocation
-    if scheme == "independent":
-        return random_independent_allocation
-    raise ValueError(f"unknown allocation scheme {scheme!r}")
+    """Resolve an allocation scheme through the component registry.
+
+    Returns a ``(catalog, population, k, rng) -> Allocation`` callable, the
+    historical trial-function shape; any registered scheme name works
+    (including the ``full_replication`` baseline).
+    """
+    try:
+        factory = component_factory("allocation", scheme)
+    except KeyError:
+        raise ValueError(f"unknown allocation scheme {scheme!r}") from None
+
+    def allocate(catalog: Catalog, population: BoxPopulation, k: int, rng) -> Allocation:
+        return factory(catalog, population, k, {}, rng)
+
+    return allocate
 
 
 def _resolve_jobs(n_jobs: Optional[int]) -> int:
@@ -263,9 +269,7 @@ def _simulation_trial(payload: tuple) -> Tuple[bool, int, int]:
     workload_gen = np.random.default_rng(workload_seed)
     allocation = _allocator(scheme)(catalog, population, k, alloc_gen)
     scheduler = scheduler_factory(allocation) if scheduler_factory else None
-    simulator = VodSimulator(
-        allocation,
-        mu=mu,
+    simulator = VodSystem.for_allocation(allocation, mu=mu).build_simulator(
         scheduler=scheduler,
         compensation_plan=compensation_plan,
         stop_on_infeasible=True,

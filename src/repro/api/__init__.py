@@ -1,0 +1,69 @@
+"""repro.api — the canonical service layer of the reproduction.
+
+The paper's model is online: demands arrive every round and the Lemma 1
+matching is re-solved incrementally.  This package exposes that loop as a
+service-shaped surface:
+
+* :class:`VodSystem` — configure → allocate → open sessions facade over
+  one deployment (catalog, population, allocation, growth bound);
+* :class:`VodSession` — stepwise lifecycle with online admission
+  (:meth:`~VodSession.submit_demands`), per-round :class:`RoundReport`
+  results, deterministic :meth:`~VodSession.snapshot` /
+  :meth:`VodSession.restore` checkpoints and live reconfiguration
+  (:meth:`~VodSession.add_videos`, :meth:`~VodSession.join_boxes`,
+  :meth:`~VodSession.set_capacity`);
+* a string-keyed component registry (:func:`register_component`,
+  :func:`create_component`, :func:`available_components`) with
+  :mod:`typing.Protocol` interfaces (:class:`Solver`,
+  :class:`RequestScheduler`, :class:`DemandGenerator`,
+  :class:`ChurnModel`) so solvers, schedulers, workloads, churn models,
+  populations and allocation schemes are pluggable by name;
+* typed errors (:class:`SessionClosedError`, :class:`AdmissionError`)
+  instead of silent mis-counting.
+
+Batch ``VodSimulator.run`` and session stepping share one per-round code
+path, so the two execution styles are bit-identical on the same workload
+(the golden-trace suite pins this).
+"""
+
+from repro.api.errors import (
+    AdmissionError,
+    ApiError,
+    ComponentLookupError,
+    SessionClosedError,
+)
+from repro.api.protocols import (
+    ChurnModel,
+    DemandGenerator,
+    RequestScheduler,
+    Solver,
+)
+from repro.api.registry import (
+    COMPONENT_KINDS,
+    available_components,
+    component_factory,
+    create_component,
+    register_component,
+)
+from repro.api.session import RoundReport, SessionSnapshot, VodSession
+from repro.api.system import VodSystem
+
+__all__ = [
+    "ApiError",
+    "SessionClosedError",
+    "AdmissionError",
+    "ComponentLookupError",
+    "Solver",
+    "RequestScheduler",
+    "DemandGenerator",
+    "ChurnModel",
+    "COMPONENT_KINDS",
+    "register_component",
+    "component_factory",
+    "create_component",
+    "available_components",
+    "RoundReport",
+    "SessionSnapshot",
+    "VodSession",
+    "VodSystem",
+]

@@ -1,0 +1,37 @@
+"""Typed errors raised by the service layer.
+
+The session API never mis-counts silently: driving a closed session or
+submitting an inadmissible demand raises one of the exceptions below, so
+external callers (services, schedulers, admission controllers) can react
+per error class instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ApiError",
+    "SessionClosedError",
+    "AdmissionError",
+    "ComponentLookupError",
+]
+
+
+class ApiError(RuntimeError):
+    """Base class of every error raised by :mod:`repro.api`."""
+
+
+class SessionClosedError(ApiError):
+    """The session's horizon is exhausted or it was closed explicitly."""
+
+
+class AdmissionError(ApiError):
+    """A submitted demand cannot be admitted.
+
+    Raised when the target box is still playing a video, is offline under
+    the churn schedule, already has a demand queued for the next round, or
+    the demand references a box/video outside the system.
+    """
+
+
+class ComponentLookupError(ApiError, KeyError):
+    """An unknown component name/kind was requested from the registry."""

@@ -209,20 +209,7 @@ class PossessionIndex:
         self._allocation = allocation
         self._window = check_positive_integer(cache_window, "cache_window")
         # Static stripe -> sorted distinct holder boxes, in CSR form.
-        k = allocation.replicas_per_stripe
-        num_stripes = allocation.num_stripes
-        if num_stripes and k:
-            grid = np.sort(allocation.replica_box.reshape(num_stripes, k), axis=1)
-            keep = np.ones_like(grid, dtype=bool)
-            if k > 1:
-                keep[:, 1:] = grid[:, 1:] != grid[:, :-1]
-            counts = keep.sum(axis=1)
-            self._static_indptr = np.zeros(num_stripes + 1, dtype=np.int64)
-            np.cumsum(counts, out=self._static_indptr[1:])
-            self._static_boxes = grid[keep].astype(np.int64)
-        else:
-            self._static_indptr = np.zeros(num_stripes + 1, dtype=np.int64)
-            self._static_boxes = _EMPTY_INT64
+        self._rebuild_static()
         # stripe_id -> ring buffer of (box, time) playback-cache entries.
         self._swarm: Dict[int, _StripeSwarm] = {}
         # Global (time, stripe) arrival log driving O(expired) eviction.
@@ -242,6 +229,51 @@ class PossessionIndex:
     def cache_window(self) -> int:
         """Playback-cache window ``T`` in rounds."""
         return self._window
+
+    def _rebuild_static(self) -> None:
+        allocation = self._allocation
+        k = allocation.replicas_per_stripe
+        num_stripes = allocation.num_stripes
+        if num_stripes and k:
+            grid = np.sort(allocation.replica_box.reshape(num_stripes, k), axis=1)
+            keep = np.ones_like(grid, dtype=bool)
+            if k > 1:
+                keep[:, 1:] = grid[:, 1:] != grid[:, :-1]
+            counts = keep.sum(axis=1)
+            self._static_indptr = np.zeros(num_stripes + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._static_indptr[1:])
+            self._static_boxes = grid[keep].astype(np.int64)
+        else:
+            self._static_indptr = np.zeros(num_stripes + 1, dtype=np.int64)
+            self._static_boxes = _EMPTY_INT64
+
+    def set_allocation(self, allocation: Allocation) -> None:
+        """Swap the allocation reference without rebuilding the static index.
+
+        Only valid when the replica placement is unchanged (e.g. the
+        population grew around the same ``replica_box`` array); use
+        :meth:`refresh_allocation` after placements changed.
+        """
+        if allocation.replica_box is not self._allocation.replica_box and not (
+            allocation.replica_box.shape == self._allocation.replica_box.shape
+            and np.array_equal(allocation.replica_box, self._allocation.replica_box)
+        ):
+            raise ValueError(
+                "set_allocation requires an identical replica placement; "
+                "use refresh_allocation for changed placements"
+            )
+        self._allocation = allocation
+
+    def refresh_allocation(self, allocation: Allocation) -> None:
+        """Adopt a new allocation, rebuilding the static stripe→boxes index.
+
+        The dynamic state — playback-cache swarms, eviction timeline and
+        relay caches — is preserved, which is what the live ``add_videos``
+        reconfiguration needs: existing downloads keep serving while the
+        static index grows.
+        """
+        self._allocation = allocation
+        self._rebuild_static()
 
     # ------------------------------------------------------------------ #
     # Dynamic state maintenance
@@ -527,6 +559,22 @@ class ConnectionMatcher:
     def solver(self) -> str:
         """Name of the matching kernel in use."""
         return self._solver
+
+    def update_upload_slots(self, upload_slots: Sequence[int]) -> None:
+        """Replace the per-box capacities (live capacity reconfiguration).
+
+        The new vector may be longer than the old one (boxes joined) but
+        never shorter; it takes effect from the next :meth:`match` call.
+        """
+        slots = np.asarray(upload_slots, dtype=np.int64)
+        if slots.ndim != 1 or slots.size < self._slots.size:
+            raise ValueError(
+                "upload_slots must be a 1-D sequence at least as long as the "
+                f"current population ({self._slots.size})"
+            )
+        if np.any(slots < 0):
+            raise ValueError("upload_slots must be non-negative")
+        self._slots = slots
 
     def match(
         self,

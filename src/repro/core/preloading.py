@@ -42,6 +42,25 @@ __all__ = [
 START_UP_DELAY_ROUNDS = 3
 
 
+def _check_catalog_growth(old: Catalog, new: Catalog) -> Catalog:
+    """Validate a live catalog swap: grow-only, same stripe count/duration.
+
+    Global stripe identifiers are ``video_id·c + index``; changing ``c``
+    or shrinking the catalog would shift or orphan the identifiers of
+    already-queued requests.
+    """
+    if (
+        new.num_stripes_per_video != old.num_stripes_per_video
+        or new.duration != old.duration
+        or new.num_videos < old.num_videos
+    ):
+        raise ValueError(
+            "update_catalog only supports growing the catalog with the "
+            "same stripe count and duration"
+        )
+    return new
+
+
 @dataclass(frozen=True, order=True)
 class Demand:
     """A user demand: box ``box_id`` wants to play ``video_id`` from round ``time``."""
@@ -84,6 +103,10 @@ class PreloadingScheduler:
     def catalog(self) -> Catalog:
         """The catalog the scheduler generates requests against."""
         return self._catalog
+
+    def update_catalog(self, catalog: Catalog) -> None:
+        """Adopt a grown catalog (live ``add_videos`` reconfiguration)."""
+        self._catalog = _check_catalog_growth(self._catalog, catalog)
 
     @property
     def start_up_delay(self) -> int:
@@ -209,6 +232,10 @@ class ImmediateRequestScheduler:
     def catalog(self) -> Catalog:
         """The catalog the scheduler generates requests against."""
         return self._catalog
+
+    def update_catalog(self, catalog: Catalog) -> None:
+        """Adopt a grown catalog (same constraints as the preloading strategy)."""
+        self._catalog = _check_catalog_growth(self._catalog, catalog)
 
     @property
     def start_up_delay(self) -> int:

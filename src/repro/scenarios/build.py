@@ -7,40 +7,31 @@ order — so the same ``(spec, seed)`` pair always wires byte-identical
 components regardless of which ones are actually random.  This is the
 foundation of the deterministic replay layer
 (:mod:`repro.scenarios.replay`).
+
+Components are resolved by name through the :mod:`repro.api.registry`
+(populations, allocation schemes, workload kinds, churn models) and the
+engine is constructed through the :class:`~repro.api.system.VodSystem`
+facade — registering a new component name makes it immediately usable
+from scenario specs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.core.allocation import (
-    Allocation,
-    random_independent_allocation,
-    random_permutation_allocation,
-    round_robin_allocation,
-)
-from repro.core.parameters import (
-    BoxPopulation,
-    homogeneous_population,
-    pareto_population,
-    two_class_population,
-)
+from repro.api.registry import create_component
+from repro.api.session import VodSession
+from repro.api.system import VodSystem
+from repro.core.allocation import Allocation
+from repro.core.parameters import BoxPopulation
 from repro.core.video import Catalog
 from repro.scenarios.phases import PhasedWorkload, WorkloadPhase
-from repro.scenarios.spec import ScenarioSpec, WorkloadPhaseSpec
-from repro.sim.churn import ChurnSchedule, random_churn_schedule
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.churn import ChurnSchedule
 from repro.sim.engine import RoundObservation, VodSimulator
-from repro.workloads.adversarial import (
-    ColdStartAdversary,
-    LeastReplicatedAdversary,
-    MissingVideoAdversary,
-)
-from repro.workloads.flashcrowd import FlashCrowdWorkload, StaggeredFlashCrowdWorkload
-from repro.workloads.popularity import UniformDemandWorkload, ZipfDemandWorkload
-from repro.workloads.sequential import SequentialViewingWorkload
 
 __all__ = ["CompiledScenario", "build_scenario"]
 
@@ -51,12 +42,16 @@ class CompiledScenario:
 
     ``run()`` executes the simulator for the spec's horizon (or an
     override) and returns the engine's
-    :class:`~repro.sim.engine.SimulationResult`.  A compiled scenario is
-    single-use: the simulator carries state, so build a fresh one per run.
+    :class:`~repro.sim.engine.SimulationResult`; ``session()`` wraps the
+    same engine and workload in a stepwise
+    :class:`~repro.api.session.VodSession`.  A compiled scenario is
+    single-use either way: the simulator carries state, so build a fresh
+    one per run.
     """
 
     spec: ScenarioSpec
     seed: int
+    system: VodSystem
     catalog: Catalog
     population: BoxPopulation
     allocation: Allocation
@@ -69,139 +64,17 @@ class CompiledScenario:
         rounds = self.spec.horizon if num_rounds is None else int(num_rounds)
         return self.simulator.run(self.workload, rounds)
 
+    def session(self, horizon: Optional[int] = None) -> VodSession:
+        """Open a stepwise session over the compiled engine and workload.
 
-# ---------------------------------------------------------------------- #
-# Component factories
-# ---------------------------------------------------------------------- #
-def _build_population(
-    kind: str, params: Dict[str, Any], rng: np.random.Generator
-) -> BoxPopulation:
-    if kind == "homogeneous":
-        return homogeneous_population(
-            n=int(params["n"]), u=float(params["u"]), d=float(params["d"])
-        )
-    if kind == "two_class":
-        return two_class_population(
-            n=int(params["n"]),
-            rich_fraction=float(params["rich_fraction"]),
-            u_rich=float(params["u_rich"]),
-            u_poor=float(params["u_poor"]),
-            d_rich=float(params["d_rich"]),
-            d_poor=float(params["d_poor"]),
-            random_state=rng,
-            shuffle=bool(params.get("shuffle", False)),
-        )
-    if kind == "pareto":
-        u_cap = params.get("u_cap")
-        return pareto_population(
-            n=int(params["n"]),
-            u_min=float(params["u_min"]),
-            shape=float(params["shape"]),
-            storage_per_upload=float(params["storage_per_upload"]),
-            u_cap=None if u_cap is None else float(u_cap),
-            random_state=rng,
-        )
-    raise ValueError(f"unknown population kind {kind!r}")
-
-
-def _build_allocation(
-    spec: ScenarioSpec,
-    catalog: Catalog,
-    population: BoxPopulation,
-    rng: np.random.Generator,
-) -> Allocation:
-    alloc = spec.allocation
-    if alloc.scheme == "permutation":
-        return random_permutation_allocation(
-            catalog, population, alloc.replicas_per_stripe, random_state=rng
-        )
-    if alloc.scheme == "independent":
-        return random_independent_allocation(
-            catalog,
-            population,
-            alloc.replicas_per_stripe,
-            random_state=rng,
-            on_full=str(alloc.params.get("on_full", "redraw")),
-        )
-    if alloc.scheme == "round_robin":
-        return round_robin_allocation(
-            catalog,
-            population,
-            alloc.replicas_per_stripe,
-            offset=int(alloc.params.get("offset", 0)),
-        )
-    raise ValueError(f"unknown allocation scheme {alloc.scheme!r}")
-
-
-def _build_phase_generator(
-    phase: WorkloadPhaseSpec, spec: ScenarioSpec, rng: np.random.Generator
-):
-    p = phase.params
-    mu = float(p.get("mu", spec.mu))
-    if phase.kind == "zipf":
-        return ZipfDemandWorkload(
-            arrival_rate=float(p["arrival_rate"]),
-            exponent=float(p.get("exponent", 0.8)),
-            start_time=phase.start,
-            random_state=rng,
-        )
-    if phase.kind == "uniform":
-        return UniformDemandWorkload(
-            arrival_rate=float(p["arrival_rate"]),
-            start_time=phase.start,
-            random_state=rng,
-        )
-    if phase.kind == "flashcrowd":
-        max_members = p.get("max_members")
-        return FlashCrowdWorkload(
-            mu=mu,
-            target_videos=tuple(int(v) for v in p.get("target_videos", (0,))),
-            start_time=phase.start,
-            max_members=None if max_members is None else int(max_members),
-            random_state=rng,
-        )
-    if phase.kind == "staggered_flashcrowd":
-        max_members = p.get("max_members")
-        return StaggeredFlashCrowdWorkload(
-            mu=mu,
-            target_videos=tuple(int(v) for v in p["target_videos"]),
-            start_times=tuple(int(t) for t in p["start_times"]),
-            max_members=None if max_members is None else int(max_members),
-            random_state=rng,
-        )
-    if phase.kind == "sequential":
-        boxes = p.get("boxes")
-        playlist = p.get("playlist")
-        return SequentialViewingWorkload(
-            boxes=None if boxes is None else tuple(int(b) for b in boxes),
-            playlist=None if playlist is None else tuple(int(v) for v in playlist),
-            start_time=phase.start,
-            random_state=rng,
-        )
-    if phase.kind == "missing_video":
-        cap = p.get("max_demands_per_round")
-        return MissingVideoAdversary(
-            start_time=phase.start,
-            max_demands_per_round=None if cap is None else int(cap),
-            respect_growth=bool(p.get("respect_growth", False)),
-            mu=mu,
-            random_state=rng,
-        )
-    if phase.kind == "least_replicated":
-        return LeastReplicatedAdversary(
-            mu=mu,
-            num_target_videos=int(p.get("num_target_videos", 1)),
-            start_time=phase.start,
-            random_state=rng,
-        )
-    if phase.kind == "cold_start":
-        cap = p.get("max_demands_per_round")
-        return ColdStartAdversary(
-            start_time=phase.start,
-            max_demands_per_round=None if cap is None else int(cap),
-            random_state=rng,
-        )
-    raise ValueError(f"unknown workload kind {phase.kind!r}")
+        The session drives the exact same per-round path ``run()`` uses, so
+        stepping it to the horizon reproduces the batch result bit for bit.
+        ``horizon`` defaults to the spec's; pass a different budget to bound
+        (or, with ``None`` explicitly via :class:`VodSession`, unbound) the
+        session.
+        """
+        rounds = self.spec.horizon if horizon is None else int(horizon)
+        return VodSession(self.simulator, workload=self.workload, horizon=rounds)
 
 
 # ---------------------------------------------------------------------- #
@@ -246,26 +119,38 @@ def build_scenario(
         num_stripes=spec.catalog.num_stripes,
         duration=spec.catalog.duration,
     )
-    population = _build_population(
-        spec.population.kind, spec.population.params, population_rng
+    population = create_component(
+        "population", spec.population.kind, spec.population.params, population_rng
     )
-    allocation = _build_allocation(spec, catalog, population, allocation_rng)
+
+    system = VodSystem(catalog=catalog, population=population, mu=spec.mu)
+    allocation = system.allocate(
+        spec.allocation.scheme,
+        replicas_per_stripe=spec.allocation.replicas_per_stripe,
+        seed=allocation_rng,
+        **spec.allocation.params,
+    )
 
     churn: Optional[ChurnSchedule] = None
     if spec.churn is not None:
-        churn = random_churn_schedule(
-            num_boxes=population.n,
-            horizon=max(spec.horizon, min_horizon or 0),
-            failure_probability=spec.churn.failure_probability,
-            outage_duration=spec.churn.outage_duration,
-            random_state=churn_rng,
-            protected_boxes=spec.churn.protected_boxes,
+        churn = create_component(
+            "churn",
+            "random",
+            population.n,
+            max(spec.horizon, min_horizon or 0),
+            spec.churn.to_dict(),
+            churn_rng,
         )
 
     phases = [
         WorkloadPhase(
-            generator=_build_phase_generator(
-                phase, spec, np.random.default_rng(streams[3 + index])
+            generator=create_component(
+                "workload",
+                phase.kind,
+                phase.params,
+                phase.start,
+                float(phase.params.get("mu", spec.mu)),
+                np.random.default_rng(streams[3 + index]),
             ),
             start=phase.start,
             stop=phase.stop,
@@ -274,9 +159,7 @@ def build_scenario(
     ]
     workload = PhasedWorkload(phases)
 
-    simulator = VodSimulator(
-        allocation,
-        mu=spec.mu,
+    simulator = system.build_simulator(
         record_connections=record_connections,
         stop_on_infeasible=stop_on_infeasible,
         churn=churn,
@@ -287,6 +170,7 @@ def build_scenario(
     return CompiledScenario(
         spec=spec,
         seed=seed,
+        system=system,
         catalog=catalog,
         population=population,
         allocation=allocation,

@@ -12,6 +12,11 @@ Commands
 ``oracle NAME``
     Differentially re-solve sampled rounds with Dinic and push–relabel
     (exit code 1 on any disagreement).
+``session NAME``
+    Step a scenario round by round through the :mod:`repro.api` session
+    layer, checkpoint mid-run, restore, and verify that the restored
+    continuation and the batch ``run()`` agree bit for bit (exit code 1
+    on divergence).
 ``smoke``
     Run every registered scenario for a few rounds — the CI canary.
 """
@@ -83,6 +88,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sample-every", type=int, default=1, help="check every k-th round"
     )
 
+    session_p = sub.add_parser(
+        "session", help="step a scenario through the repro.api session layer"
+    )
+    session_p.add_argument("name", help="registered scenario name")
+    session_p.add_argument("--seed", type=int, default=None, help="master seed")
+    session_p.add_argument("--rounds", type=int, default=None, help="override horizon")
+    session_p.add_argument(
+        "--solver",
+        default=None,
+        choices=["hopcroft_karp", "dinic", "push_relabel", "edmonds_karp"],
+        help="override the matching kernel",
+    )
+    session_p.add_argument(
+        "--cold-start",
+        action="store_true",
+        help="disable warm-started rounds for this run",
+    )
+    session_p.add_argument(
+        "--checkpoint-at",
+        type=int,
+        default=None,
+        metavar="ROUND",
+        help="snapshot after this many rounds (default: mid-run), then restore "
+        "and verify the continuation replays bit-identically",
+    )
+    session_p.add_argument(
+        "--json", action="store_true", help="emit the per-round reports as JSON"
+    )
+
     smoke_p = sub.add_parser("smoke", help="run every scenario briefly")
     smoke_p.add_argument("names", nargs="*", help="subset of scenarios (default: all)")
     smoke_p.add_argument("--rounds", type=int, default=3)
@@ -144,6 +178,74 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_session(args: argparse.Namespace) -> int:
+    from repro.api import VodSession
+    from repro.scenarios.build import build_scenario
+
+    spec = get_scenario(args.name).with_overrides(
+        solver=args.solver, warm_start=False if args.cold_start else None
+    )
+    rounds = spec.horizon if args.rounds is None else int(args.rounds)
+    if rounds <= 0:
+        print(f"--rounds must be positive, got {rounds}", file=sys.stderr)
+        return 2
+    checkpoint_at = args.checkpoint_at
+    if checkpoint_at is None:
+        checkpoint_at = rounds // 2
+    if not 0 <= checkpoint_at <= rounds:
+        print(f"--checkpoint-at must be in [0, {rounds}]", file=sys.stderr)
+        return 2
+
+    compiled = build_scenario(spec, seed=args.seed, min_horizon=rounds)
+    session = compiled.session(horizon=rounds)
+
+    reports = list(session.step_until(round=checkpoint_at))
+    snapshot = session.snapshot()
+    reports += list(session.step_until(round=rounds))
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
+    else:
+        print(f"scenario : {spec.name}")
+        print(f"seed     : {compiled.seed}")
+        print(f"rounds   : {rounds}  (checkpoint at {checkpoint_at})")
+        for report in reports:
+            flag = "ok " if report.feasible else "OBS"
+            print(
+                f"  t={report.time:<3d} {flag} active={report.active_requests:<4d} "
+                f"matched={report.matched:<4d} unmatched={report.unmatched:<3d} "
+                f"util={report.utilization:.3f}"
+            )
+        print(f"digest   : {session.digest()}")
+
+    failures = 0
+    # With --json, stdout is exactly the report array; status goes to stderr.
+    status_stream = sys.stderr if args.json else sys.stdout
+
+    # Restore the mid-run checkpoint and replay the tail.
+    restored = VodSession.restore(snapshot)
+    restored.step_until(round=rounds)
+    if restored.digest() == session.digest():
+        print(
+            f"checkpoint/restore parity: OK (round {checkpoint_at})",
+            file=status_stream,
+        )
+    else:
+        print("checkpoint/restore parity: DIVERGED", file=status_stream)
+        failures += 1
+
+    # The stepwise rounds must equal a fresh batch run of the same build.
+    batch = build_scenario(spec, seed=args.seed, min_horizon=rounds).run(rounds)
+    batch_rounds = [stats.to_dict() for stats in batch.metrics.round_stats]
+    session_rounds = [r.to_round_stats().to_dict() for r in reports]
+    if session_rounds == batch_rounds:
+        print("batch parity: OK", file=status_stream)
+    else:
+        print("batch parity: DIVERGED", file=status_stream)
+        failures += 1
+    return 1 if failures else 0
+
+
 def _cmd_smoke(args: argparse.Namespace) -> int:
     names = args.names or scenario_names()
     failures = 0
@@ -172,6 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "oracle":
         return _cmd_oracle(args)
+    if args.command == "session":
+        return _cmd_session(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

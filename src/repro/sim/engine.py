@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationError
 from repro.core.heterogeneous import CompensationPlan, RelayedPreloadingScheduler
 from repro.core.matching import (
     ConnectionMatcher,
@@ -100,6 +100,44 @@ class SimulationResult:
         """Whether every round's matching was feasible."""
         return self.metrics.all_feasible
 
+    def to_dict(self, include_trace: bool = False) -> Dict:
+        """JSON-ready plain-dict form (numpy scalars coerced to Python types).
+
+        The event trace is summarized by its length unless ``include_trace``
+        is set (traces can be large); with it, the full event list round-trips
+        through :meth:`from_dict`.
+        """
+        payload = {
+            "metrics": self.metrics.to_dict(),
+            "rejected_demands": int(self.rejected_demands),
+            "stopped_early": bool(self.stopped_early),
+            "feasible": bool(self.feasible),
+            "trace_events": len(self.trace),
+        }
+        if include_trace:
+            payload["trace"] = self.trace.to_records()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        The trace is reconstructed when the payload embeds one (``to_dict``
+        with ``include_trace=True``); otherwise it is left empty.
+        """
+        records = data.get("trace")
+        trace = (
+            SimulationTrace.from_records(records)
+            if records is not None
+            else SimulationTrace()
+        )
+        return cls(
+            metrics=SimulationMetrics.from_dict(data["metrics"]),
+            trace=trace,
+            rejected_demands=int(data["rejected_demands"]),
+            stopped_early=bool(data["stopped_early"]),
+        )
+
 
 class VodSimulator:
     """Round-based simulator of a fully distributed VoD system.
@@ -146,9 +184,12 @@ class VodSimulator:
         different cold solvers.  Experiments comparing trajectories at
         either level should pin both ``warm_start`` and ``solver``.
     solver:
-        Matching kernel handed to :class:`ConnectionMatcher` —
+        Matching kernel: a name handed to :class:`ConnectionMatcher` —
         ``"hopcroft_karp"`` (default) or one of the max-flow oracles
-        (``"dinic"``, ``"push_relabel"``, ``"edmonds_karp"``).
+        (``"dinic"``, ``"push_relabel"``, ``"edmonds_karp"``) — or a
+        callable ``f(upload_slots) -> Solver`` (what the
+        :mod:`repro.api` registry stores), letting registered custom
+        solvers plug in.
     round_observer:
         Optional callable invoked with a :class:`RoundObservation` after
         every round's matching, while the possession index still holds
@@ -166,7 +207,7 @@ class VodSimulator:
         stop_on_infeasible: bool = False,
         churn: Optional[ChurnSchedule] = None,
         warm_start: bool = True,
-        solver: str = "hopcroft_karp",
+        solver: Union[str, Callable[[np.ndarray], "ConnectionMatcher"]] = "hopcroft_karp",
         round_observer: Optional[Callable[[RoundObservation], None]] = None,
     ):
         self._allocation = allocation
@@ -186,7 +227,10 @@ class VodSimulator:
         if compensation_plan is not None:
             reserved = np.floor(compensation_plan.reserved_upload * c + 1e-9).astype(np.int64)
             upload_slots = np.maximum(upload_slots - reserved, 0)
-        self._matcher = ConnectionMatcher(upload_slots, solver=solver)
+        if callable(solver):
+            self._matcher = solver(upload_slots)
+        else:
+            self._matcher = ConnectionMatcher(upload_slots, solver=solver)
         self._upload_capacity_total = int(upload_slots.sum())
 
         duration = self._catalog.duration
@@ -212,6 +256,41 @@ class VodSimulator:
     def allocation(self) -> Allocation:
         """The allocation under test."""
         return self._allocation
+
+    @property
+    def catalog(self):
+        """The video catalog (may grow through :meth:`add_videos`)."""
+        return self._catalog
+
+    @property
+    def population(self):
+        """The box population (may grow through :meth:`join_boxes`)."""
+        return self._population
+
+    @property
+    def matcher(self) -> ConnectionMatcher:
+        """The per-round connection matcher."""
+        return self._matcher
+
+    @property
+    def scheduler(self) -> Union[PreloadingScheduler, RelayedPreloadingScheduler]:
+        """The preloading scheduler in use."""
+        return self._scheduler
+
+    @property
+    def rejected_demands(self) -> int:
+        """Demands rejected so far because the box was busy playing."""
+        return self._rejected_demands
+
+    @property
+    def last_round_stats(self):
+        """Statistics of the most recently completed round (``None`` before any)."""
+        return self._metrics.last_round
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of rounds executed so far."""
+        return self._metrics.rounds_recorded
 
     @property
     def trace(self) -> SimulationTrace:
@@ -246,18 +325,47 @@ class VodSimulator:
         """Boxes offline at round ``time`` under the churn schedule (empty without churn)."""
         return self._churn.offline_boxes(time) if self._churn is not None else set()
 
+    def is_box_busy(self, box_id: int, time: int) -> bool:
+        """Whether ``box_id`` is still playing a video at round ``time``."""
+        if not 0 <= box_id < self._busy_until.size:
+            raise ValueError(f"box_id {box_id} out of range")
+        return bool(self._busy_until[box_id] > time)
+
+    def is_box_offline(self, box_id: int, time: int) -> bool:
+        """Whether ``box_id`` is offline at round ``time`` under churn."""
+        if self._churn is None:
+            return False
+        return self._churn.is_offline(int(box_id), time)
+
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
     def run(self, workload: DemandGenerator, num_rounds: int) -> SimulationResult:
-        """Run the simulation for ``num_rounds`` rounds."""
+        """Run the simulation for ``num_rounds`` rounds.
+
+        This is a thin loop over :meth:`step` — the stepwise session API of
+        :mod:`repro.api` drives the exact same per-round path, so batch and
+        stepwise executions of the same workload are bit-identical.
+        """
         check_positive_integer(num_rounds, "num_rounds")
         stopped_early = False
         for _ in range(num_rounds):
-            feasible = self._step(workload)
+            feasible = self.step(workload)
             if not feasible and self._stop_on_infeasible:
                 stopped_early = True
                 break
+        return self.result(stopped_early=stopped_early)
+
+    def step(self, workload: DemandGenerator) -> bool:
+        """Execute one round against ``workload``; returns its feasibility."""
+        return self._step(workload)
+
+    def result(self, stopped_early: bool = False) -> SimulationResult:
+        """Aggregate everything executed so far into a :class:`SimulationResult`.
+
+        Non-destructive: the engine can keep stepping afterwards, and
+        ``result()`` can be called again.
+        """
         self._metrics.record_swarm_violations(len(self._swarms.violations))
         return SimulationResult(
             metrics=self._metrics.finalize(),
@@ -480,3 +588,143 @@ class VodSimulator:
                     startup_delay=delay,
                 )
             )
+
+    # ------------------------------------------------------------------ #
+    # Live reconfiguration (the repro.api session mutation hooks)
+    # ------------------------------------------------------------------ #
+    def _check_mutable(self, operation: str) -> None:
+        if self._plan is not None or isinstance(
+            self._scheduler, RelayedPreloadingScheduler
+        ):
+            raise RuntimeError(
+                f"{operation} is not supported on relayed (compensation-plan) "
+                "systems: the plan's reserved upload is computed statically"
+            )
+
+    def set_upload_capacity(self, box_id: int, upload: float) -> int:
+        """Change the upload capacity of ``box_id`` to ``upload`` (in bitrates).
+
+        Takes effect from the next round's matching; returns the box's new
+        per-round stripe budget ``⌊upload·c⌋``.  The nominal population
+        object keeps its original value — this changes the serving capacity
+        the matcher enforces, the operational analogue of a bandwidth
+        reconfiguration.
+        """
+        self._check_mutable("set_upload_capacity")
+        if not 0 <= box_id < self._population.n:
+            raise ValueError(f"box_id {box_id} out of range")
+        if upload < 0:
+            raise ValueError(f"upload must be non-negative, got {upload}")
+        c = self._catalog.num_stripes_per_video
+        slots = int(np.floor(float(upload) * c + 1e-9))
+        new_slots = self._matcher.upload_slots.copy()
+        new_slots[box_id] = slots
+        self._matcher.update_upload_slots(new_slots)
+        self._upload_capacity_total = int(new_slots.sum())
+        return slots
+
+    def join_boxes(
+        self, uploads: Sequence[float], storages: Sequence[float]
+    ) -> List[int]:
+        """Add new boxes to the live system; returns their identifiers.
+
+        Joining boxes start with empty storage (no static replicas — they
+        acquire data through their playback caches) and full upload
+        capacity ``⌊u_b·c⌋``, available from the next round.
+        """
+        self._check_mutable("join_boxes")
+        uploads_arr = np.asarray(uploads, dtype=np.float64)
+        storages_arr = np.asarray(storages, dtype=np.float64)
+        if uploads_arr.ndim != 1 or uploads_arr.size == 0:
+            raise ValueError("uploads must be a non-empty 1-D sequence")
+        if uploads_arr.shape != storages_arr.shape:
+            raise ValueError("uploads and storages must have the same length")
+        old_n = self._population.n
+        from repro.core.parameters import BoxPopulation
+
+        population = BoxPopulation(
+            np.concatenate([self._population.uploads, uploads_arr]),
+            np.concatenate([self._population.storages, storages_arr]),
+        )
+        allocation = Allocation(
+            catalog=self._catalog,
+            population=population,
+            replicas_per_stripe=self._allocation.replicas_per_stripe,
+            replica_box=self._allocation.replica_box,
+            scheme=self._allocation.scheme,
+        )
+        self._population = population
+        self._allocation = allocation
+        self._possession.set_allocation(allocation)
+
+        c = self._catalog.num_stripes_per_video
+        new_slots = np.floor(uploads_arr * c + 1e-9).astype(np.int64)
+        self._matcher.update_upload_slots(
+            np.concatenate([self._matcher.upload_slots, new_slots])
+        )
+        self._upload_capacity_total = int(self._matcher.upload_slots.sum())
+        self._busy_until = np.concatenate(
+            [self._busy_until, np.zeros(uploads_arr.size, dtype=np.int64)]
+        )
+        self._metrics.grow(population.n)
+        return list(range(old_n, population.n))
+
+    def add_videos(self, num_videos: int, random_state=None) -> List[int]:
+        """Extend the catalog by ``num_videos`` new videos; returns their ids.
+
+        The new stripes receive the allocation's replication factor ``k``,
+        placed uniformly at random over the population's *remaining* storage
+        slots (the same slot model as the permutation scheme, restricted to
+        free capacity).  Raises :class:`AllocationError` when the free
+        storage cannot host ``num_videos·c·k`` more replicas.
+        """
+        self._check_mutable("add_videos")
+        check_positive_integer(num_videos, "num_videos")
+        # Validate every precondition before mutating anything: a failure
+        # below this block would otherwise leave the engine torn between
+        # the old and the new catalog.
+        catalog_updater = getattr(self._scheduler, "update_catalog", None)
+        if catalog_updater is None:
+            raise RuntimeError(
+                "add_videos requires a scheduler with update_catalog(); "
+                f"{type(self._scheduler).__name__} does not support live "
+                "catalog growth"
+            )
+        from repro.core.video import Catalog
+        from repro.util.rng import as_generator
+
+        old_m = self._catalog.num_videos
+        c = self._catalog.num_stripes_per_video
+        k = self._allocation.replicas_per_stripe
+        needed = num_videos * c * k
+        free = np.maximum(
+            self._population.storage_slots(c) - self._allocation.box_loads(), 0
+        )
+        total_free = int(free.sum())
+        if needed > total_free:
+            raise AllocationError(
+                f"not enough free storage: {needed} new replicas requested but "
+                f"only {total_free} free slots remain"
+            )
+        slot_owner = np.repeat(np.arange(self._population.n, dtype=np.int64), free)
+        gen = as_generator(random_state)
+        chosen = gen.permutation(slot_owner.size)[:needed]
+        new_replicas = slot_owner[chosen]
+
+        catalog = Catalog(
+            num_videos=old_m + num_videos,
+            num_stripes=c,
+            duration=self._catalog.duration,
+        )
+        allocation = Allocation(
+            catalog=catalog,
+            population=self._population,
+            replicas_per_stripe=k,
+            replica_box=np.concatenate([self._allocation.replica_box, new_replicas]),
+            scheme=self._allocation.scheme,
+        )
+        catalog_updater(catalog)  # validates growth before any engine mutation
+        self._catalog = catalog
+        self._allocation = allocation
+        self._possession.refresh_allocation(allocation)
+        return list(range(old_m, old_m + num_videos))

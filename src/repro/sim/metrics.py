@@ -10,7 +10,7 @@ be traced to one accumulation site here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,33 @@ class RoundStats:
             return 0.0
         return self.upload_used / self.upload_capacity
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready plain-dict form (numpy scalars coerced to Python types)."""
+        return {
+            "time": int(self.time),
+            "active_requests": int(self.active_requests),
+            "new_requests": int(self.new_requests),
+            "matched": int(self.matched),
+            "unmatched": int(self.unmatched),
+            "feasible": bool(self.feasible),
+            "upload_used": int(self.upload_used),
+            "upload_capacity": int(self.upload_capacity),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoundStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            time=int(data["time"]),
+            active_requests=int(data["active_requests"]),
+            new_requests=int(data["new_requests"]),
+            matched=int(data["matched"]),
+            unmatched=int(data["unmatched"]),
+            feasible=bool(data["feasible"]),
+            upload_used=int(data["upload_used"]),
+            upload_capacity=int(data["upload_capacity"]),
+        )
+
 
 @dataclass(frozen=True)
 class SimulationMetrics:
@@ -59,6 +86,54 @@ class SimulationMetrics:
     def all_feasible(self) -> bool:
         """Whether every round's connection matching was feasible."""
         return self.infeasible_rounds == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready plain-dict form, round-tripping through :meth:`from_dict`.
+
+        Every value is a native Python scalar (numpy scalars coerced), so the
+        output feeds ``json.dumps`` directly — this is what external services
+        log from a live session.
+        """
+        return {
+            "rounds": int(self.rounds),
+            "total_demands": int(self.total_demands),
+            "total_requests": int(self.total_requests),
+            "infeasible_rounds": int(self.infeasible_rounds),
+            "unmatched_requests": int(self.unmatched_requests),
+            "max_startup_delay": None
+            if self.max_startup_delay is None
+            else int(self.max_startup_delay),
+            "mean_startup_delay": None
+            if self.mean_startup_delay is None
+            else float(self.mean_startup_delay),
+            "peak_utilization": float(self.peak_utilization),
+            "mean_utilization": float(self.mean_utilization),
+            "peak_box_load": int(self.peak_box_load),
+            "swarm_growth_violations": int(self.swarm_growth_violations),
+            "round_stats": [stats.to_dict() for stats in self.round_stats],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        max_delay = data.get("max_startup_delay")
+        mean_delay = data.get("mean_startup_delay")
+        return cls(
+            rounds=int(data["rounds"]),
+            total_demands=int(data["total_demands"]),
+            total_requests=int(data["total_requests"]),
+            infeasible_rounds=int(data["infeasible_rounds"]),
+            unmatched_requests=int(data["unmatched_requests"]),
+            max_startup_delay=None if max_delay is None else int(max_delay),
+            mean_startup_delay=None if mean_delay is None else float(mean_delay),
+            peak_utilization=float(data["peak_utilization"]),
+            mean_utilization=float(data["mean_utilization"]),
+            peak_box_load=int(data["peak_box_load"]),
+            swarm_growth_violations=int(data["swarm_growth_violations"]),
+            round_stats=tuple(
+                RoundStats.from_dict(stats) for stats in data.get("round_stats", ())
+            ),
+        )
 
     def describe(self) -> Dict[str, float]:
         """Flat dictionary view used by experiment tables."""
@@ -95,6 +170,24 @@ class MetricsCollector:
         self._total_requests = 0
         self._peak_box_load = 0
         self._swarm_violations = 0
+
+    @property
+    def rounds_recorded(self) -> int:
+        """Number of rounds recorded so far."""
+        return len(self._round_stats)
+
+    @property
+    def last_round(self) -> Optional[RoundStats]:
+        """The most recently recorded round's statistics (``None`` before any)."""
+        return self._round_stats[-1] if self._round_stats else None
+
+    def grow(self, num_boxes: int) -> None:
+        """Record that the population grew to ``num_boxes`` boxes."""
+        if num_boxes < self._num_boxes:
+            raise ValueError(
+                f"population cannot shrink: {num_boxes} < {self._num_boxes}"
+            )
+        self._num_boxes = num_boxes
 
     # ------------------------------------------------------------------ #
     # Accumulation

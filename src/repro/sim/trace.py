@@ -60,6 +60,10 @@ class SimulationTrace:
         """All recorded events, in recording order."""
         return list(self._events)
 
+    def events_since(self, start: int) -> List[Event]:
+        """Events recorded at index ``start`` onwards (cheap tail slice)."""
+        return self._events[start:]
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
@@ -117,3 +121,33 @@ class SimulationTrace:
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialize the trace to a JSON string."""
         return json.dumps(self.to_records(), indent=indent)
+
+    @classmethod
+    def from_records(cls, records: Iterable[Dict[str, object]]) -> "SimulationTrace":
+        """Rebuild a trace from :meth:`to_records` output."""
+        event_types: Dict[str, type] = {
+            t.__name__: t
+            for t in (
+                DemandEvent,
+                RequestEvent,
+                ConnectionEvent,
+                PlaybackStartEvent,
+                PlaybackEndEvent,
+                InfeasibilityEvent,
+            )
+        }
+        trace = cls()
+        for record in records:
+            payload = dict(record)
+            name = payload.pop("event", None)
+            event_type = event_types.get(str(name))
+            if event_type is None:
+                raise ValueError(f"unknown trace event type {name!r}")
+            if event_type is InfeasibilityEvent:
+                witness = payload.get("witness_requests")
+                if witness is not None:
+                    payload["witness_requests"] = tuple(
+                        tuple(int(v) for v in triple) for triple in witness
+                    )
+            trace.record(event_type(**payload))
+        return trace

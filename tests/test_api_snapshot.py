@@ -1,0 +1,137 @@
+"""Snapshot/restore determinism of the stepwise session layer.
+
+The property: for any scenario, solver and split point ``k``,
+``snapshot after k rounds → restore → step to the horizon`` produces
+per-round metric digests bit-identical to an uninterrupted run — i.e. a
+snapshot captures the *entire* deterministic state (clock, swarms,
+caches, possession index, RNG streams, warm-start assignment, pending
+requests).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import VodSession
+from repro.scenarios.build import build_scenario
+from repro.scenarios.registry import get_scenario
+
+#: Scenario/solver grid pinned by the acceptance criteria: ≥3 registry
+#: scenarios (covering churn, flash crowds and steady demand) × both the
+#: Hopcroft–Karp kernel and the Dinic max-flow oracle.
+SNAPSHOT_GRID = [
+    (name, solver)
+    for name in ("steady_state", "flashcrowd_spike", "churn_storm", "near_threshold_load")
+    for solver in ("hopcroft_karp", "dinic")
+]
+
+ROUNDS = 10
+SPLIT = 4
+
+
+def _session_for(name: str, solver: str, rounds: int) -> VodSession:
+    spec = get_scenario(name).with_overrides(solver=solver)
+    return build_scenario(spec, min_horizon=rounds).session(horizon=rounds)
+
+
+@pytest.mark.parametrize("name,solver", SNAPSHOT_GRID)
+def test_snapshot_restore_step_matches_uninterrupted_run(name, solver):
+    baseline = _session_for(name, solver, ROUNDS)
+    baseline.step_until(round=ROUNDS)
+    expected = [report.to_dict() for report in baseline.reports]
+    expected_digests = [report.digest for report in baseline.reports]
+
+    interrupted = _session_for(name, solver, ROUNDS)
+    interrupted.step_until(round=SPLIT)
+    snapshot = interrupted.snapshot()
+
+    restored = VodSession.restore(snapshot)
+    assert restored.now == SPLIT
+    assert restored.rounds_completed == SPLIT
+    restored.step_until(round=ROUNDS)
+
+    assert [r.to_dict() for r in restored.reports] == expected
+    assert [r.digest for r in restored.reports] == expected_digests
+    assert restored.digest() == baseline.digest()
+
+    # The aggregated SimulationResult agrees too (startup delays, swarm
+    # violations, trace length — everything the metrics expose).
+    assert (
+        restored.result().metrics.to_dict() == baseline.result().metrics.to_dict()
+    )
+
+
+@pytest.mark.parametrize("name,solver", [("steady_state", "hopcroft_karp")])
+def test_snapshot_is_restorable_multiple_times(name, solver):
+    session = _session_for(name, solver, ROUNDS)
+    session.step_until(round=SPLIT)
+    snapshot = session.snapshot()
+
+    first = VodSession.restore(snapshot)
+    second = VodSession.restore(snapshot)
+    assert first is not second
+    first.step_until(round=ROUNDS)
+    second.step_until(round=ROUNDS)
+    assert first.digest() == second.digest()
+
+    # The original session keeps stepping independently and identically.
+    session.step_until(round=ROUNDS)
+    assert session.digest() == first.digest()
+
+
+def test_snapshot_file_round_trip(tmp_path):
+    from repro.api import SessionSnapshot
+
+    session = _session_for("flashcrowd_spike", "hopcroft_karp", ROUNDS)
+    session.step_until(round=SPLIT)
+    snapshot = session.snapshot()
+    path = snapshot.to_file(tmp_path / "checkpoints" / "mid.ckpt")
+    loaded = SessionSnapshot.from_file(path)
+    assert loaded.time == SPLIT
+    assert loaded.rounds_completed == SPLIT
+
+    session.step_until(round=ROUNDS)
+    restored = VodSession.restore(loaded)
+    restored.step_until(round=ROUNDS)
+    assert restored.digest() == session.digest()
+
+
+def test_snapshot_preserves_pending_injected_demands():
+    session = _session_for("steady_state", "hopcroft_karp", ROUNDS)
+    session.step_until(round=SPLIT)
+    session.submit(0, 1)
+    snapshot = session.snapshot()
+
+    restored = VodSession.restore(snapshot)
+    assert restored.pending_demands == ((0, 1),)
+    a = session.step()
+    b = restored.step()
+    assert a == b
+    assert a.demands_injected == 1
+
+
+def test_from_file_rejects_non_snapshots(tmp_path):
+    import pickle
+
+    from repro.api import SessionSnapshot
+
+    path = tmp_path / "junk.ckpt"
+    path.write_bytes(pickle.dumps({"not": "a snapshot"}))
+    with pytest.raises(ValueError):
+        SessionSnapshot.from_file(path)
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(split=st.integers(min_value=0, max_value=ROUNDS))
+def test_snapshot_restore_property_any_split_point(split):
+    """Hypothesis property: the split point never matters."""
+    baseline = _session_for("steady_state", "hopcroft_karp", ROUNDS)
+    baseline.step_until(round=ROUNDS)
+
+    interrupted = _session_for("steady_state", "hopcroft_karp", ROUNDS)
+    interrupted.step_until(round=split)
+    restored = VodSession.restore(interrupted.snapshot())
+    restored.step_until(round=ROUNDS)
+    assert restored.digest() == baseline.digest()

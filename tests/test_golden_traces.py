@@ -53,6 +53,30 @@ def test_golden_trace_replays_bit_identically(name, seed, regen_golden):
 
 
 @pytest.mark.parametrize("name,seed", GOLDEN_SCENARIOS)
+def test_golden_trace_replays_through_session_facade(name, seed, regen_golden):
+    """Stepping a VodSession reproduces the recorded batch rounds bit for bit."""
+    if regen_golden:
+        pytest.skip("regeneration run")
+    from repro.scenarios.build import build_scenario
+    from repro.scenarios.spec import ScenarioSpec
+
+    golden = load_golden(_golden_path(name))
+    spec = ScenarioSpec.from_dict(golden["spec"])
+    rounds = int(golden["rounds"])
+    session = build_scenario(spec, seed=seed, min_horizon=rounds).session(
+        horizon=rounds
+    )
+    reports = session.step_until(round=rounds)
+    # The reports must mirror the engine's stats, and those stats must
+    # digest to exactly the recorded golden rounds.
+    result = session.result()
+    assert [r.to_round_stats() for r in reports] == list(result.metrics.round_stats)
+    from repro.scenarios.replay import _round_records
+
+    assert _round_records(result) == [dict(r) for r in golden["round_records"]]
+
+
+@pytest.mark.parametrize("name,seed", GOLDEN_SCENARIOS)
 def test_golden_file_embeds_registry_spec(name, seed, regen_golden):
     if regen_golden:
         pytest.skip("regeneration run")

@@ -1,0 +1,100 @@
+"""JSON round-trips of SimulationResult / SimulationMetrics / RoundStats."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios.build import build_scenario
+from repro.scenarios.registry import get_scenario
+from repro.sim.engine import SimulationResult
+from repro.sim.metrics import MetricsCollector, RoundStats, SimulationMetrics
+from repro.sim.trace import SimulationTrace
+
+
+@pytest.fixture(scope="module")
+def result() -> SimulationResult:
+    return build_scenario(get_scenario("flashcrowd_spike")).run(8)
+
+
+def _assert_native(obj):
+    """Recursively assert every scalar is a native Python type (JSON-safe)."""
+    if isinstance(obj, dict):
+        for value in obj.values():
+            _assert_native(value)
+    elif isinstance(obj, (list, tuple)):
+        for value in obj:
+            _assert_native(value)
+    else:
+        assert obj is None or isinstance(obj, (bool, int, float, str)), repr(obj)
+        assert not isinstance(obj, np.generic), f"numpy scalar leaked: {obj!r}"
+
+
+def test_round_stats_round_trip():
+    stats = RoundStats(
+        time=np.int64(3),
+        active_requests=np.int64(7),
+        new_requests=4,
+        matched=np.int64(7),
+        unmatched=0,
+        feasible=np.bool_(True),
+        upload_used=np.int64(7),
+        upload_capacity=64,
+    )
+    payload = stats.to_dict()
+    _assert_native(payload)
+    rebuilt = RoundStats.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt.to_dict() == payload
+    assert rebuilt.utilization == stats.utilization
+
+
+def test_simulation_metrics_round_trip(result):
+    metrics = result.metrics
+    payload = metrics.to_dict()
+    _assert_native(payload)
+    rebuilt = SimulationMetrics.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt == metrics
+    assert rebuilt.to_dict() == payload
+
+
+def test_metrics_round_trip_without_startup_delays():
+    collector = MetricsCollector(4)
+    collector.record_round(
+        time=0,
+        active_requests=0,
+        new_requests=0,
+        matched=0,
+        feasible=True,
+        box_load=np.zeros(4, dtype=np.int64),
+        upload_capacity=8,
+    )
+    metrics = collector.finalize()
+    assert metrics.max_startup_delay is None
+    rebuilt = SimulationMetrics.from_dict(metrics.to_dict())
+    assert rebuilt == metrics
+
+
+def test_simulation_result_round_trip_summary(result):
+    payload = result.to_dict()
+    _assert_native(payload)
+    assert payload["trace_events"] == len(result.trace)
+    assert "trace" not in payload
+    rebuilt = SimulationResult.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt.metrics == result.metrics
+    assert rebuilt.rejected_demands == result.rejected_demands
+    assert rebuilt.stopped_early == result.stopped_early
+    assert len(rebuilt.trace) == 0  # summary form does not embed events
+
+
+def test_simulation_result_round_trip_with_trace(result):
+    payload = json.loads(json.dumps(result.to_dict(include_trace=True)))
+    rebuilt = SimulationResult.from_dict(payload)
+    assert len(rebuilt.trace) == len(result.trace)
+    assert rebuilt.trace.to_records() == result.trace.to_records()
+
+
+def test_trace_from_records_rejects_unknown_events():
+    with pytest.raises(ValueError):
+        SimulationTrace.from_records([{"event": "WarpDriveEvent", "time": 0}])

@@ -148,6 +148,50 @@ class TestCli:
         for name in scenario_names():
             assert name in out
 
+    def test_session_command_checkpoint_and_batch_parity(self, capsys):
+        out = self._run_cli(
+            capsys,
+            "session", "steady_state", "--seed", "5", "--rounds", "6",
+            "--checkpoint-at", "3",
+        )
+        assert "checkpoint/restore parity: OK" in out
+        assert "batch parity: OK" in out
+        assert "digest" in out
+
+    def test_session_command_json_output_is_pure_json(self, capsys):
+        import json as json_module
+
+        code = main(
+            ["session", "flashcrowd_spike", "--seed", "5", "--rounds", "4", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out
+        # stdout parses as-is; parity status lines go to stderr.
+        reports = json_module.loads(captured.out)
+        assert len(reports) == 4
+        assert all("matched" in record for record in reports)
+        assert "batch parity: OK" in captured.err
+
+    def test_session_command_solver_override(self, capsys):
+        out = self._run_cli(
+            capsys,
+            "session", "steady_state", "--seed", "5", "--rounds", "4",
+            "--solver", "dinic",
+        )
+        assert "batch parity: OK" in out
+
+    def test_session_command_rejects_bad_checkpoint(self, capsys):
+        code = main(
+            ["session", "steady_state", "--rounds", "4", "--checkpoint-at", "9"]
+        )
+        assert code == 2
+
+    def test_session_command_rejects_non_positive_rounds(self, capsys):
+        assert main(["session", "steady_state", "--rounds", "0"]) == 2
+        assert main(["session", "steady_state", "--rounds", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert "--rounds must be positive" in err
+
     def test_cold_start_and_solver_overrides(self, capsys):
         warm = self._digest_of(
             self._run_cli(capsys, "run", "steady_state", "--seed", "9", "--rounds", "4")
