@@ -1,0 +1,213 @@
+"""Scale-tier throughput benchmark; merges into ``BENCH_matching.json``.
+
+Runs the registered ``scale_tier_*`` scenarios (10k / 100k / 500k boxes
+with proportional catalogs) through the vectorized struct-of-arrays
+engine core and records, per tier:
+
+* per-round throughput (rounds/sec over the measured window);
+* peak resident set size;
+* feasibility across the run (the tiers are provisioned to stay feasible).
+
+The 10k tier is compared against the pre-vectorization baseline measured
+on the object-per-request engine (PR 3, commit ``ff49bf4``): identical
+scenario parameters, 12.20 rounds/sec.  The PR-4 acceptance bar is a
+>= 5x speedup at that tier plus a completed 100k-box, 50-round run.
+
+``--check`` re-reads a committed ``BENCH_matching.json`` and fails (exit
+code 1) when the freshly measured 10k-tier throughput drops more than
+``--regression-tolerance`` (default 20%) below the recorded value — the
+CI benchmark-regression gate.
+
+Usage::
+
+    python benchmarks/bench_scale.py               # 10k + 100k tiers
+    python benchmarks/bench_scale.py --full        # plus the 500k tier
+    python benchmarks/bench_scale.py --smoke       # 10k only, short run
+    python benchmarks/bench_scale.py --smoke --check BENCH_matching.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.scenarios.build import build_scenario  # noqa: E402
+from repro.scenarios.registry import get_scenario  # noqa: E402
+
+#: Pre-vectorization 10k-tier throughput (rounds/sec), measured on the
+#: object-per-request engine at PR 3 (commit ff49bf4) with the identical
+#: scenario parameters, seed and horizon window used below.
+BASELINE_10K_ROUNDS_PER_SEC = 12.20
+
+SPEEDUP_TARGET = 5.0
+
+
+def peak_rss_bytes() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def bench_tier(tier: str, rounds: int, seed: int = 7) -> dict:
+    """Build and run one tier; returns its result record."""
+    spec = get_scenario(f"scale_tier_{tier}")
+    build_start = time.perf_counter()
+    compiled = build_scenario(spec, seed=seed, min_horizon=rounds)
+    build_seconds = time.perf_counter() - build_start
+
+    run_start = time.perf_counter()
+    result = compiled.run(rounds)
+    run_seconds = time.perf_counter() - run_start
+
+    metrics = result.metrics
+    return {
+        "tier": tier,
+        "boxes": int(spec.population.params["n"]),
+        "videos": int(spec.catalog.num_videos),
+        "rounds": rounds,
+        "seed": seed,
+        "build_seconds": build_seconds,
+        "run_seconds": run_seconds,
+        "rounds_per_sec": rounds / run_seconds,
+        "active_requests_final": int(metrics.round_stats[-1].active_requests),
+        "infeasible_rounds": int(metrics.infeasible_rounds),
+        "peak_rss_mb": peak_rss_bytes() / 1e6,
+    }
+
+
+def check_regression(
+    committed_path: str, measured_10k: float, tolerance: float
+) -> int:
+    """Compare fresh 10k throughput against the committed artifact."""
+    try:
+        with open(committed_path) as handle:
+            committed = json.load(handle)
+        recorded = next(
+            r["rounds_per_sec"]
+            for r in committed["scale"]["tiers"]
+            if r["tier"] == "10k"
+        )
+    except (OSError, json.JSONDecodeError, KeyError, StopIteration) as exc:
+        print(f"FAIL: no committed 10k record in {committed_path} ({exc})",
+              file=sys.stderr)
+        return 1
+    floor = recorded * (1.0 - tolerance)
+    verdict = "OK" if measured_10k >= floor else "FAIL"
+    print(
+        f"regression check       : measured {measured_10k:.1f} r/s vs "
+        f"committed {recorded:.1f} r/s (floor {floor:.1f}) -> {verdict}"
+    )
+    if measured_10k < floor:
+        print(
+            f"FAIL: 10k-tier throughput dropped more than "
+            f"{tolerance * 100:.0f}% below the committed benchmark",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="10k tier only, short run")
+    parser.add_argument("--full", action="store_true", help="include the 500k tier")
+    parser.add_argument("--rounds", type=int, default=50, help="rounds per tier")
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        default=None,
+        help="compare against a committed BENCH_matching.json (exit 1 on "
+        "a >tolerance throughput drop at the 10k tier) without rewriting it",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional throughput drop for --check (default 0.20)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_matching.json"
+        ),
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        tiers, rounds = ["10k"], min(args.rounds, 20)
+    elif args.full:
+        tiers, rounds = ["10k", "100k", "500k"], args.rounds
+    else:
+        tiers, rounds = ["10k", "100k"], args.rounds
+
+    # Warm-up outside the timed region (imports, allocator caches).
+    build_scenario(get_scenario("scale_tier_10k"), seed=7).run(3)
+
+    records = []
+    for tier in tiers:
+        record = bench_tier(tier, rounds)
+        records.append(record)
+        print(
+            f"{tier:>5}: {record['boxes']:>7,} boxes  "
+            f"{record['rounds_per_sec']:8.2f} rounds/s  "
+            f"{record['active_requests_final']:>7,} active  "
+            f"{record['infeasible_rounds']} infeasible  "
+            f"peak RSS {record['peak_rss_mb']:.0f} MB"
+        )
+
+    measured_10k = records[0]["rounds_per_sec"]
+    speedup = measured_10k / BASELINE_10K_ROUNDS_PER_SEC
+    print(
+        f"10k tier vs pre-vectorization baseline "
+        f"({BASELINE_10K_ROUNDS_PER_SEC} r/s): {speedup:.1f}x "
+        f"(target >= {SPEEDUP_TARGET}x)"
+    )
+
+    if args.check:
+        return check_regression(
+            args.check, measured_10k, args.regression_tolerance
+        )
+
+    section = {
+        "baseline_10k_rounds_per_sec": BASELINE_10K_ROUNDS_PER_SEC,
+        "baseline_provenance": (
+            "object-per-request engine at PR 3 (commit ff49bf4), identical "
+            "scale_tier_10k parameters"
+        ),
+        "speedup_10k": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "target_met": speedup >= SPEEDUP_TARGET,
+        "tiers": records,
+    }
+    output = os.path.abspath(args.output)
+    artifact = {}
+    if os.path.exists(output):
+        try:
+            with open(output) as handle:
+                artifact = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            artifact = {}
+    artifact["scale"] = section
+    with open(output, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"merged scale section into {output}")
+
+    if not args.smoke and speedup < SPEEDUP_TARGET:
+        print(
+            f"FAIL: 10k-tier speedup {speedup:.1f}x below the "
+            f"{SPEEDUP_TARGET}x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

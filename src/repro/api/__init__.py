@@ -31,6 +31,7 @@ from repro.api.errors import (
     ApiError,
     ComponentLookupError,
     SessionClosedError,
+    SnapshotFormatError,
 )
 from repro.api.protocols import (
     ChurnModel,
@@ -53,6 +54,7 @@ __all__ = [
     "SessionClosedError",
     "AdmissionError",
     "ComponentLookupError",
+    "SnapshotFormatError",
     "Solver",
     "RequestScheduler",
     "DemandGenerator",

@@ -13,6 +13,7 @@ __all__ = [
     "SessionClosedError",
     "AdmissionError",
     "ComponentLookupError",
+    "SnapshotFormatError",
 ]
 
 
@@ -35,3 +36,12 @@ class AdmissionError(ApiError):
 
 class ComponentLookupError(ApiError, KeyError):
     """An unknown component name/kind was requested from the registry."""
+
+
+class SnapshotFormatError(ApiError):
+    """A session snapshot was recorded under an incompatible format version.
+
+    Snapshot payloads pickle the engine's internal state; a payload from a
+    different ``SNAPSHOT_FORMAT_VERSION`` cannot be deserialized into the
+    current engine layout and must be re-recorded from a fresh run.
+    """

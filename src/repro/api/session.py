@@ -30,17 +30,22 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.api.errors import AdmissionError, SessionClosedError
+from repro.api.errors import AdmissionError, SessionClosedError, SnapshotFormatError
 from repro.core.preloading import Demand
 from repro.sim.engine import SimulationResult, VodSimulator
-from repro.sim.events import PlaybackStartEvent
 from repro.sim.metrics import RoundStats
 from repro.workloads.base import DemandGenerator, SystemView
 
 __all__ = ["RoundReport", "SessionSnapshot", "VodSession"]
 
-#: Bump when the snapshot payload layout changes.
-SNAPSHOT_FORMAT_VERSION = 1
+#: Bump when the snapshot payload layout changes.  Version history:
+#: 1 — object-graph engine state (per-request/per-member Python objects);
+#: 2 — struct-of-arrays engine core (NumPy request pool, download log,
+#:     swarm entry logs, demand log).  Version-1 payloads pickle classes
+#:     whose layout no longer exists, so loading one raises a typed
+#:     :class:`~repro.api.errors.SnapshotFormatError` instead of
+#:     deserializing into a torn engine.
+SNAPSHOT_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -165,14 +170,23 @@ class SessionSnapshot:
 
     @classmethod
     def from_file(cls, path: Union[str, Path]) -> "SessionSnapshot":
-        """Load a snapshot previously written with :meth:`to_file`."""
+        """Load a snapshot previously written with :meth:`to_file`.
+
+        Raises :class:`~repro.api.errors.SnapshotFormatError` when the file
+        was recorded under a different snapshot format version — the
+        payload pickles the engine's internal state, which is not
+        migratable across layout changes; re-record the checkpoint from a
+        fresh run instead.
+        """
         snapshot = pickle.loads(Path(path).read_bytes())
         if not isinstance(snapshot, cls):
             raise ValueError(f"{path} does not contain a SessionSnapshot")
         if snapshot.format_version != SNAPSHOT_FORMAT_VERSION:
-            raise ValueError(
-                f"snapshot format {snapshot.format_version} unsupported "
-                f"(current: {SNAPSHOT_FORMAT_VERSION})"
+            raise SnapshotFormatError(
+                f"snapshot {path} has format version {snapshot.format_version}, "
+                f"but this build reads version {SNAPSHOT_FORMAT_VERSION}; "
+                "snapshots are not migratable across engine-layout changes — "
+                "re-record the checkpoint from a fresh run"
             )
         return snapshot
 
@@ -386,16 +400,12 @@ class VodSession:
         time = engine.now
         injected = len(self._pending)
         rejected_before = engine.rejected_demands
-        events_before = len(engine.trace)
+        playbacks_before = engine.playbacks_started
 
         feasible = engine.step(self._adapter)
 
         stats = engine.last_round_stats
-        playback_starts = sum(
-            1
-            for event in engine.trace.events_since(events_before)
-            if isinstance(event, PlaybackStartEvent)
-        )
+        playback_starts = engine.playbacks_started - playbacks_before
         report = RoundReport.from_round_stats(
             stats,
             demands_injected=injected,
@@ -489,8 +499,15 @@ class VodSession:
 
         Each call produces a fresh object graph: restoring twice yields two
         sessions that evolve independently (and identically, given the same
-        inputs).
+        inputs).  A snapshot from a different format version raises
+        :class:`~repro.api.errors.SnapshotFormatError`.
         """
+        if snapshot.format_version != SNAPSHOT_FORMAT_VERSION:
+            raise SnapshotFormatError(
+                f"snapshot has format version {snapshot.format_version}, "
+                f"but this build reads version {SNAPSHOT_FORMAT_VERSION}; "
+                "re-record the checkpoint from a fresh run"
+            )
         session = pickle.loads(snapshot.payload)
         if not isinstance(session, cls):
             raise ValueError("snapshot payload does not contain a VodSession")

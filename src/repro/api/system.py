@@ -221,6 +221,7 @@ class VodSystem:
         warm_start: bool = True,
         solver: str = "hopcroft_karp",
         round_observer=None,
+        trace_level: str = "full",
     ) -> VodSimulator:
         """Construct the round engine over the adopted allocation.
 
@@ -253,6 +254,7 @@ class VodSystem:
             warm_start=warm_start,
             solver=solver_factory,
             round_observer=round_observer,
+            trace_level=trace_level,
         )
 
     def _resolve_workload(

@@ -21,10 +21,9 @@ This module provides:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -37,6 +36,7 @@ from repro.util.validation import check_non_negative_integer, check_positive_int
 __all__ = [
     "StripeRequest",
     "RequestSet",
+    "ArrayRequestSet",
     "PossessionIndex",
     "ConnectionMatching",
     "ConnectionMatcher",
@@ -112,77 +112,252 @@ class RequestSet:
 _EMPTY_INT64 = np.empty(0, dtype=np.int64)
 
 
-class _StripeSwarm:
-    """Ring buffer of (box, request time) playback-cache entries for one stripe.
+class ArrayRequestSet(RequestSet):
+    """A :class:`RequestSet` view over struct-of-arrays request fields.
 
-    Entries are appended in (normally non-decreasing) time order into a
-    pair of numpy arrays; eviction advances a head offset in O(expired)
-    and window queries are ``searchsorted`` slices.  Out-of-order appends
-    (exercised by tests, never by the simulator) flip a flag and the live
-    segment is re-sorted lazily on the next query.
+    The engine's hot path keeps requests as parallel NumPy arrays (stripe,
+    request time, box, preload flag) and only materializes
+    :class:`StripeRequest` objects when an observer, a trace record or a
+    witness actually needs them.  All :class:`RequestSet` queries work; the
+    multiset is immutable (``add``/``extend`` raise), since the arrays are
+    shared with the engine's bookkeeping.
     """
 
-    __slots__ = ("boxes", "times", "head", "tail", "sorted")
+    def __init__(
+        self,
+        stripe_ids: np.ndarray,
+        request_times: np.ndarray,
+        box_ids: np.ndarray,
+        preload_flags: Optional[np.ndarray] = None,
+    ):
+        self._stripes = np.asarray(stripe_ids, dtype=np.int64)
+        self._times = np.asarray(request_times, dtype=np.int64)
+        self._boxes = np.asarray(box_ids, dtype=np.int64)
+        if self._stripes.shape != self._times.shape or self._stripes.shape != self._boxes.shape:
+            raise ValueError("request field arrays must have identical shapes")
+        if preload_flags is None:
+            preload_flags = np.zeros(self._stripes.size, dtype=bool)
+        self._preload = np.asarray(preload_flags, dtype=bool)
+        self._materialized: Optional[List[StripeRequest]] = None
+
+    # The base-class helpers read ``self._requests``; materialize lazily.
+    @property
+    def _requests(self) -> List[StripeRequest]:
+        if self._materialized is None:
+            self._materialized = [
+                StripeRequest(
+                    stripe_id=int(s), request_time=int(t), box_id=int(b), is_preload=bool(p)
+                )
+                for s, t, b, p in zip(
+                    self._stripes.tolist(),
+                    self._times.tolist(),
+                    self._boxes.tolist(),
+                    self._preload.tolist(),
+                )
+            ]
+        return self._materialized
+
+    @property
+    def stripe_id_array(self) -> np.ndarray:
+        """Per-request stripe identifiers (shared, do not mutate)."""
+        return self._stripes
+
+    @property
+    def request_time_array(self) -> np.ndarray:
+        """Per-request issue times (shared, do not mutate)."""
+        return self._times
+
+    @property
+    def box_id_array(self) -> np.ndarray:
+        """Per-request requesting boxes (shared, do not mutate)."""
+        return self._boxes
+
+    def add(self, request: StripeRequest) -> None:
+        raise TypeError("ArrayRequestSet is immutable")
+
+    def extend(self, requests: Iterable[StripeRequest]) -> None:
+        raise TypeError("ArrayRequestSet is immutable")
+
+    def __len__(self) -> int:
+        return int(self._stripes.size)
+
+    def __getitem__(self, index: int) -> StripeRequest:
+        if self._materialized is not None:
+            return self._materialized[index]
+        # Single-element access (witness extraction) without materializing
+        # the whole multiset.
+        if isinstance(index, (int, np.integer)):
+            i = int(index)
+            return StripeRequest(
+                stripe_id=int(self._stripes[i]),
+                request_time=int(self._times[i]),
+                box_id=int(self._boxes[i]),
+                is_preload=bool(self._preload[i]),
+            )
+        return self._requests[index]
+
+    def stripe_multiset(self) -> List[int]:
+        return self._stripes.tolist()
+
+    def distinct_stripes(self) -> Set[int]:
+        return set(self._stripes.tolist())
+
+
+class _DownloadLog:
+    """Global (time-ordered) playback-cache log, struct-of-arrays.
+
+    Every ``record_download`` appends one ``(stripe, box, time)`` entry;
+    eviction advances a head offset in O(expired) because the engine
+    appends in non-decreasing time order.  Adjacency queries go through a
+    per-generation *sorted view* (stable-sorted by stripe, hence sorted by
+    ``(stripe, time, arrival)``), which turns the whole round's
+    playback-cache gather into a pair of ``searchsorted`` calls.
+    Out-of-order appends (exercised by tests, never by the simulator) flip
+    a flag; eviction then compacts and re-sorts the live segment by time,
+    matching the old per-stripe ring-buffer semantics.
+    """
+
+    __slots__ = (
+        "stripes",
+        "boxes",
+        "times",
+        "head",
+        "tail",
+        "sorted",
+        "_view_stripes",
+        "_view_boxes",
+        "_view_times",
+        "_view_stale",
+    )
 
     def __init__(self):
-        self.boxes = np.empty(8, dtype=np.int64)
-        self.times = np.empty(8, dtype=np.int64)
+        self.stripes = np.empty(64, dtype=np.int64)
+        self.boxes = np.empty(64, dtype=np.int64)
+        self.times = np.empty(64, dtype=np.int64)
         self.head = 0
         self.tail = 0
         self.sorted = True
+        self._view_stripes: np.ndarray = _EMPTY_INT64
+        self._view_boxes: np.ndarray = _EMPTY_INT64
+        self._view_times: np.ndarray = _EMPTY_INT64
+        self._view_stale = True
 
     def __len__(self) -> int:
         return self.tail - self.head
 
-    def append(self, box: int, time: int) -> None:
-        if self.tail == self.boxes.size:
+    def __getstate__(self):
+        live = slice(self.head, self.tail)
+        return (
+            self.stripes[live].copy(),
+            self.boxes[live].copy(),
+            self.times[live].copy(),
+            self.sorted,
+        )
+
+    def __setstate__(self, state):
+        stripes, boxes, times, is_sorted = state
+        self.stripes, self.boxes, self.times = stripes, boxes, times
+        self.head, self.tail = 0, stripes.size
+        self.sorted = is_sorted
+        self._view_stripes = _EMPTY_INT64
+        self._view_boxes = _EMPTY_INT64
+        self._view_times = _EMPTY_INT64
+        self._view_stale = True
+
+    def append(self, stripe: int, box: int, time: int) -> None:
+        if self.tail == self.stripes.size:
             self._grow()
         if self.tail > self.head and time < self.times[self.tail - 1]:
             self.sorted = False
+        self.stripes[self.tail] = stripe
         self.boxes[self.tail] = box
         self.times[self.tail] = time
         self.tail += 1
+        self._view_stale = True
+
+    def extend(self, stripes: np.ndarray, boxes: np.ndarray, time: int) -> None:
+        """Append a block of entries sharing one time (the engine's round)."""
+        count = int(stripes.size)
+        if count == 0:
+            return
+        while self.tail + count > self.stripes.size:
+            self._grow()
+        if self.tail > self.head and time < self.times[self.tail - 1]:
+            self.sorted = False
+        lo, hi = self.tail, self.tail + count
+        self.stripes[lo:hi] = stripes
+        self.boxes[lo:hi] = boxes
+        self.times[lo:hi] = time
+        self.tail = hi
+        self._view_stale = True
 
     def _grow(self) -> None:
         live = self.tail - self.head
-        if self.head > 0 and live <= self.boxes.size // 2:
+        if self.head > 0 and live <= self.stripes.size // 2:
             # Enough slack at the head: compact instead of reallocating.
-            self.boxes[:live] = self.boxes[self.head: self.tail]
-            self.times[:live] = self.times[self.head: self.tail]
+            for arr in (self.stripes, self.boxes, self.times):
+                arr[:live] = arr[self.head: self.tail]
         else:
-            new_size = max(8, 2 * self.boxes.size)
-            new_boxes = np.empty(new_size, dtype=np.int64)
-            new_times = np.empty(new_size, dtype=np.int64)
-            new_boxes[:live] = self.boxes[self.head: self.tail]
-            new_times[:live] = self.times[self.head: self.tail]
-            self.boxes, self.times = new_boxes, new_times
+            new_size = max(64, 2 * self.stripes.size)
+            for name in ("stripes", "boxes", "times"):
+                old = getattr(self, name)
+                new = np.empty(new_size, dtype=np.int64)
+                new[:live] = old[self.head: self.tail]
+                setattr(self, name, new)
         self.head, self.tail = 0, live
 
-    def _ensure_sorted(self) -> None:
-        if not self.sorted:
-            order = np.argsort(self.times[self.head: self.tail], kind="stable")
-            self.boxes[self.head: self.tail] = self.boxes[self.head: self.tail][order]
-            self.times[self.head: self.tail] = self.times[self.head: self.tail][order]
-            self.sorted = True
-
     def evict_before(self, horizon: int) -> None:
-        """Advance the head past every entry with time < ``horizon``."""
-        self._ensure_sorted()
-        head, tail, times = self.head, self.tail, self.times
-        while head < tail and times[head] < horizon:
-            head += 1
-        self.head = head
+        """Drop every live entry with time < ``horizon``."""
+        if self.head == self.tail:
+            return
+        if self.sorted:
+            live_times = self.times[self.head: self.tail]
+            advance = int(np.searchsorted(live_times, horizon, side="left"))
+            if advance:
+                self.head += advance
+                self._view_stale = True
+            if self.head > 4096 and self.head > (self.tail - self.head):
+                self._grow()  # reclaim the dead prefix
+        else:
+            live = slice(self.head, self.tail)
+            times = self.times[live]
+            order = np.argsort(times, kind="stable")
+            keep = order[times[order] >= horizon]
+            kept = keep.size
+            self.stripes[:kept] = self.stripes[live][keep]
+            self.boxes[:kept] = self.boxes[live][keep]
+            self.times[:kept] = self.times[live][keep]
+            self.head, self.tail = 0, kept
+            self.sorted = True
+            self._view_stale = True
 
-    def window(self, lo_time: int, hi_time: int) -> np.ndarray:
-        """Boxes with an entry time in ``[lo_time, hi_time)`` (may repeat)."""
-        self._ensure_sorted()
-        view = self.times[self.head: self.tail]
-        a = int(np.searchsorted(view, lo_time, side="left"))
-        b = int(np.searchsorted(view, hi_time, side="left"))
-        return self.boxes[self.head + a: self.head + b]
+    def sorted_view(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Live entries stable-sorted by stripe: ``(stripes, times, boxes)``.
+
+        Within a stripe the order is by time then arrival — exactly the
+        order the old per-stripe ring buffers exposed.
+        """
+        if self._view_stale:
+            live = slice(self.head, self.tail)
+            stripes = self.stripes[live]
+            if self.sorted:
+                order = np.argsort(stripes, kind="stable")
+            else:
+                by_time = np.argsort(self.times[live], kind="stable")
+                by_stripe = np.argsort(stripes[by_time], kind="stable")
+                order = by_time[by_stripe]
+            self._view_stripes = stripes[order]
+            self._view_times = self.times[live][order]
+            self._view_boxes = self.boxes[live][order]
+            self._view_stale = False
+        return self._view_stripes, self._view_times, self._view_boxes
+
+    def live_stripes(self) -> np.ndarray:
+        """Stripe column of the live segment (unsorted, may repeat)."""
+        return self.stripes[self.head: self.tail]
 
     def live_boxes(self) -> np.ndarray:
-        """All non-evicted boxes (may repeat)."""
+        """Box column of the live segment (unsorted, may repeat)."""
         return self.boxes[self.head: self.tail]
 
 
@@ -200,7 +375,8 @@ class PossessionIndex:
 
     The static stripe→boxes relation is precomputed once from the
     allocation as a CSR (``indptr``/``indices``) index; the dynamic caches
-    live in per-stripe ring buffers (O(expired) eviction).  The batched
+    live in one global struct-of-arrays download log (O(expired)
+    eviction, whole-round batched queries).  The batched
     :meth:`adjacency_for` emits the whole round's bipartite adjacency as
     CSR arrays, which is what the Hopcroft–Karp matching kernel consumes.
     """
@@ -210,12 +386,8 @@ class PossessionIndex:
         self._window = check_positive_integer(cache_window, "cache_window")
         # Static stripe -> sorted distinct holder boxes, in CSR form.
         self._rebuild_static()
-        # stripe_id -> ring buffer of (box, time) playback-cache entries.
-        self._swarm: Dict[int, _StripeSwarm] = {}
-        # Global (time, stripe) arrival log driving O(expired) eviction.
-        self._timeline: Deque[Tuple[int, int]] = deque()
-        self._timeline_sorted = True
-        self._last_time: Optional[int] = None
+        # Global struct-of-arrays log of (stripe, box, time) downloads.
+        self._log = _DownloadLog()
         # stripe_id -> set of boxes relay-caching it (Section 4).
         self._relays: Dict[int, Set[int]] = {}
         self._relay_arrays: Dict[int, np.ndarray] = {}
@@ -280,16 +452,17 @@ class PossessionIndex:
     # ------------------------------------------------------------------ #
     def record_download(self, stripe_id: StripeId, box_id: int, time: int) -> None:
         """Record that ``box_id`` requested/downloads ``stripe_id`` starting at ``time``."""
-        stripe_id, box_id, time = int(stripe_id), int(box_id), int(time)
-        swarm = self._swarm.get(stripe_id)
-        if swarm is None:
-            swarm = self._swarm[stripe_id] = _StripeSwarm()
-        swarm.append(box_id, time)
-        if self._last_time is not None and time < self._last_time:
-            self._timeline_sorted = False
-        else:
-            self._last_time = time
-        self._timeline.append((time, stripe_id))
+        self._log.append(int(stripe_id), int(box_id), int(time))
+
+    def record_downloads(
+        self, stripe_ids: np.ndarray, box_ids: np.ndarray, time: int
+    ) -> None:
+        """Record a block of downloads all starting at round ``time`` (hot path)."""
+        self._log.extend(
+            np.asarray(stripe_ids, dtype=np.int64),
+            np.asarray(box_ids, dtype=np.int64),
+            int(time),
+        )
 
     def record_relay_cache(self, stripe_id: StripeId, box_id: int) -> None:
         """Record that ``box_id`` relay-caches ``stripe_id`` for a poor box."""
@@ -299,28 +472,7 @@ class PossessionIndex:
 
     def evict_before(self, current_time: int) -> None:
         """Drop cache entries older than ``current_time − T``."""
-        horizon = current_time - self._window
-        if self._timeline_sorted:
-            timeline = self._timeline
-            while timeline and timeline[0][0] < horizon:
-                _, stripe_id = timeline.popleft()
-                swarm = self._swarm.get(stripe_id)
-                if swarm is None:
-                    continue
-                swarm.evict_before(horizon)
-                if not len(swarm):
-                    del self._swarm[stripe_id]
-        else:
-            # Out-of-order recordings (test-only path): scan every stripe.
-            self._timeline = deque(
-                (t, s) for (t, s) in sorted(self._timeline) if t >= horizon
-            )
-            self._timeline_sorted = True
-            for stripe_id in list(self._swarm):
-                swarm = self._swarm[stripe_id]
-                swarm.evict_before(horizon)
-                if not len(swarm):
-                    del self._swarm[stripe_id]
+        self._log.evict_before(current_time - self._window)
 
     # ------------------------------------------------------------------ #
     # Possession queries
@@ -336,11 +488,19 @@ class PossessionIndex:
         self, stripe_id: int, request_time: int, current_time: int
     ) -> np.ndarray:
         """Playback-cache servers as an array slice (may contain duplicates)."""
-        swarm = self._swarm.get(int(stripe_id))
-        if swarm is None:
+        if not len(self._log):
+            return _EMPTY_INT64
+        stripes, times, boxes = self._log.sorted_view()
+        stripe_id = int(stripe_id)
+        lo = int(np.searchsorted(stripes, stripe_id, side="left"))
+        hi = int(np.searchsorted(stripes, stripe_id, side="right"))
+        if lo == hi:
             return _EMPTY_INT64
         horizon = current_time - self._window
-        return swarm.window(horizon, request_time)
+        segment = times[lo:hi]
+        a = int(np.searchsorted(segment, horizon, side="left"))
+        b = int(np.searchsorted(segment, request_time, side="left"))
+        return boxes[lo + a: lo + b]
 
     def _relay_array(self, stripe_id: int) -> np.ndarray:
         relays = self._relays.get(stripe_id)
@@ -396,8 +556,18 @@ class PossessionIndex:
         if set_override:
             return self._adjacency_from_sets(requests, current_time, exclude_self)
 
-        stripes = np.fromiter((r.stripe_id for r in requests), dtype=np.int64, count=num)
-        boxes = np.fromiter((r.box_id for r in requests), dtype=np.int64, count=num)
+        if isinstance(requests, ArrayRequestSet):
+            stripes = requests.stripe_id_array
+            boxes = requests.box_id_array
+            times = requests.request_time_array
+        else:
+            stripes = np.fromiter(
+                (r.stripe_id for r in requests), dtype=np.int64, count=num
+            )
+            boxes = np.fromiter((r.box_id for r in requests), dtype=np.int64, count=num)
+            times = np.fromiter(
+                (r.request_time for r in requests), dtype=np.int64, count=num
+            )
         # Static holders, gathered for all requests at once: row i is the
         # CSR slice of its stripe, materialized through one fancy index.
         row_starts = self._static_indptr[stripes]
@@ -413,28 +583,87 @@ class PossessionIndex:
         all_vals = self._static_boxes[gather]
         all_rows = np.repeat(np.arange(num, dtype=np.int64), lens)
 
-        # Dynamic additions (playback caches, relays) touch few stripes;
-        # only requests whose stripe has dynamic state pay a per-row cost.
-        # An overridden cache hook may draw on state outside the base
-        # ``_swarm`` dict, so it must be consulted for every request.
+        # Dynamic additions (playback caches, relays).  An overridden cache
+        # hook may draw on state outside the base download log, so it must
+        # be consulted request by request; the default path gathers the
+        # whole round's playback-cache windows with two searchsorted calls
+        # on the stripe-sorted log (composite ``stripe·K + time`` keys).
         cache_hook_overridden = (
             type(self)._cache_boxes_array is not PossessionIndex._cache_boxes_array
         )
-        if self._swarm or self._relays or cache_hook_overridden:
+        if len(self._log) or self._relays or cache_hook_overridden:
             extra_vals: List[np.ndarray] = []
             extra_rows: List[np.ndarray] = []
-            swarm, relays = self._swarm, self._relays
-            for i, request in enumerate(requests):
-                stripe_id = int(stripes[i])
-                if cache_hook_overridden or stripe_id in swarm:
+            if cache_hook_overridden:
+                for i, request in enumerate(requests):
                     window = self._cache_boxes_array(
-                        stripe_id, request.request_time, current_time
+                        int(stripes[i]), request.request_time, current_time
                     )
                     if window.size:
                         extra_vals.append(window)
                         extra_rows.append(np.full(window.size, i, dtype=np.int64))
-                if stripe_id in relays:
-                    relay = self._relay_array(stripe_id)
+            elif len(self._log):
+                sorted_stripes, sorted_times, sorted_boxes = self._log.sorted_view()
+                # Shift times to be non-negative so the composite keys are
+                # monotone per stripe even for exotic (test-only) inputs.
+                base = min(int(sorted_times.min()), 0)
+                span = max(
+                    int(sorted_times.max()),
+                    int(times.max()) if times.size else 0,
+                    current_time - self._window,
+                )
+                scale = span - base + 2
+                keys = sorted_stripes * scale + (sorted_times - base)
+                lo = max(current_time - self._window - base, 0)
+                win_lo = np.searchsorted(keys, stripes * scale + lo, side="left")
+                win_hi = np.searchsorted(
+                    keys, stripes * scale + (times - base), side="left"
+                )
+                # A request issued before the horizon has an inverted
+                # (empty) window: clip, as the old slice-based path did.
+                counts_cache = np.maximum(win_hi - win_lo, 0)
+                total_cache = int(counts_cache.sum())
+                if total_cache:
+                    cache_offsets = np.zeros(num + 1, dtype=np.int64)
+                    np.cumsum(counts_cache, out=cache_offsets[1:])
+                    gather_cache = (
+                        np.arange(total_cache, dtype=np.int64)
+                        - np.repeat(cache_offsets[:-1], counts_cache)
+                        + np.repeat(win_lo, counts_cache)
+                    )
+                    cache_vals = sorted_boxes[gather_cache]
+                    if not self._relays:
+                        # Common case (static + caches only): both blocks
+                        # are already row-major, so place them positionally
+                        # instead of paying a stable sort over all edges.
+                        row_counts = lens + counts_cache
+                        indptr_merged = np.zeros(num + 1, dtype=np.int64)
+                        np.cumsum(row_counts, out=indptr_merged[1:])
+                        merged = np.empty(total + total_cache, dtype=np.int64)
+                        merged[
+                            np.repeat(indptr_merged[:-1], lens)
+                            + (gather - np.repeat(row_starts, lens))
+                        ] = all_vals
+                        merged[
+                            np.repeat(indptr_merged[:-1] + lens, counts_cache)
+                            + (gather_cache - np.repeat(win_lo, counts_cache))
+                        ] = cache_vals
+                        all_vals = merged
+                        all_rows = np.repeat(
+                            np.arange(num, dtype=np.int64), row_counts
+                        )
+                        extra_vals = []
+                    else:
+                        extra_vals.append(cache_vals)
+                        extra_rows.append(
+                            np.repeat(np.arange(num, dtype=np.int64), counts_cache)
+                        )
+            if self._relays:
+                relay_stripes = np.fromiter(
+                    self._relays.keys(), dtype=np.int64, count=len(self._relays)
+                )
+                for i in np.flatnonzero(np.isin(stripes, relay_stripes)).tolist():
+                    relay = self._relay_array(int(stripes[i]))
                     if relay.size:
                         extra_vals.append(relay)
                         extra_rows.append(np.full(relay.size, i, dtype=np.int64))
@@ -477,12 +706,13 @@ class PossessionIndex:
     def swarm_size(self, video_id: int, num_stripes_per_video: int) -> int:
         """Number of distinct boxes currently downloading any stripe of a video."""
         base = video_id * num_stripes_per_video
-        boxes: Set[int] = set()
-        for stripe_id in range(base, base + num_stripes_per_video):
-            swarm = self._swarm.get(stripe_id)
-            if swarm is not None:
-                boxes.update(swarm.live_boxes().tolist())
-        return len(boxes)
+        stripes = self._log.live_stripes()
+        if not stripes.size:
+            return 0
+        mask = (stripes >= base) & (stripes < base + num_stripes_per_video)
+        if not mask.any():
+            return 0
+        return int(np.unique(self._log.live_boxes()[mask]).size)
 
 
 @dataclass(frozen=True)
@@ -608,8 +838,8 @@ class ConnectionMatcher:
                 raise ValueError("busy_slots must be non-negative")
             capacities = np.maximum(capacities - busy, 0)
 
-        request_list = list(requests)
-        if not request_list:
+        num_requests = len(requests)
+        if not num_requests:
             return ConnectionMatching(
                 feasible=True,
                 assignment=np.empty(0, dtype=np.int64),
@@ -621,6 +851,7 @@ class ConnectionMatcher:
             )
 
         if self._solver in FLOW_SOLVERS:
+            request_list = list(requests)
             edges: List[Tuple[int, int]] = []
             for idx, request in enumerate(request_list):
                 for box in possession.servers_for(request, current_time):
@@ -629,7 +860,7 @@ class ConnectionMatcher:
                         continue
                     edges.append((idx, int(box)))
             result: BMatchingResult = solve_b_matching(
-                num_left=len(request_list),
+                num_left=num_requests,
                 num_right=n,
                 edges=edges,
                 right_capacities=capacities.tolist(),
@@ -639,15 +870,15 @@ class ConnectionMatcher:
             feasible, matched = result.feasible, result.matched
             witness = result.unsatisfied_witness
         else:
-            if warm_start is not None and len(warm_start) != len(request_list):
+            if warm_start is not None and len(warm_start) != num_requests:
                 raise ValueError("warm_start must have one entry per request")
-            indptr, indices = possession.adjacency_for(request_list, current_time)
+            indptr, indices = possession.adjacency_for(requests, current_time)
             hk = hopcroft_karp_matching(
-                num_left=len(request_list),
+                num_left=num_requests,
                 num_right=n,
                 indptr=indptr,
                 indices=indices,
-                right_capacities=capacities.tolist(),
+                right_capacities=capacities,
                 initial_assignment=warm_start,
             )
             assignment = hk.assignment

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.matching import StripeRequest
 from repro.core.video import Catalog
 from repro.util.validation import check_non_negative_integer
@@ -94,8 +96,10 @@ class PreloadingScheduler:
         self._skip_local = bool(skip_locally_stored)
         #: Per-video swarm-entry counter used to rotate the preload stripe.
         self._entry_counter: Dict[int, int] = {}
-        #: Requests queued for future rounds: round -> list of requests.
-        self._pending: Dict[int, List[StripeRequest]] = {}
+        #: Requests queued for future rounds, as struct-of-arrays blocks:
+        #: round -> list of (stripe_ids, box_ids, demand_indices) with
+        #: demand index −1 when queued through the object API.
+        self._pending: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
         #: (box, video, demand time) log of scheduled demands, for metrics.
         self._scheduled: List[Demand] = []
 
@@ -103,6 +107,11 @@ class PreloadingScheduler:
     def catalog(self) -> Catalog:
         """The catalog the scheduler generates requests against."""
         return self._catalog
+
+    @property
+    def skip_locally_stored(self) -> bool:
+        """Whether locally stored stripes are skipped (non-paper variant)."""
+        return self._skip_local
 
     def update_catalog(self, catalog: Catalog) -> None:
         """Adopt a grown catalog (live ``add_videos`` reconfiguration)."""
@@ -154,29 +163,100 @@ class PreloadingScheduler:
                 )
             )
 
-        postponed: List[StripeRequest] = []
+        postponed: List[int] = []
         for index in range(c):
             if index == preload_index:
                 continue
             stripe_id = self._catalog.stripe_id(demand.video_id, index)
             if stripe_id in local:
                 continue
-            postponed.append(
-                StripeRequest(
-                    stripe_id=stripe_id,
-                    request_time=demand.time + 1,
-                    box_id=demand.box_id,
-                    is_preload=False,
+            postponed.append(stripe_id)
+        if postponed:
+            stripes = np.asarray(postponed, dtype=np.int64)
+            self._pending.setdefault(demand.time + 1, []).append(
+                (
+                    stripes,
+                    np.full(stripes.size, demand.box_id, dtype=np.int64),
+                    np.full(stripes.size, -1, dtype=np.int64),
                 )
             )
-        if postponed:
-            self._pending.setdefault(demand.time + 1, []).extend(postponed)
         return immediate
+
+    def on_demands_batch(
+        self, accepted: List[Tuple[int, Demand]]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`on_demand` over one round's accepted demands.
+
+        ``accepted`` pairs each demand with its engine demand-log index.
+        Returns the preloading requests as ``(stripe_ids, box_ids,
+        demand_indices)`` arrays and queues the ``c−1`` postponed requests
+        (with their demand indices) for the next round — identical
+        requests, in identical order, to calling :meth:`on_demand` per
+        demand.  Only valid without ``skip_locally_stored`` (the engine's
+        configuration); all demands must share one arrival round.
+        """
+        if self._skip_local:
+            raise RuntimeError(
+                "on_demands_batch does not support skip_locally_stored"
+            )
+        c = self._catalog.num_stripes_per_video
+        n = len(accepted)
+        videos = np.empty(n, dtype=np.int64)
+        preload_idx = np.empty(n, dtype=np.int64)
+        boxes = np.empty(n, dtype=np.int64)
+        demand_indices = np.empty(n, dtype=np.int64)
+        counter = self._entry_counter
+        for j, (demand_index, demand) in enumerate(accepted):
+            entry = counter.get(demand.video_id, 0)
+            counter[demand.video_id] = entry + 1
+            self._scheduled.append(demand)
+            videos[j] = demand.video_id
+            preload_idx[j] = entry % c
+            boxes[j] = demand.box_id
+            demand_indices[j] = demand_index
+        pre_stripes = videos * c + preload_idx
+        if n and c > 1:
+            stripe_offsets = np.arange(c, dtype=np.int64)
+            grid = videos[:, None] * c + stripe_offsets[None, :]
+            keep = stripe_offsets[None, :] != preload_idx[:, None]
+            self._pending.setdefault(int(accepted[0][1].time) + 1, []).append(
+                (
+                    grid[keep],
+                    np.repeat(boxes, c - 1),
+                    np.repeat(demand_indices, c - 1),
+                )
+            )
+        return pre_stripes, boxes, demand_indices
+
+    def due_arrays(self, time: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pop the postponed requests queued for round ``time`` as arrays.
+
+        Returns ``(stripe_ids, box_ids, demand_indices)``; a demand index
+        of −1 marks a request queued through the object API (the engine
+        resolves it against its demand log).
+        """
+        check_non_negative_integer(time, "time")
+        blocks = self._pending.pop(time, None)
+        if not blocks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        if len(blocks) == 1:
+            return blocks[0]
+        return (
+            np.concatenate([b[0] for b in blocks]),
+            np.concatenate([b[1] for b in blocks]),
+            np.concatenate([b[2] for b in blocks]),
+        )
 
     def requests_due(self, time: int) -> List[StripeRequest]:
         """Pop and return the postponed requests queued for round ``time``."""
-        check_non_negative_integer(time, "time")
-        return self._pending.pop(time, [])
+        stripes, boxes, _ = self.due_arrays(time)
+        return [
+            StripeRequest(
+                stripe_id=int(s), request_time=time, box_id=int(b), is_preload=False
+            )
+            for s, b in zip(stripes.tolist(), boxes.tolist())
+        ]
 
     def pending_rounds(self) -> Tuple[int, ...]:
         """Rounds that still have queued postponed requests (sorted)."""

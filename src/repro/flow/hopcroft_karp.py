@@ -93,6 +93,119 @@ def csr_from_edges(
     return indptr, right[order]
 
 
+class _LazyRightMatches:
+    """Per-right matched-left lists, materialized on first touch.
+
+    Built from the warm/greedy adoption order as a CSR; a right node's
+    mutable list is created only when an augmentation actually visits it,
+    so small-deficit rounds touch O(path) lists instead of building all
+    ``num_right`` of them.
+    """
+
+    __slots__ = ("_num_right", "_indptr", "_lefts", "_rows")
+
+    def __init__(
+        self,
+        num_right: int,
+        warm_i: np.ndarray,
+        warm_b: np.ndarray,
+        greedy_pairs: List[Tuple[int, int]],
+    ):
+        self._num_right = num_right
+        n_greedy = len(greedy_pairs)
+        seq_i = np.empty(warm_i.size + n_greedy, dtype=np.int64)
+        seq_b = np.empty(warm_i.size + n_greedy, dtype=np.int64)
+        seq_i[: warm_i.size] = warm_i
+        seq_b[: warm_i.size] = warm_b
+        for k, (i, b) in enumerate(greedy_pairs):
+            seq_i[warm_i.size + k] = i
+            seq_b[warm_i.size + k] = b
+        # Stable sort by right node keeps, per node, the exact adoption
+        # order (warm pairs in left order, then greedy first-fits).
+        order = np.argsort(seq_b, kind="stable")
+        self._lefts = seq_i[order]
+        counts = np.bincount(seq_b, minlength=num_right) if seq_b.size else np.zeros(
+            num_right, dtype=np.int64
+        )
+        self._indptr = np.zeros(num_right + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._indptr[1:])
+        self._rows: dict = {}
+
+    def __getitem__(self, j) -> List[int]:
+        j = int(j)
+        row = self._rows.get(j)
+        if row is None:
+            row = self._rows[j] = self._lefts[
+                self._indptr[j]: self._indptr[j + 1]
+            ].tolist()
+        return row
+
+    def materialize(self) -> List[List[int]]:
+        """All per-right lists (mutations included), for the BFS fallback."""
+        return [self[j] for j in range(self._num_right)]
+
+
+def _kuhn_augment(i0: int, starts, adj, cap, load, match_left, right_matches) -> bool:
+    """Single-source augmentation without layering (small deficits).
+
+    Iterative DFS over alternating paths; every full right node is
+    expanded at most once, so one call costs O(V + E).  A left for
+    which it fails has no augmenting path — and by the standard
+    monotonicity lemma never will, whatever else gets augmented.
+
+    Generic over list- and array-backed structures: ``starts``/``adj``/
+    ``cap`` are read element-wise, ``load``/``match_left`` are mutated
+    element-wise, and ``right_matches[j]`` must yield the mutable list of
+    lefts matched to ``j``.
+    """
+    visited = set()
+    # Frame: [left node, current edge index, child position in the
+    # current edge's right_matches list (advanced while backtracking)].
+    stack: List[List[int]] = [[i0, starts[i0], 0]]
+    while stack:
+        frame = stack[-1]
+        i, e = frame[0], frame[1]
+        end = starts[i + 1]
+        descended = False
+        while e < end:
+            j = adj[e]
+            if load[j] < cap[j]:
+                frame[1] = e
+                right_matches[j].append(i)
+                load[j] += 1
+                match_left[i] = j
+                for t in range(len(stack) - 2, -1, -1):
+                    fi, fe, fm = stack[t]
+                    jt = adj[fe]
+                    right_matches[jt][fm] = fi
+                    match_left[fi] = jt
+                return True
+            if j not in visited:
+                visited.add(j)
+                row = right_matches[j]
+                if row:
+                    frame[1], frame[2] = e, 0
+                    stack.append([row[0], starts[row[0]], 0])
+                    descended = True
+                    break
+            e += 1
+        if descended:
+            continue
+        stack.pop()
+        if stack:
+            parent = stack[-1]
+            pj = adj[parent[1]]
+            parent[2] += 1
+            row = right_matches[pj]
+            if parent[2] < len(row):
+                i2 = row[parent[2]]
+                stack.append([i2, starts[i2], 0])
+            else:
+                parent[1] += 1
+                parent[2] = 0
+    return False
+
+
 def hopcroft_karp_matching(
     num_left: int,
     num_right: int,
@@ -119,56 +232,145 @@ def hopcroft_karp_matching(
         augments from there.  An arbitrary/stale assignment therefore
         cannot corrupt the result, only speed it up or slow it down.
     """
-    starts = [int(x) for x in indptr]
-    if len(starts) != num_left + 1:
+    indptr_arr = np.asarray(indptr, dtype=np.int64)
+    if indptr_arr.shape != (num_left + 1,):
         raise ValueError("indptr must have num_left + 1 entries")
-    adj: List[int] = (
-        indices.tolist() if isinstance(indices, np.ndarray) else [int(x) for x in indices]
-    )
-    cap = [int(x) for x in right_capacities]
-    if len(cap) != num_right:
+    indices_arr = np.asarray(indices, dtype=np.int64)
+    cap_arr = np.asarray(right_capacities, dtype=np.int64)
+    if cap_arr.shape != (num_right,):
         raise ValueError("right_capacities must have one entry per right node")
-    if any(x < 0 for x in cap):
+    if cap_arr.size and int(cap_arr.min()) < 0:
         raise ValueError("right_capacities must be non-negative")
 
-    match_left = [-1] * num_left
-    load = [0] * num_right
-    right_matches: List[List[int]] = [[] for _ in range(num_right)]
+    match_arr = np.full(num_left, -1, dtype=np.int64)
+    load_arr = np.zeros(num_right, dtype=np.int64)
+    # Per-right matched lefts, in the exact adoption order of the scalar
+    # algorithm: warm-validated pairs (ascending left) first, then greedy
+    # first-fits.  Only materialized on the (rare) deficit fallback.
+    warm_i = warm_b = np.empty(0, dtype=np.int64)
+    greedy_pairs: List[Tuple[int, int]] = []
 
-    # Warm start: adopt still-valid pairs of a previous assignment.
+    # Warm start: adopt still-valid pairs of a previous assignment.  A
+    # pair survives when the right node is still adjacent and (processing
+    # lefts in ascending order) its capacity is not yet exhausted — the
+    # vectorized form keeps, per right node, the first cap[b] adjacent
+    # candidates in left order, which is the same set the scalar loop kept.
     if initial_assignment is not None:
-        warm = (
-            initial_assignment.tolist()
-            if isinstance(initial_assignment, np.ndarray)
-            else list(initial_assignment)
-        )
-        if len(warm) != num_left:
+        warm = np.asarray(initial_assignment, dtype=np.int64)
+        if warm.shape != (num_left,):
             raise ValueError("initial_assignment must have one entry per left node")
-        for i, b in enumerate(warm):
-            b = int(b)
-            if b < 0:
-                continue
-            if not 0 <= b < num_right or load[b] >= cap[b]:
-                continue
-            # Linear membership scan: rows are short and need not be sorted.
-            if b in adj[starts[i]: starts[i + 1]]:
-                match_left[i] = b
-                load[b] += 1
-                right_matches[b].append(i)
+        in_range = (warm >= 0) & (warm < num_right)
+        adjacent = np.zeros(num_left, dtype=bool)
+        if indices_arr.size:
+            row_of = np.repeat(
+                np.arange(num_left, dtype=np.int64), np.diff(indptr_arr)
+            )
+            hits = row_of[
+                (indices_arr == warm[row_of]) & in_range[row_of]
+            ]
+            if hits.size:
+                adjacent[hits] = True
+        candidates = np.flatnonzero(in_range & adjacent)
+        if candidates.size:
+            order = np.argsort(warm[candidates], kind="stable")
+            cand_i = candidates[order]
+            cand_b = warm[candidates][order]
+            new_group = np.empty(cand_b.size, dtype=bool)
+            new_group[0] = True
+            new_group[1:] = cand_b[1:] != cand_b[:-1]
+            group_start = np.flatnonzero(new_group)
+            group_id = np.cumsum(new_group) - 1
+            rank_in_group = np.arange(cand_b.size, dtype=np.int64) - group_start[group_id]
+            keep = rank_in_group < cap_arr[cand_b]
+            warm_i, warm_b = cand_i[keep], cand_b[keep]
+            match_arr[warm_i] = warm_b
+            load_arr += np.bincount(warm_b, minlength=num_right).astype(np.int64)
 
-    # Greedy pass: first-fit for everything still unmatched.
-    for i in range(num_left):
-        if match_left[i] >= 0:
-            continue
-        for e in range(starts[i], starts[i + 1]):
-            j = adj[e]
-            if load[j] < cap[j]:
-                match_left[i] = j
-                load[j] += 1
-                right_matches[j].append(i)
-                break
+    # Greedy pass: first-fit for everything still unmatched.  The loop is
+    # inherently sequential; the unmatched rows are gathered into plain
+    # Python lists once so the inner scan avoids NumPy scalar indexing.
+    unmatched = np.flatnonzero(match_arr < 0)
+    if unmatched.size:
+        row_starts = indptr_arr[unmatched]
+        row_lens = (indptr_arr[unmatched + 1] - row_starts).tolist()
+        total = int(sum(row_lens))
+        if total:
+            gather = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(np.cumsum([0] + row_lens[:-1]), row_lens)
+                + np.repeat(row_starts, row_lens)
+            )
+            flat_rows = indices_arr[gather].tolist()
+        else:
+            flat_rows = []
+        load = load_arr.tolist()
+        cap = cap_arr.tolist()
+        offset = 0
+        for i, row_len in zip(unmatched.tolist(), row_lens):
+            for e in range(offset, offset + row_len):
+                j = flat_rows[e]
+                if load[j] < cap[j]:
+                    match_arr[i] = j
+                    load[j] += 1
+                    greedy_pairs.append((i, j))
+                    break
+            offset += row_len
+        if greedy_pairs:
+            greedy_b = np.fromiter(
+                (b for _, b in greedy_pairs), dtype=np.int64, count=len(greedy_pairs)
+            )
+            load_arr += np.bincount(greedy_b, minlength=num_right).astype(np.int64)
 
-    matched = sum(1 for b in match_left if b >= 0)
+    matched = int((match_arr >= 0).sum())
+    if matched == num_left:
+        return HKMatchingResult(
+            feasible=True,
+            assignment=match_arr,
+            matched=matched,
+            deficient_left=(),
+            unsatisfied_witness=None,
+        )
+
+    # Deficit remains: fall back to the scalar augmenting machinery on
+    # plain-list structures (faster for element-wise traversal), seeded
+    # with exactly the state the scalar algorithm would have built.
+    starts = indptr_arr.tolist()
+    adj: List[int] = indices_arr.tolist()
+    cap = cap_arr.tolist()
+    match_left = match_arr.tolist()
+    load = load_arr.tolist()
+
+    # Small deficits — the typical warm-started round — augment one source
+    # at a time with Kuhn, which touches only a small neighbourhood; the
+    # per-right matched lists are materialized lazily so the round never
+    # pays for all ``num_right`` of them.
+    deficit = num_left - matched
+    lazy_rm: Optional[_LazyRightMatches] = None
+    if 0 < deficit <= max(8, math.isqrt(num_left)):
+        lazy_rm = _LazyRightMatches(num_right, warm_i, warm_b, greedy_pairs)
+        for i in range(num_left):
+            if match_left[i] < 0 and _kuhn_augment(
+                i, starts, adj, cap, load, match_left, lazy_rm
+            ):
+                matched += 1
+        if matched == num_left:
+            return HKMatchingResult(
+                feasible=True,
+                assignment=np.asarray(match_left, dtype=np.int64),
+                matched=matched,
+                deficient_left=(),
+                unsatisfied_witness=None,
+            )
+
+    if lazy_rm is not None:
+        right_matches = lazy_rm.materialize()
+    else:
+        right_matches = [[] for _ in range(num_right)]
+        for i, b in zip(warm_i.tolist(), warm_b.tolist()):
+            right_matches[b].append(i)
+        for i, b in greedy_pairs:
+            right_matches[b].append(i)
+
     dist: List[float] = [_INF] * num_left
 
     def bfs() -> float:
@@ -202,61 +404,6 @@ def hopcroft_karp_matching(
                             dist[i2] = dn
                             queue.append(i2)
         return dist_nil
-
-    def kuhn_augment(i0: int) -> bool:
-        """Single-source augmentation without layering (small deficits).
-
-        Iterative DFS over alternating paths; every full right node is
-        expanded at most once, so one call costs O(V + E).  A left for
-        which it fails has no augmenting path — and by the standard
-        monotonicity lemma never will, whatever else gets augmented.
-        """
-        visited = [False] * num_right
-        # Frame: [left node, current edge index, child position in the
-        # current edge's right_matches list (advanced while backtracking)].
-        stack: List[List[int]] = [[i0, starts[i0], 0]]
-        while stack:
-            frame = stack[-1]
-            i, e = frame[0], frame[1]
-            end = starts[i + 1]
-            descended = False
-            while e < end:
-                j = adj[e]
-                if load[j] < cap[j]:
-                    frame[1] = e
-                    right_matches[j].append(i)
-                    load[j] += 1
-                    match_left[i] = j
-                    for t in range(len(stack) - 2, -1, -1):
-                        fi, fe, fm = stack[t]
-                        jt = adj[fe]
-                        right_matches[jt][fm] = fi
-                        match_left[fi] = jt
-                    return True
-                if not visited[j]:
-                    visited[j] = True
-                    row = right_matches[j]
-                    if row:
-                        frame[1], frame[2] = e, 0
-                        stack.append([row[0], starts[row[0]], 0])
-                        descended = True
-                        break
-                e += 1
-            if descended:
-                continue
-            stack.pop()
-            if stack:
-                parent = stack[-1]
-                pj = adj[parent[1]]
-                parent[2] += 1
-                row = right_matches[pj]
-                if parent[2] < len(row):
-                    i2 = row[parent[2]]
-                    stack.append([i2, starts[i2], 0])
-                else:
-                    parent[1] += 1
-                    parent[2] = 0
-        return False
 
     def augment(i0: int, ptr: List[int], dist_nil: float) -> bool:
         """Iterative layered DFS from free left ``i0``; applies one augmentation."""
@@ -306,14 +453,6 @@ def hopcroft_karp_matching(
             if stack:
                 stack[-1][2] += 1
         return False
-
-    # Small deficits — the typical warm-started round — augment one source
-    # at a time without paying for full BFS phases.
-    deficit = num_left - matched
-    if 0 < deficit <= max(8, math.isqrt(num_left)):
-        for i in range(num_left):
-            if match_left[i] < 0 and kuhn_augment(i):
-                matched += 1
 
     while matched < num_left:
         dist_nil = bfs()

@@ -42,6 +42,13 @@ from repro.scenarios.replay import (
     verify_golden_file,
     write_golden,
 )
+from repro.scenarios.scale import (
+    SCALE_TIERS,
+    SoakReport,
+    run_soak,
+    scale_tier_spec,
+    soak_spec,
+)
 from repro.scenarios.spec import (
     AllocationSpec,
     CatalogSpec,
@@ -59,8 +66,10 @@ __all__ = [
     "OracleReport",
     "PhasedWorkload",
     "PopulationSpec",
+    "SCALE_TIERS",
     "ScenarioRun",
     "ScenarioSpec",
+    "SoakReport",
     "WorkloadPhase",
     "WorkloadPhaseSpec",
     "all_scenarios",
@@ -73,7 +82,10 @@ __all__ = [
     "register",
     "run_differential_oracle",
     "run_scenario",
+    "run_soak",
+    "scale_tier_spec",
     "scenario_names",
+    "soak_spec",
     "verify_golden_file",
     "write_golden",
 ]

@@ -166,6 +166,7 @@ def build_scenario(
         warm_start=spec.warm_start,
         solver=spec.solver,
         round_observer=round_observer,
+        trace_level=spec.trace_level,
     )
     return CompiledScenario(
         spec=spec,

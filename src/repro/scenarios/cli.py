@@ -17,6 +17,10 @@ Commands
     layer, checkpoint mid-run, restore, and verify that the restored
     continuation and the batch ``run()`` agree bit for bit (exit code 1
     on divergence).
+``soak``
+    Long-horizon stress run at scale (10k+ boxes): digest stability over
+    repeated runs, tracemalloc memory-growth watermarks, and differential
+    solver spot-checks every K-th round (exit code 1 on any failure).
 ``smoke``
     Run every registered scenario for a few rounds — the CI canary.
 """
@@ -115,6 +119,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     session_p.add_argument(
         "--json", action="store_true", help="emit the per-round reports as JSON"
+    )
+
+    soak_p = sub.add_parser(
+        "soak", help="long-horizon stress run with memory/digest/oracle checks"
+    )
+    soak_p.add_argument(
+        "--boxes", type=int, default=10_000, help="population size (default 10k)"
+    )
+    soak_p.add_argument(
+        "--profile",
+        default="churn_storm",
+        choices=["steady", "churn_storm", "flashcrowd_spike"],
+        help="stress profile layered on the scale-tier regime",
+    )
+    soak_p.add_argument(
+        "--rounds", type=int, default=500, help="horizon (default 500)"
+    )
+    soak_p.add_argument("--seed", type=int, default=None, help="master seed")
+    soak_p.add_argument(
+        "--oracle-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="differentially re-solve every K-th round (0 = off)",
+    )
+    soak_p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="extra runs that must reproduce the digest bit for bit",
+    )
+    soak_p.add_argument(
+        "--memory-budget-kib",
+        type=float,
+        default=256.0,
+        help="allowed post-warmup heap growth per round, in KiB",
+    )
+    soak_p.add_argument(
+        "--memory-probe",
+        default="tracemalloc",
+        choices=["tracemalloc", "rss"],
+        help="heap probe: exact Python-allocation tracing (slows rounds "
+        "~20x) or full-speed resident-set sampling",
     )
 
     smoke_p = sub.add_parser("smoke", help="run every scenario briefly")
@@ -246,6 +293,29 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.scenarios.scale import run_soak, soak_spec
+
+    spec = soak_spec(
+        boxes=args.boxes, profile=args.profile, horizon=args.rounds
+    )
+    print(f"soak: {spec.name}, {args.rounds} rounds")
+    report = run_soak(
+        spec,
+        num_rounds=args.rounds,
+        seed=args.seed,
+        oracle_every=args.oracle_every,
+        repeats=args.repeat,
+        memory_budget_bytes_per_round=args.memory_budget_kib * 1024,
+        memory_probe=args.memory_probe,
+        progress=print,
+    )
+    print(report.describe())
+    for disagreement in report.oracle_disagreements:
+        print(f"  - {disagreement}")
+    return 0 if report.ok else 1
+
+
 def _cmd_smoke(args: argparse.Namespace) -> int:
     names = args.names or scenario_names()
     failures = 0
@@ -276,6 +346,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_oracle(args)
     if args.command == "session":
         return _cmd_session(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -222,6 +222,17 @@ register(
     )
 )
 
+# Scale tiers: the same homogeneous regime at 10k/100k/500k boxes with
+# proportional catalogs, exercising the vectorized engine core at sizes
+# the asymptotic threshold statements are actually about.  Lean traces,
+# CI-feasible horizons; `tests/test_scale_stress.py` and
+# `benchmarks/bench_scale.py` drive them.
+from repro.scenarios.scale import SCALE_TIERS, scale_tier_spec  # noqa: E402
+
+for _tier in SCALE_TIERS:
+    register(scale_tier_spec(_tier))
+
+
 register(
     ScenarioSpec(
         name="near_threshold_load",

@@ -264,6 +264,11 @@ class ScenarioSpec:
         Whether rounds warm-start from the previous assignment.
     default_seed:
         Seed used when the caller does not supply one.
+    trace_level:
+        Engine event-trace verbosity: ``"full"`` (default) or ``"lean"``
+        (infeasibility markers only — what the 10k+-box scale tiers use
+        to keep memory bounded).  Serialized only when non-default, so
+        pre-existing golden recordings stay byte-identical.
     """
 
     name: str
@@ -279,6 +284,7 @@ class ScenarioSpec:
     solver: str = "hopcroft_karp"
     warm_start: bool = True
     default_seed: int = 0
+    trace_level: str = "full"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -293,13 +299,17 @@ class ScenarioSpec:
                 f"solver must be one of {SCENARIO_SOLVERS}, got {self.solver!r}"
             )
         check_non_negative_integer(self.default_seed, "default_seed")
+        if self.trace_level not in ("full", "lean"):
+            raise ValueError(
+                f"trace_level must be 'full' or 'lean', got {self.trace_level!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON-ready, round-trips through :meth:`from_dict`)."""
-        return {
+        payload = {
             "name": self.name,
             "description": self.description,
             "paper_claim": self.paper_claim,
@@ -314,6 +324,11 @@ class ScenarioSpec:
             "warm_start": self.warm_start,
             "default_seed": self.default_seed,
         }
+        # Serialized only when non-default: golden traces recorded before
+        # the field existed must keep comparing spec-identical.
+        if self.trace_level != "full":
+            payload["trace_level"] = self.trace_level
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -335,6 +350,7 @@ class ScenarioSpec:
             solver=str(data.get("solver", "hopcroft_karp")),
             warm_start=bool(data.get("warm_start", True)),
             default_seed=int(data.get("default_seed", 0)),
+            trace_level=str(data.get("trace_level", "full")),
         )
 
     def with_overrides(
@@ -358,4 +374,5 @@ class ScenarioSpec:
             solver=self.solver if solver is None else solver,
             warm_start=self.warm_start if warm_start is None else warm_start,
             default_seed=self.default_seed,
+            trace_level=self.trace_level,
         )

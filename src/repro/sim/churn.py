@@ -25,7 +25,7 @@ empirical slack left by the expander property.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -62,10 +62,19 @@ class Outage:
 
 
 class ChurnSchedule:
-    """A set of box outages consulted by the simulator each round."""
+    """A set of box outages consulted by the simulator each round.
+
+    The outage table is mirrored into box/start/end columns so the
+    per-round "who is offline" query is a vectorized mask instead of an
+    object scan (the engine asks several times per round); the most recent
+    round's answer is cached.
+    """
 
     def __init__(self, outages: Iterable[Outage] = ()):
         self._outages: List[Outage] = sorted(outages)
+        self._columns: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._cached_time: Optional[int] = None
+        self._cached_offline: np.ndarray = np.empty(0, dtype=np.int64)
 
     @property
     def outages(self) -> Tuple[Outage, ...]:
@@ -79,15 +88,37 @@ class ChurnSchedule:
         """Add an outage to the schedule."""
         self._outages.append(outage)
         self._outages.sort()
+        self._columns = None
+        self._cached_time = None
+
+    def _outage_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._columns is None:
+            n = len(self._outages)
+            boxes = np.fromiter((o.box_id for o in self._outages), dtype=np.int64, count=n)
+            starts = np.fromiter((o.start for o in self._outages), dtype=np.int64, count=n)
+            ends = np.fromiter((o.end for o in self._outages), dtype=np.int64, count=n)
+            self._columns = (boxes, starts, ends)
+        return self._columns
+
+    def offline_array(self, time: int) -> np.ndarray:
+        """Sorted distinct boxes offline at round ``time`` (cached)."""
+        check_non_negative_integer(time, "time")
+        if self._cached_time == time:
+            return self._cached_offline
+        boxes, starts, ends = self._outage_columns()
+        offline = np.unique(boxes[(starts <= time) & (time < ends)])
+        self._cached_time = time
+        self._cached_offline = offline
+        return offline
 
     def offline_boxes(self, time: int) -> Set[int]:
         """Boxes offline at round ``time``."""
-        check_non_negative_integer(time, "time")
-        return {o.box_id for o in self._outages if o.covers(time)}
+        return set(self.offline_array(time).tolist())
 
     def is_offline(self, box_id: int, time: int) -> bool:
         """Whether ``box_id`` is offline at round ``time``."""
-        return any(o.box_id == box_id and o.covers(time) for o in self._outages)
+        boxes, starts, ends = self._outage_columns()
+        return bool(np.any((boxes == box_id) & (starts <= time) & (time < ends)))
 
     def offline_fraction(self, time: int, num_boxes: int) -> float:
         """Fraction of the population offline at round ``time``."""
@@ -118,15 +149,26 @@ def random_churn_schedule(
     check_positive_integer(horizon, "horizon")
     check_probability(failure_probability, "failure_probability")
     check_positive_integer(outage_duration, "outage_duration")
-    protected = {int(b) for b in protected_boxes}
     gen = as_generator(random_state)
     outages: List[Outage] = []
+    eligible_base = np.ones(num_boxes, dtype=bool)
+    for b in protected_boxes:
+        # Out-of-range ids were silently inert under the historical scalar
+        # loop (`box in protected` never matched them); keep that contract
+        # instead of letting negative ids wrap around.
+        if 0 <= int(b) < num_boxes:
+            eligible_base[int(b)] = False
     offline_until = np.zeros(num_boxes, dtype=np.int64)
     for t in range(horizon):
-        for box in range(num_boxes):
-            if box in protected or offline_until[box] > t:
-                continue
-            if gen.random() < failure_probability:
-                outages.append(Outage(box_id=box, start=t, end=t + outage_duration))
-                offline_until[box] = t + outage_duration
+        # One batched draw per round consumes the generator stream exactly
+        # like the per-box scalar draws did (ascending box order over the
+        # online, unprotected boxes), so schedules are bit-identical to the
+        # historical loop at any population size.
+        eligible = np.flatnonzero(eligible_base & (offline_until <= t))
+        if eligible.size == 0:
+            continue
+        failed = eligible[gen.random(eligible.size) < failure_probability]
+        for box in failed.tolist():
+            outages.append(Outage(box_id=box, start=t, end=t + outage_duration))
+        offline_until[failed] = t + outage_duration
     return ChurnSchedule(outages)

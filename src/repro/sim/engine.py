@@ -52,6 +52,7 @@ from repro.sim.scheduler import ActiveRequestPool
 from repro.sim.swarm import SwarmRegistry
 from repro.sim.trace import SimulationTrace
 from repro.workloads.base import DemandGenerator, SystemView
+from repro.util.soa import ensure_column_capacity
 from repro.util.validation import check_positive_integer
 
 __all__ = ["RoundObservation", "SimulationResult", "VodSimulator"]
@@ -195,6 +196,12 @@ class VodSimulator:
         every round's matching, while the possession index still holds
         this round's state.  Used by the differential solver oracle and
         by custom per-round instrumentation; must not mutate the system.
+    trace_level:
+        ``"full"`` (default) records every demand, request and playback
+        event; ``"lean"`` records only infeasibility markers (without the
+        per-request witness payload), which bounds the trace's memory at
+        scale — the 100k-box tiers and the soak runs use it.  Metrics are
+        identical either way.
     """
 
     def __init__(
@@ -209,6 +216,7 @@ class VodSimulator:
         warm_start: bool = True,
         solver: Union[str, Callable[[np.ndarray], "ConnectionMatcher"]] = "hopcroft_karp",
         round_observer: Optional[Callable[[RoundObservation], None]] = None,
+        trace_level: str = "full",
     ):
         self._allocation = allocation
         self._catalog = allocation.catalog
@@ -221,6 +229,12 @@ class VodSimulator:
         self._churn = churn
         self._warm_start = warm_start
         self._round_observer = round_observer
+        if trace_level not in ("full", "lean"):
+            raise ValueError(
+                f"trace_level must be 'full' or 'lean', got {trace_level!r}"
+            )
+        self._trace_level = trace_level
+        self._full_trace = trace_level == "full"
 
         c = self._catalog.num_stripes_per_video
         upload_slots = self._population.upload_slots(c)
@@ -243,11 +257,19 @@ class VodSimulator:
 
         #: box -> round until which it is busy playing (exclusive).
         self._busy_until = np.zeros(self._population.n, dtype=np.int64)
-        #: Demand log: index -> (demand, number of stripes, playback_started)
-        self._demand_log: List[Demand] = []
-        self._demand_pending_stripes: Dict[int, int] = {}
-        self._demand_started: Dict[int, bool] = {}
+        # Demand log, struct-of-arrays: index -> (time, box, video, started).
+        self._demand_count = 0
+        self._demand_time = np.empty(64, dtype=np.int64)
+        self._demand_box = np.empty(64, dtype=np.int64)
+        self._demand_video = np.empty(64, dtype=np.int64)
+        self._demand_started = np.empty(64, dtype=bool)
+        #: (box, video) -> most recent demand index; resolves postponed
+        #: requests back to their demand in O(1) instead of a log scan.
+        self._demand_last: Dict[Tuple[int, int], int] = {}
+        #: (relay box, video) -> most recent relayed demand index.
+        self._demand_last_relay: Dict[Tuple[int, int], int] = {}
         self._rejected_demands = 0
+        self._playbacks_started = 0
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -283,6 +305,16 @@ class VodSimulator:
         return self._rejected_demands
 
     @property
+    def playbacks_started(self) -> int:
+        """Playbacks started so far (counted even under ``trace_level='lean'``)."""
+        return self._playbacks_started
+
+    @property
+    def trace_level(self) -> str:
+        """The event-trace verbosity: ``"full"`` or ``"lean"``."""
+        return self._trace_level
+
+    @property
     def last_round_stats(self):
         """Statistics of the most recently completed round (``None`` before any)."""
         return self._metrics.last_round
@@ -314,12 +346,17 @@ class VodSimulator:
 
     def free_boxes(self, time: int) -> np.ndarray:
         """Boxes not playing any video (and not offline) at round ``time``."""
-        free = np.flatnonzero(self._busy_until <= time).astype(np.int64)
-        if self._churn is not None:
-            offline = self._churn.offline_boxes(time)
-            if offline:
-                free = np.array([b for b in free if int(b) not in offline], dtype=np.int64)
-        return free
+        mask = self._busy_until <= time
+        offline = self._offline_array(time)
+        if offline.size:
+            mask[offline] = False
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def _offline_array(self, time: int) -> np.ndarray:
+        """Sorted array of boxes offline at round ``time`` (empty without churn)."""
+        if self._churn is None:
+            return np.empty(0, dtype=np.int64)
+        return self._churn.offline_array(time)
 
     def offline_boxes(self, time: int) -> set:
         """Boxes offline at round ``time`` under the churn schedule (empty without churn)."""
@@ -380,7 +417,7 @@ class VodSimulator:
     def _step(self, workload: DemandGenerator) -> bool:
         time = self._clock.now
         self._possession.evict_before(time)
-        self._pool.expire(time)
+        self._pool.drop_expired(time)
 
         # 1. Demand arrivals.
         view = SystemView(
@@ -396,76 +433,48 @@ class VodSimulator:
         self._metrics.record_demands(len(accepted))
 
         # 2. Request generation (preload now, postponed queued earlier).
-        new_requests = []
-        for demand_index, demand in accepted:
-            immediate = self._scheduler.on_demand(demand)
-            for request in immediate:
-                new_requests.append((demand_index, request))
-        for request in self._scheduler.requests_due(time):
-            demand_index = self._find_demand_index(request.box_id, request.stripe_id, time)
-            new_requests.append((demand_index, request))
-
-        # Relay-cache events of the heterogeneous strategy.
-        if isinstance(self._scheduler, RelayedPreloadingScheduler):
-            for relay_box, stripe_id in self._scheduler.relay_cache_events_due(time):
-                self._possession.record_relay_cache(stripe_id, relay_box)
-
-        for demand_index, request in new_requests:
-            self._pool.add(request, demand_index)
-            self._possession.record_download(request.stripe_id, request.box_id, request.request_time)
-            self._trace.record(
-                RequestEvent(
-                    time=time,
-                    box_id=request.box_id,
-                    stripe_id=request.stripe_id,
-                    is_preload=request.is_preload,
-                )
-            )
-        self._metrics.record_requests(len(new_requests))
+        # The paper's homogeneous preloading strategy flows through the
+        # batched array path; relayed/custom schedulers keep the object
+        # path.  Both produce identical requests in identical order.
+        if type(self._scheduler) is PreloadingScheduler and not (
+            self._scheduler.skip_locally_stored
+        ):
+            new_request_count = self._generate_requests_batched(accepted, time)
+        else:
+            new_request_count = self._generate_requests_objects(accepted, time)
+        self._metrics.record_requests(new_request_count)
 
         # 3. Connection matching over all active requests.  Offline boxes
         # cannot serve: their whole capacity is marked busy for this round.
-        records = self._pool.active
         request_set = self._pool.request_set()
         busy_slots = None
-        offline = self.offline_boxes(time)
-        if offline:
+        offline = self._offline_array(time)
+        if offline.size:
             busy_slots = np.zeros(self._population.n, dtype=np.int64)
-            for box in offline:
-                busy_slots[box] = self._matcher.upload_slots[box]
+            busy_slots[offline] = self._matcher.upload_slots[offline]
         warm = None
-        if self._warm_start and records:
-            warm = np.fromiter(
-                (record.assigned_box for record in records),
-                dtype=np.int64,
-                count=len(records),
-            )
+        if self._warm_start and len(self._pool):
+            warm = self._pool.assigned_snapshot()
         matching = self._matcher.match(
             request_set, self._possession, time, busy_slots=busy_slots, warm_start=warm
         )
-        matched_indices = []
-        for idx, box in enumerate(matching.assignment):
-            records[idx].assigned_box = int(box)
-            if box >= 0:
-                matched_indices.append(idx)
-        self._pool.mark_matched(matched_indices, time)
+        self._pool.apply_matching(matching.assignment, time)
 
         if self._record_connections:
-            for idx, box in enumerate(matching.assignment):
-                if box >= 0:
-                    request = request_set[idx]
-                    self._trace.record(
-                        ConnectionEvent(
-                            time=time,
-                            server_box=int(box),
-                            client_box=request.box_id,
-                            stripe_id=request.stripe_id,
-                        )
+            for idx in np.flatnonzero(matching.assignment >= 0).tolist():
+                request = request_set[idx]
+                self._trace.record(
+                    ConnectionEvent(
+                        time=time,
+                        server_box=int(matching.assignment[idx]),
+                        client_box=request.box_id,
+                        stripe_id=request.stripe_id,
                     )
+                )
 
         if not matching.feasible:
             witness = None
-            if matching.obstruction_witness is not None:
+            if self._full_trace and matching.obstruction_witness is not None:
                 witness = tuple(
                     (
                         request_set[idx].stripe_id,
@@ -485,7 +494,7 @@ class VodSimulator:
         self._metrics.record_round(
             time=time,
             active_requests=len(request_set),
-            new_requests=len(new_requests),
+            new_requests=new_request_count,
             matched=matching.matched,
             feasible=matching.feasible,
             box_load=matching.box_load,
@@ -511,6 +520,86 @@ class VodSimulator:
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
+    def _generate_requests_batched(
+        self, accepted: List[Tuple[int, Demand]], time: int
+    ) -> int:
+        """Array-path request generation (plain preloading scheduler)."""
+        pre_stripes, pre_boxes, pre_demand = self._scheduler.on_demands_batch(accepted)
+        post_stripes, post_boxes, post_demand = self._scheduler.due_arrays(time)
+        if post_demand.size and (post_demand < 0).any():
+            # Blocks queued through the scheduler's object API carry no
+            # demand index; resolve them against the demand log.
+            post_demand = post_demand.copy()
+            for k in np.flatnonzero(post_demand < 0).tolist():
+                found = self._find_demand_index(
+                    int(post_boxes[k]), int(post_stripes[k]), time
+                )
+                post_demand[k] = -1 if found is None else found
+        self._pool.extend_from_arrays(pre_stripes, time, pre_boxes, pre_demand, True)
+        self._pool.extend_from_arrays(post_stripes, time, post_boxes, post_demand, False)
+        self._possession.record_downloads(pre_stripes, pre_boxes, time)
+        self._possession.record_downloads(post_stripes, post_boxes, time)
+        if self._full_trace:
+            for stripes, preload in ((pre_stripes, True), (post_stripes, False)):
+                boxes = pre_boxes if preload else post_boxes
+                for s, b in zip(stripes.tolist(), boxes.tolist()):
+                    self._trace.record(
+                        RequestEvent(
+                            time=time, box_id=b, stripe_id=s, is_preload=preload
+                        )
+                    )
+        return int(pre_stripes.size + post_stripes.size)
+
+    def _generate_requests_objects(
+        self, accepted: List[Tuple[int, Demand]], time: int
+    ) -> int:
+        """Object-path request generation (relayed/custom schedulers)."""
+        new_requests = []
+        for demand_index, demand in accepted:
+            immediate = self._scheduler.on_demand(demand)
+            for request in immediate:
+                new_requests.append((demand_index, request))
+        for request in self._scheduler.requests_due(time):
+            demand_index = self._find_demand_index(request.box_id, request.stripe_id, time)
+            new_requests.append((demand_index, request))
+
+        # Relay-cache events of the heterogeneous strategy.
+        if isinstance(self._scheduler, RelayedPreloadingScheduler):
+            for relay_box, stripe_id in self._scheduler.relay_cache_events_due(time):
+                self._possession.record_relay_cache(stripe_id, relay_box)
+
+        for demand_index, request in new_requests:
+            self._pool.add(request, demand_index)
+            self._possession.record_download(
+                request.stripe_id, request.box_id, request.request_time
+            )
+            if self._full_trace:
+                self._trace.record(
+                    RequestEvent(
+                        time=time,
+                        box_id=request.box_id,
+                        stripe_id=request.stripe_id,
+                        is_preload=request.is_preload,
+                    )
+                )
+        return len(new_requests)
+
+    def _append_demand(self, demand: Demand) -> int:
+        """Append one accepted demand to the struct-of-arrays demand log."""
+        ensure_column_capacity(
+            self,
+            ("_demand_time", "_demand_box", "_demand_video", "_demand_started"),
+            self._demand_count,
+            self._demand_count + 1,
+        )
+        index = self._demand_count
+        self._demand_time[index] = demand.time
+        self._demand_box[index] = demand.box_id
+        self._demand_video[index] = demand.video_id
+        self._demand_started[index] = False
+        self._demand_count = index + 1
+        return index
+
     def _accept_demands(
         self, demands: Sequence[Demand], time: int
     ) -> List[Tuple[int, Demand]]:
@@ -528,66 +617,67 @@ class VodSimulator:
             if self._busy_until[demand.box_id] > time:
                 self._rejected_demands += 1
                 continue
-            demand_index = len(self._demand_log)
-            self._demand_log.append(demand)
-            self._demand_pending_stripes[demand_index] = self._catalog.num_stripes_per_video
-            self._demand_started[demand_index] = False
+            demand_index = self._append_demand(demand)
+            self._demand_last[(demand.box_id, demand.video_id)] = demand_index
+            if self._plan is not None:
+                relay = self._plan.relay(demand.box_id)
+                if relay is not None:
+                    self._demand_last_relay[(relay, demand.video_id)] = demand_index
             self._busy_until[demand.box_id] = time + self._catalog.duration
             self._swarms.enter(demand.video_id, demand.box_id, time)
-            self._trace.record(
-                DemandEvent(time=time, box_id=demand.box_id, video_id=demand.video_id)
-            )
+            if self._full_trace:
+                self._trace.record(
+                    DemandEvent(time=time, box_id=demand.box_id, video_id=demand.video_id)
+                )
             accepted.append((demand_index, demand))
         return accepted
 
     def _find_demand_index(self, box_id: int, stripe_id: int, time: int) -> Optional[int]:
-        """Find the most recent demand of ``box_id`` matching the stripe's video."""
+        """Find the most recent demand of ``box_id`` matching the stripe's video.
+
+        Homogeneous strategy: the request is made by the demanding box.
+        Relayed strategy: it may be made by the relay, so a relay match is
+        also accepted; the *most recent* of the two candidates wins, which
+        is exactly what the historical backwards log scan returned.
+        """
         video_id = self._catalog.video_of_stripe(stripe_id)
-        for index in range(len(self._demand_log) - 1, -1, -1):
-            demand = self._demand_log[index]
-            if demand.video_id != video_id:
-                continue
-            # Homogeneous strategy: the request is made by the demanding
-            # box.  Relayed strategy: it may be made by the relay, so also
-            # accept a relay match.
-            if demand.box_id == box_id:
-                return index
-            if self._plan is not None and self._plan.relay(demand.box_id) == box_id:
-                return index
-        return None
+        direct = self._demand_last.get((box_id, video_id), -1)
+        relayed = self._demand_last_relay.get((box_id, video_id), -1)
+        best = max(direct, relayed)
+        return None if best < 0 else best
 
     def _detect_playback_starts(self, time: int) -> None:
         """Emit a playback-start event once all of a demand's stripes were served."""
-        served_by_demand: Dict[int, List[int]] = {}
-        for record in self._pool.active:
-            if record.demand_index is None:
-                continue
-            if record.first_matched_round is None:
-                continue
-            served_by_demand.setdefault(record.demand_index, []).append(
-                record.first_matched_round
-            )
-        for demand_index, rounds in served_by_demand.items():
-            if self._demand_started.get(demand_index):
-                continue
-            demand = self._demand_log[demand_index]
-            expected = self._catalog.num_stripes_per_video
-            if len(rounds) < expected:
-                continue
-            playback_round = max(rounds) + 1
-            if playback_round > time + 1:
-                continue
-            delay = playback_round - demand.time + 1
-            self._demand_started[demand_index] = True
+        if not len(self._pool) or not self._demand_count:
+            return
+        demand_idx = self._pool.demand_indices
+        first = self._pool.first_matched
+        served = (demand_idx >= 0) & (first >= 0)
+        if not served.any():
+            return
+        d = demand_idx[served]
+        counts = np.bincount(d, minlength=self._demand_count)
+        last_first = np.full(self._demand_count, -1, dtype=np.int64)
+        np.maximum.at(last_first, d, first[served])
+        expected = self._catalog.num_stripes_per_video
+        started = self._demand_started[: self._demand_count]
+        # All stripes served, playback round reached, not yet started.
+        ready = (counts >= expected) & (last_first + 1 <= time + 1) & ~started
+        for demand_index in np.flatnonzero(ready).tolist():
+            playback_round = int(last_first[demand_index]) + 1
+            delay = playback_round - int(self._demand_time[demand_index]) + 1
+            started[demand_index] = True
+            self._playbacks_started += 1
             self._metrics.record_startup_delay(delay)
-            self._trace.record(
-                PlaybackStartEvent(
-                    time=playback_round,
-                    box_id=demand.box_id,
-                    video_id=demand.video_id,
-                    startup_delay=delay,
+            if self._full_trace:
+                self._trace.record(
+                    PlaybackStartEvent(
+                        time=playback_round,
+                        box_id=int(self._demand_box[demand_index]),
+                        video_id=int(self._demand_video[demand_index]),
+                        startup_delay=delay,
+                    )
                 )
-            )
 
     # ------------------------------------------------------------------ #
     # Live reconfiguration (the repro.api session mutation hooks)

@@ -15,6 +15,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+import numpy as np
+
+from repro.util.soa import ensure_column_capacity
 from repro.util.validation import check_in_range, check_non_negative_integer
 
 __all__ = ["SwarmGrowthViolation", "SwarmRegistry", "max_new_members"]
@@ -43,19 +46,75 @@ def max_new_members(current_size: int, mu: float) -> int:
     return max(allowed_next - current_size, 0)
 
 
+class _VideoSwarm:
+    """Entry log of one video's swarm, struct-of-arrays.
+
+    Boxes and entry times are appended in arrival order; while entry times
+    stay non-decreasing (the engine's case — time only moves forward),
+    windowed size/membership queries are ``searchsorted`` slices.  Out-of-
+    order entries (possible through the public API) flip a flag and
+    queries fall back to a linear scan, preserving insertion order.
+    """
+
+    __slots__ = ("boxes", "times", "size", "sorted")
+
+    def __init__(self):
+        self.boxes = np.empty(16, dtype=np.int64)
+        self.times = np.empty(16, dtype=np.int64)
+        self.size = 0
+        self.sorted = True
+
+    def __getstate__(self):
+        return (self.boxes[: self.size].copy(), self.times[: self.size].copy(), self.sorted)
+
+    def __setstate__(self, state):
+        self.boxes, self.times, self.sorted = state
+        self.size = self.boxes.size
+
+    def append(self, box: int, time: int) -> None:
+        ensure_column_capacity(self, ("boxes", "times"), self.size, self.size + 1)
+        if self.size and time < self.times[self.size - 1]:
+            self.sorted = False
+        self.boxes[self.size] = box
+        self.times[self.size] = time
+        self.size += 1
+
+    def window(self, lo_exclusive: int, hi_inclusive: int) -> np.ndarray:
+        """Boxes whose entry time lies in ``(lo_exclusive, hi_inclusive]``."""
+        times = self.times[: self.size]
+        if self.sorted:
+            a = int(np.searchsorted(times, lo_exclusive, side="right"))
+            b = int(np.searchsorted(times, hi_inclusive, side="right"))
+            return self.boxes[a:b]
+        mask = (times > lo_exclusive) & (times <= hi_inclusive)
+        return self.boxes[: self.size][mask]
+
+    def count(self, lo_exclusive: int, hi_inclusive: int) -> int:
+        """Number of entries with time in ``(lo_exclusive, hi_inclusive]``."""
+        times = self.times[: self.size]
+        if self.sorted:
+            a = int(np.searchsorted(times, lo_exclusive, side="right"))
+            b = int(np.searchsorted(times, hi_inclusive, side="right"))
+            return b - a
+        return int(((times > lo_exclusive) & (times <= hi_inclusive)).sum())
+
+
 class SwarmRegistry:
     """Tracks swarm membership per video and validates the growth bound.
 
     Membership is driven by *swarm entry times*: a box enters the swarm of
     a video when it issues its first (preloading) request for it and leaves
-    ``duration`` rounds later.
+    ``duration`` rounds later.  Per-video membership is kept as
+    struct-of-arrays entry logs, so size queries cost ``O(log members)``
+    instead of a scan — the difference between toy populations and the
+    100k-box scale tiers.
     """
 
     def __init__(self, mu: float, duration: int):
         self._mu = check_in_range(mu, "mu", 1.0, math.inf)
         self._duration = check_non_negative_integer(duration, "duration")
-        # video_id -> list of (box_id, entry_time)
-        self._members: Dict[int, List[Tuple[int, int]]] = {}
+        # video_id -> entry log (boxes, entry times) in arrival order.
+        self._swarms: Dict[int, _VideoSwarm] = {}
         # Size history: video_id -> {round: size at end of round}
         self._history: Dict[int, Dict[int, int]] = {}
         self._violations: List[SwarmGrowthViolation] = []
@@ -72,13 +131,18 @@ class SwarmRegistry:
 
     def size(self, video_id: int, time: int) -> int:
         """Swarm size of ``video_id`` at round ``time`` (members not yet expired)."""
-        members = self._members.get(int(video_id), [])
-        return sum(1 for (_b, entry) in members if entry <= time < entry + self._duration)
+        swarm = self._swarms.get(int(video_id))
+        if swarm is None:
+            return 0
+        # entry <= time < entry + duration  <=>  time - duration < entry <= time
+        return swarm.count(time - self._duration, time)
 
     def members(self, video_id: int, time: int) -> List[int]:
         """Boxes in the swarm of ``video_id`` at round ``time``."""
-        entries = self._members.get(int(video_id), [])
-        return [b for (b, entry) in entries if entry <= time < entry + self._duration]
+        swarm = self._swarms.get(int(video_id))
+        if swarm is None:
+            return []
+        return swarm.window(time - self._duration, time).tolist()
 
     def enter(self, video_id: int, box_id: int, time: int) -> None:
         """Record that ``box_id`` enters the swarm of ``video_id`` at round ``time``.
@@ -89,7 +153,10 @@ class SwarmRegistry:
         """
         video_id = int(video_id)
         previous = self.size(video_id, time - 1) if time > 0 else 0
-        self._members.setdefault(video_id, []).append((int(box_id), int(time)))
+        swarm = self._swarms.get(video_id)
+        if swarm is None:
+            swarm = self._swarms[video_id] = _VideoSwarm()
+        swarm.append(int(box_id), int(time))
         new_size = self.size(video_id, time)
         allowed = math.ceil(max(previous, 1) * self._mu)
         if new_size > allowed:
@@ -117,4 +184,4 @@ class SwarmRegistry:
 
     def active_videos(self, time: int) -> List[int]:
         """Videos with a non-empty swarm at round ``time``."""
-        return [vid for vid in self._members if self.size(vid, time) > 0]
+        return [vid for vid in self._swarms if self.size(vid, time) > 0]

@@ -10,6 +10,8 @@ requests).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -121,6 +123,53 @@ def test_from_file_rejects_non_snapshots(tmp_path):
     path.write_bytes(pickle.dumps({"not": "a snapshot"}))
     with pytest.raises(ValueError):
         SessionSnapshot.from_file(path)
+
+
+class TestSnapshotFormatVersioning:
+    """Snapshots are versioned: payloads pickle engine internals, so a
+    layout change (the PR-4 struct-of-arrays core) bumps the format and
+    older files must fail with a typed, documented error instead of
+    deserializing into a torn engine."""
+
+    FIXTURE_V1 = Path(__file__).parent / "fixtures" / "session_snapshot_v1.bin"
+
+    def test_current_format_version_is_2(self):
+        from repro.api.session import SNAPSHOT_FORMAT_VERSION
+
+        assert SNAPSHOT_FORMAT_VERSION == 2
+
+    def test_loading_a_v1_fixture_raises_a_typed_error(self):
+        from repro.api import SessionSnapshot, SnapshotFormatError
+
+        assert self.FIXTURE_V1.exists(), "pre-refactor fixture missing"
+        with pytest.raises(SnapshotFormatError, match="format version 1"):
+            SessionSnapshot.from_file(self.FIXTURE_V1)
+
+    def test_restore_rejects_stale_in_memory_snapshots(self):
+        from repro.api import SessionSnapshot, SnapshotFormatError, VodSession
+
+        stale = SessionSnapshot(
+            payload=b"irrelevant", time=3, rounds_completed=3, format_version=1
+        )
+        with pytest.raises(SnapshotFormatError, match="re-record"):
+            VodSession.restore(stale)
+
+    def test_snapshot_format_error_is_an_api_error(self):
+        from repro.api import ApiError, SnapshotFormatError
+
+        assert issubclass(SnapshotFormatError, ApiError)
+
+    def test_fresh_snapshots_carry_the_current_version_and_round_trip(self, tmp_path):
+        from repro.api import SessionSnapshot, VodSession
+        from repro.api.session import SNAPSHOT_FORMAT_VERSION
+
+        session = _session_for("steady_state", "hopcroft_karp", 6)
+        session.step_until(rounds=3)
+        snapshot = session.snapshot()
+        assert snapshot.format_version == SNAPSHOT_FORMAT_VERSION
+        path = snapshot.to_file(tmp_path / "current.ckpt")
+        restored = VodSession.restore(SessionSnapshot.from_file(path))
+        assert restored.rounds_completed == 3
 
 
 @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])

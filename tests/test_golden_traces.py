@@ -26,10 +26,13 @@ from repro.scenarios.replay import (
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 #: (scenario name, recorded seed) — keep in sync with the files on disk.
+#: scale_tier_10k pins the vectorized struct-of-arrays hot path at a
+#: 10k-box instance size (seeded, spec-horizon recording).
 GOLDEN_SCENARIOS = [
     ("steady_state", 1234),
     ("flashcrowd_spike", 1234),
     ("churn_storm", 1234),
+    ("scale_tier_10k", 1234),
 ]
 
 

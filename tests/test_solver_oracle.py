@@ -144,7 +144,13 @@ class TestSolverDispatch:
 
 
 class TestScenarioOracle:
-    @pytest.mark.parametrize("name", scenario_names())
+    # Scale tiers are oracle-checked by the soak harness in
+    # tests/test_scale_stress.py (re-solving 10k-box instances with the
+    # max-flow oracles per round is too heavy for this sweep).
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in scenario_names() if not n.startswith("scale_tier")],
+    )
     def test_every_scenario_agrees_for_eight_rounds(self, name):
         report = run_differential_oracle(name, seed=11, num_rounds=8)
         assert report.ok, "\n".join(report.disagreements)

@@ -1,0 +1,454 @@
+"""Property tests for the struct-of-arrays engine core.
+
+The vectorized hot path (PR 4) replaced per-object Python state — request
+records, swarm member lists, per-stripe cache ring buffers — with NumPy
+struct-of-arrays buffers.  The tests below pin its behaviour to simple
+object-state reference models over randomized small instances:
+
+* :class:`ActiveRequestPool` against a list-of-records model (activation
+  order, expiry, first-service rounds, warm-start column);
+* :class:`SwarmRegistry` against the historical scan-based model (sizes,
+  membership windows, growth violations);
+* the batched adjacency builder against the per-request path and the
+  set-based fallback;
+* the Hopcroft–Karp warm-start fast path against cold solves and the
+  max-flow oracle;
+* snapshot → restore → step equality on the array buffers themselves.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import random_permutation_allocation
+from repro.core.matching import ArrayRequestSet, PossessionIndex, StripeRequest
+from repro.core.parameters import homogeneous_population
+from repro.core.video import Catalog
+from repro.flow.bipartite import solve_b_matching
+from repro.flow.hopcroft_karp import csr_from_edges, hopcroft_karp_matching
+from repro.sim.scheduler import ActiveRequestPool
+from repro.sim.swarm import SwarmRegistry
+
+
+# --------------------------------------------------------------------- #
+# ActiveRequestPool vs. object-state reference model
+# --------------------------------------------------------------------- #
+class _ReferencePool:
+    """The historical list-of-records pool semantics, reimplemented."""
+
+    def __init__(self, duration: int):
+        self.duration = duration
+        self.rows = []  # dicts: stripe, rtime, box, first, demand, assigned
+        self.expired_unserved = 0
+
+    def add(self, stripe, rtime, box, demand):
+        self.rows.append(
+            {"stripe": stripe, "rtime": rtime, "box": box,
+             "first": None, "demand": demand, "assigned": -1}
+        )
+
+    def apply_matching(self, assignment, time):
+        for row, box in zip(self.rows, assignment):
+            row["assigned"] = int(box)
+            if box >= 0 and row["first"] is None:
+                row["first"] = time
+
+    def expire(self, current_time):
+        keep = []
+        for row in self.rows:
+            anchor = row["first"] if row["first"] is not None else row["rtime"]
+            if current_time - anchor >= self.duration:
+                if row["first"] is None:
+                    self.expired_unserved += 1
+            else:
+                keep.append(row)
+        self.rows = keep
+
+
+pool_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("add"),
+            st.integers(0, 12),   # stripe
+            st.integers(0, 30),   # box
+            st.integers(0, 4),    # demand index
+        ),
+        st.tuples(st.just("match"), st.integers(0, 100)),  # match-fraction seed
+        st.tuples(st.just("tick"), st.integers(1, 3)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestPoolEquivalence:
+    @given(ops=pool_ops, duration=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_pool_matches_reference_model(self, ops, duration):
+        pool = ActiveRequestPool(duration)
+        model = _ReferencePool(duration)
+        time = 0
+        for op in ops:
+            if op[0] == "add":
+                _, stripe, box, demand = op
+                pool.add(
+                    StripeRequest(stripe_id=stripe, request_time=time, box_id=box),
+                    demand_index=demand,
+                )
+                model.add(stripe, time, box, demand)
+            elif op[0] == "match":
+                _, seed = op
+                rng = np.random.default_rng(seed)
+                n = len(pool)
+                assignment = rng.integers(-1, 5, size=n)
+                pool.apply_matching(assignment, time)
+                model.apply_matching(assignment, time)
+            else:
+                time += op[1]
+                pool.drop_expired(time)
+                model.expire(time)
+            self._assert_equal(pool, model)
+
+    def _assert_equal(self, pool: ActiveRequestPool, model: _ReferencePool):
+        assert len(pool) == len(model.rows)
+        assert pool.expired_unserved == model.expired_unserved
+        assert pool.stripe_ids.tolist() == [r["stripe"] for r in model.rows]
+        assert pool.request_times.tolist() == [r["rtime"] for r in model.rows]
+        assert pool.box_ids.tolist() == [r["box"] for r in model.rows]
+        assert pool.assigned_boxes.tolist() == [r["assigned"] for r in model.rows]
+        firsts = [-1 if r["first"] is None else r["first"] for r in model.rows]
+        assert pool.first_matched.tolist() == firsts
+        # The object views agree with the arrays.
+        for record, row in zip(pool.active, model.rows):
+            assert record.request.stripe_id == row["stripe"]
+            assert record.first_matched_round == row["first"]
+            assert record.assigned_box == row["assigned"]
+
+    def test_expire_returns_materialized_records(self):
+        pool = ActiveRequestPool(duration=2)
+        pool.add(StripeRequest(stripe_id=1, request_time=0, box_id=3))
+        pool.add(StripeRequest(stripe_id=2, request_time=0, box_id=4))
+        pool.apply_matching(np.array([5, -1]), 0)
+        removed = pool.expire(2)
+        assert [r.request.stripe_id for r in removed] == [1, 2]
+        assert pool.expired_unserved == 1
+        assert len(pool) == 0
+
+    def test_request_set_snapshot_survives_pool_mutation(self):
+        pool = ActiveRequestPool(duration=4)
+        pool.add(StripeRequest(stripe_id=7, request_time=0, box_id=1))
+        snapshot = pool.request_set()
+        pool.drop_expired(10)
+        assert len(pool) == 0
+        assert snapshot.stripe_multiset() == [7]
+        assert snapshot[0] == StripeRequest(stripe_id=7, request_time=0, box_id=1)
+
+
+# --------------------------------------------------------------------- #
+# SwarmRegistry vs. scan-based reference model
+# --------------------------------------------------------------------- #
+class _ReferenceSwarms:
+    """The historical list-scan registry semantics, reimplemented."""
+
+    def __init__(self, mu, duration):
+        self.mu, self.duration = mu, duration
+        self.members = {}  # video -> [(box, entry)]
+        self.violations = []
+
+    def size(self, video, time):
+        entries = self.members.get(video, [])
+        return sum(1 for _, e in entries if e <= time < e + self.duration)
+
+    def members_at(self, video, time):
+        entries = self.members.get(video, [])
+        return [b for b, e in entries if e <= time < e + self.duration]
+
+    def enter(self, video, box, time):
+        previous = self.size(video, time - 1) if time > 0 else 0
+        self.members.setdefault(video, []).append((box, time))
+        new_size = self.size(video, time)
+        allowed = math.ceil(max(previous, 1) * self.mu)
+        if new_size > allowed:
+            self.violations.append((video, time, previous, new_size, allowed))
+
+
+swarm_entries = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 20), st.integers(0, 15)),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestSwarmEquivalence:
+    @given(entries=swarm_entries, duration=st.integers(0, 8), monotone=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_registry_matches_reference_model(self, entries, duration, monotone):
+        if monotone:
+            entries = sorted(entries, key=lambda entry: entry[1])
+        registry = SwarmRegistry(mu=1.5, duration=duration)
+        model = _ReferenceSwarms(mu=1.5, duration=duration)
+        for video, time, box in entries:
+            registry.enter(video, box, time)
+            model.enter(video, box, time)
+        for video in range(4):
+            for time in range(0, 22):
+                assert registry.size(video, time) == model.size(video, time), (
+                    video, time,
+                )
+                assert sorted(registry.members(video, time)) == sorted(
+                    model.members_at(video, time)
+                )
+        got = [
+            (v.video_id, v.time, v.previous_size, v.new_size, v.allowed_size)
+            for v in registry.violations
+        ]
+        assert got == model.violations
+
+    def test_members_preserve_insertion_order_when_monotone(self):
+        registry = SwarmRegistry(mu=10.0, duration=10)
+        for box in (5, 3, 9):
+            registry.enter(0, box, 2)
+        assert registry.members(0, 2) == [5, 3, 9]
+
+
+# --------------------------------------------------------------------- #
+# Batched adjacency vs. the per-request and set-based paths
+# --------------------------------------------------------------------- #
+class _PerRowPossession(PossessionIndex):
+    """Forces the per-request cache path (the pre-batching semantics)."""
+
+    def _cache_boxes_array(self, stripe_id, request_time, current_time):
+        return super()._cache_boxes_array(stripe_id, request_time, current_time)
+
+
+@st.composite
+def possession_instances(draw):
+    num_videos = draw(st.integers(2, 5))
+    catalog = Catalog(num_videos=num_videos, num_stripes=3, duration=6)
+    population = homogeneous_population(draw(st.integers(8, 20)), u=2.0, d=3.0)
+    allocation = random_permutation_allocation(
+        catalog, population, replicas_per_stripe=2,
+        random_state=draw(st.integers(0, 10_000)),
+    )
+    downloads = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, catalog.total_stripes - 1),
+                st.integers(0, population.n - 1),
+                st.integers(0, 9),
+            ),
+            max_size=40,
+        )
+    )
+    relays = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, catalog.total_stripes - 1),
+                st.integers(0, population.n - 1),
+            ),
+            max_size=5,
+        )
+    )
+    requests = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, catalog.total_stripes - 1),
+                st.integers(0, 10),
+                st.integers(0, population.n - 1),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    current_time = draw(st.integers(0, 12))
+    evict_at = draw(st.none() | st.integers(0, 12))
+    return allocation, downloads, relays, requests, current_time, evict_at
+
+
+class TestAdjacencyEquivalence:
+    def _build(self, cls, allocation, downloads, relays, evict_at):
+        possession = cls(allocation, cache_window=6)
+        for stripe, box, time in downloads:
+            possession.record_download(stripe, box, time)
+        for stripe, box in relays:
+            possession.record_relay_cache(stripe, box)
+        if evict_at is not None:
+            possession.evict_before(evict_at)
+        return possession
+
+    @given(instance=possession_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_batched_adjacency_equals_per_request_path(self, instance):
+        allocation, downloads, relays, requests, current_time, evict_at = instance
+        batched = self._build(PossessionIndex, allocation, downloads, relays, evict_at)
+        per_row = self._build(_PerRowPossession, allocation, downloads, relays, evict_at)
+
+        request_objs = [
+            StripeRequest(stripe_id=s, request_time=t, box_id=b)
+            for s, t, b in requests
+        ]
+        array_set = ArrayRequestSet(
+            np.array([s for s, _, _ in requests], dtype=np.int64),
+            np.array([t for _, t, _ in requests], dtype=np.int64),
+            np.array([b for _, _, b in requests], dtype=np.int64),
+        )
+        indptr_a, indices_a = batched.adjacency_for(array_set, current_time)
+        indptr_o, indices_o = batched.adjacency_for(request_objs, current_time)
+        indptr_p, indices_p = per_row.adjacency_for(request_objs, current_time)
+        # Array-extracted and object-extracted inputs are bit-identical,
+        # and both match the per-request path edge for edge (order included).
+        assert indptr_a.tolist() == indptr_o.tolist() == indptr_p.tolist()
+        assert indices_a.tolist() == indices_o.tolist() == indices_p.tolist()
+
+        # The set-based fallback agrees on the neighbourhood *sets*.
+        for i, request in enumerate(request_objs):
+            row = set(indices_a[indptr_a[i]: indptr_a[i + 1]].tolist())
+            expected = batched.servers_for(request, current_time)
+            expected.discard(request.box_id)
+            assert row == expected
+
+    @given(instance=possession_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_single_stripe_queries_match_window_semantics(self, instance):
+        allocation, downloads, relays, _, current_time, evict_at = instance
+        possession = self._build(PossessionIndex, allocation, downloads, relays, evict_at)
+        horizon = current_time - possession.cache_window
+        live = [
+            (s, b, t) for s, b, t in downloads
+            if evict_at is None or t >= evict_at - possession.cache_window
+        ]
+        for stripe in range(allocation.num_stripes):
+            for request_time in range(0, 12):
+                got = sorted(
+                    possession._cache_boxes_array(
+                        stripe, request_time, current_time
+                    ).tolist()
+                )
+                expected = sorted(
+                    b for s, b, t in live
+                    if s == stripe and horizon <= t < request_time
+                )
+                assert got == expected, (stripe, request_time)
+
+
+# --------------------------------------------------------------------- #
+# Kernel: warm-start fast path vs. cold solves and the max-flow oracle
+# --------------------------------------------------------------------- #
+@st.composite
+def matching_instances(draw):
+    num_left = draw(st.integers(1, 18))
+    num_right = draw(st.integers(1, 10))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, num_left - 1), st.integers(0, num_right - 1)),
+            max_size=60,
+        )
+    )
+    caps = draw(
+        st.lists(st.integers(0, 3), min_size=num_right, max_size=num_right)
+    )
+    warm = draw(
+        st.none()
+        | st.lists(
+            st.integers(-1, num_right - 1), min_size=num_left, max_size=num_left
+        )
+    )
+    return num_left, num_right, edges, caps, warm
+
+
+class TestKernelWarmStart:
+    @given(instance=matching_instances())
+    @settings(max_examples=120, deadline=None)
+    def test_warm_start_preserves_cardinality_and_validity(self, instance):
+        num_left, num_right, edges, caps, warm = instance
+        indptr, indices = csr_from_edges(num_left, num_right, edges)
+        cold = hopcroft_karp_matching(num_left, num_right, indptr, indices, caps)
+        warm_result = hopcroft_karp_matching(
+            num_left, num_right, indptr, indices, caps,
+            initial_assignment=warm,
+        )
+        assert warm_result.matched == cold.matched
+        assert warm_result.feasible == cold.feasible
+
+        oracle = solve_b_matching(
+            num_left, num_right, edges, caps, method="dinic"
+        )
+        assert cold.matched == oracle.matched
+
+        rows = [
+            set(indices[indptr[i]: indptr[i + 1]].tolist())
+            for i in range(num_left)
+        ]
+        for result in (cold, warm_result):
+            load = [0] * num_right
+            for i, box in enumerate(result.assignment.tolist()):
+                if box >= 0:
+                    assert box in rows[i]
+                    load[box] += 1
+            assert all(load[j] <= caps[j] for j in range(num_right))
+
+    def test_numpy_and_list_inputs_agree(self):
+        indptr = [0, 2, 4]
+        indices = [0, 1, 0, 1]
+        caps = [1, 1]
+        from_lists = hopcroft_karp_matching(2, 2, indptr, indices, caps)
+        from_arrays = hopcroft_karp_matching(
+            2, 2,
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(caps, dtype=np.int64),
+        )
+        assert from_lists.assignment.tolist() == from_arrays.assignment.tolist()
+
+
+# --------------------------------------------------------------------- #
+# Snapshot -> restore -> step equality on the array buffers
+# --------------------------------------------------------------------- #
+class TestArrayStateSnapshot:
+    def _session(self, horizon=12):
+        from repro.scenarios.build import build_scenario
+        from repro.scenarios.registry import get_scenario
+
+        compiled = build_scenario(get_scenario("steady_state"), seed=21)
+        return compiled.session(horizon=horizon)
+
+    @pytest.mark.parametrize("split", [1, 4, 7])
+    def test_restored_array_buffers_are_identical(self, split):
+        session = self._session()
+        session.step_until(rounds=split)
+        snapshot = session.snapshot()
+
+        from repro.api.session import VodSession
+
+        restored = VodSession.restore(snapshot)
+        pool_a = session.engine._pool
+        pool_b = restored.engine._pool
+        for field in ("stripe_ids", "request_times", "box_ids", "first_matched",
+                      "demand_indices", "assigned_boxes"):
+            assert getattr(pool_a, field).tolist() == getattr(pool_b, field).tolist()
+
+        # Stepping both produces bit-identical rounds and buffers.
+        for _ in range(3):
+            left = session.step()
+            right = restored.step()
+            assert left.to_dict() == right.to_dict()
+        assert session.engine._pool.assigned_boxes.tolist() == (
+            restored.engine._pool.assigned_boxes.tolist()
+        )
+
+    def test_pool_pickle_roundtrip_preserves_live_segment_only(self):
+        pool = ActiveRequestPool(duration=3)
+        for k in range(10):
+            pool.add(StripeRequest(stripe_id=k, request_time=0, box_id=k))
+        pool.apply_matching(np.arange(10, dtype=np.int64), 0)
+        pool.drop_expired(3)
+        clone = pickle.loads(pickle.dumps(pool))
+        assert len(clone) == len(pool)
+        assert clone.stripe_ids.tolist() == pool.stripe_ids.tolist()
+        assert clone.expired_unserved == pool.expired_unserved
