@@ -13,77 +13,30 @@ box population:
 
 The table reports achievable catalog and whether the crowd is served —
 the qualitative ranking the paper argues for (swarming+sourcing wins the
-catalog race at equal feasibility).
+catalog race at equal feasibility).  The four systems are the cells of
+the registered ``baseline_comparison`` campaign of
+:mod:`repro.orchestrate`; this module executes the same cells in-process
+and times the paper-system cell.
 """
 
 import pytest
 
 from repro.analysis.report import print_table
-from repro.baselines.central_server import CentralServerModel
-from repro.baselines.full_replication import (
-    full_replication_allocation,
-    max_catalog_full_replication,
-)
-from repro.baselines.sourcing_only import SourcingOnlyPossessionIndex
-from repro.api import VodSystem
-from repro.core.allocation import random_permutation_allocation
-from repro.core.parameters import homogeneous_population
-from repro.core.video import Catalog
-from repro.workloads.flashcrowd import FlashCrowdWorkload
+from repro.baselines.full_replication import max_catalog_full_replication
+from repro.orchestrate import execute_campaign_rows, get_campaign
+from repro.orchestrate.campaigns import run_baseline_comparison
 
-N, U, D, C, K, MU = 48, 1.5, 2.0, 4, 3, 2.0
-DURATION = 40
-
-
-def run_system(name, allocation, sourcing_only=False, seed=9):
-    simulator = VodSystem.for_allocation(allocation, mu=MU).build_simulator()
-    if sourcing_only:
-        simulator._possession = SourcingOnlyPossessionIndex(allocation, cache_window=DURATION)
-    workload = FlashCrowdWorkload(mu=MU, target_videos=(0,), random_state=seed)
-    result = simulator.run(workload, num_rounds=9)
-    return {
-        "system": name,
-        "catalog": allocation.catalog_size,
-        "catalog_scaling": "Θ(n)" if name.startswith("random") else "O(1)",
-        "flash_crowd_served": result.feasible,
-        "infeasible_rounds": result.metrics.infeasible_rounds,
-        "max_startup_delay": result.metrics.max_startup_delay,
-    }
+N, U, D, C, K = 48, 1.5, 2.0, 4, 3
 
 
 def test_baseline_comparison(benchmark, experiment_header):
-    population = homogeneous_population(N, u=U, d=D)
-
-    # Paper's system: catalog = d*n/k (linear in n).
-    big_catalog = Catalog(num_videos=int(D * N // K), num_stripes=C, duration=DURATION)
-    random_alloc = random_permutation_allocation(big_catalog, population, K, random_state=9)
-
-    # Full replication: catalog capped at d*c (constant).
-    small_catalog = Catalog(
-        num_videos=max_catalog_full_replication(D, C), num_stripes=C, duration=DURATION
-    )
-    full_alloc = full_replication_allocation(small_catalog, population)
-
-    rows = [
-        run_system("random stripes + swarming (paper)", random_alloc),
-        run_system("random stripes, sourcing only [3]", random_alloc, sourcing_only=True),
-        run_system("full replication (Push-to-Peer [22])", full_alloc),
-    ]
-    # A non-assisted server sized like one box: its uplink (U streams) cannot
-    # serve the n viewers the flash crowd eventually reaches.
-    server = CentralServerModel(upload_capacity=U, storage_capacity=D)
-    rows.append(
-        {
-            "system": "central server sized like one box",
-            "catalog": server.catalog_size,
-            "catalog_scaling": "O(1)",
-            "flash_crowd_served": server.can_serve(N),
-            "infeasible_rounds": "n/a",
-            "max_startup_delay": "n/a",
-        }
-    )
+    campaign = get_campaign("baseline_comparison")
+    rows = execute_campaign_rows(campaign)
     benchmark.pedantic(
-        run_system, args=("random stripes + swarming (paper)", random_alloc), rounds=1, iterations=1
+        run_baseline_comparison,
+        args=(dict(campaign.base, system="random_swarming"),),
+        rounds=1,
+        iterations=1,
     )
     print_table(
         rows,
@@ -98,3 +51,5 @@ def test_baseline_comparison(benchmark, experiment_header):
     # Full replication serves the crowd but with a constant catalog.
     assert rows[2]["flash_crowd_served"]
     assert rows[2]["catalog"] == max_catalog_full_replication(D, C)
+    # The one-box server cannot serve the crowd and offers a tiny catalog.
+    assert not rows[3]["flash_crowd_served"]

@@ -7,49 +7,30 @@ swept; offline boxes neither demand nor serve and their replicas are
 unavailable until they return.  Replication k and the playback caches of
 online viewers provide the slack: feasibility survives moderate churn and
 degrades as the offline fraction grows.
+
+The sweep is the registered ``churn_robustness`` campaign of
+:mod:`repro.orchestrate`; this module executes the same cells in-process
+and times one of them.
 """
 
 import pytest
 
 from repro.analysis.report import print_table
-from repro.sim.churn import random_churn_schedule
-from repro.sim.engine import VodSimulator
-from repro.workloads.flashcrowd import FlashCrowdWorkload
+from repro.orchestrate import execute_campaign_rows, get_campaign
+from repro.orchestrate.campaigns import run_churn_robustness
 
-from conftest import build_homogeneous_system
-
-N, U, D, C, K, M, MU = 60, 2.0, 3.0, 4, 4, 30, 1.5
-ROUNDS = 12
-FAILURE_PROBABILITIES = (0.0, 0.02, 0.05, 0.15, 0.35)
-
-
-def run_with_churn(failure_probability: float, seed: int = 0):
-    population, catalog, allocation = build_homogeneous_system(
-        n=N, u=U, d=D, m=M, c=C, k=K, seed=seed
-    )
-    churn = random_churn_schedule(
-        num_boxes=N,
-        horizon=ROUNDS,
-        failure_probability=failure_probability,
-        outage_duration=4,
-        random_state=seed + 100,
-    )
-    simulator = VodSimulator(allocation, mu=MU, churn=churn)
-    result = simulator.run(FlashCrowdWorkload(mu=MU, random_state=seed), num_rounds=ROUNDS)
-    return {
-        "failure_probability": failure_probability,
-        "max_concurrent_offline": churn.max_concurrent_outages(ROUNDS),
-        "offline_fraction_peak": round(churn.max_concurrent_outages(ROUNDS) / N, 3),
-        "feasible": result.feasible,
-        "infeasible_rounds": result.metrics.infeasible_rounds,
-        "unmatched_requests": result.metrics.unmatched_requests,
-        "demands": result.metrics.total_demands,
-    }
+N, U, D, C, K = 60, 2.0, 3.0, 4, 4
 
 
 def test_churn_robustness(benchmark, experiment_header):
-    rows = [run_with_churn(p) for p in FAILURE_PROBABILITIES]
-    benchmark.pedantic(run_with_churn, args=(0.05,), rounds=1, iterations=1)
+    campaign = get_campaign("churn_robustness")
+    rows = execute_campaign_rows(campaign)
+    benchmark.pedantic(
+        run_churn_robustness,
+        args=(dict(campaign.base, failure_probability=0.05),),
+        rounds=1,
+        iterations=1,
+    )
     print_table(
         rows,
         title=(

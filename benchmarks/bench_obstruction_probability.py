@@ -9,55 +9,24 @@ Compares, as a function of the replication factor k:
 
 The union bound is loose at laptop scale — the point of the table is the
 *shape*: all three quantities drop steeply with k, and the k prescribed by
-Theorem 1 drives the analytic bound to O(1/n).  The timed kernel is the
-exact Equation 1 evaluation.
+Theorem 1 drives the analytic bound to O(1/n).  The sweep is the
+registered ``obstruction_probability`` campaign of
+:mod:`repro.orchestrate`; the timed kernel is the exact Equation 1
+evaluation.
 """
 
 import pytest
 
-from repro.analysis.montecarlo import estimate_static_obstruction_probability
 from repro.analysis.report import print_table
 from repro.core import obstruction as ob
 from repro.core import thresholds as th
+from repro.orchestrate import execute_campaign_rows, get_campaign
 
 N, U, D, MU, C = 48, 1.5, 3.0, 1.2, 6
-K_VALUES = (1, 2, 4, 8)
-
-
-def analytic_rows():
-    nu = th.nu_homogeneous(U, C, MU)
-    u_prime = th.effective_upload(U, C)
-    d_prime = th.d_prime(D, U)
-    rows = []
-    for k in K_VALUES + (64, 256):
-        m = max(int(D * N // k), 1)
-        rows.append(
-            {
-                "k": k,
-                "catalog": m,
-                "paper_bound": ob.first_moment_bound_paper(N, C, u_prime, d_prime, k, nu),
-                "exact_eq1_bound": ob.first_moment_bound_exact(N, C, m, k, u_prime, nu),
-            }
-        )
-    return rows
 
 
 def test_obstruction_bound_vs_k(benchmark, experiment_header):
-    rows = analytic_rows()
-    # Monte-Carlo estimate for the small-k points (cold-start probe).
-    for row in rows[: len(K_VALUES)]:
-        estimate = estimate_static_obstruction_probability(
-            n=N,
-            u=U,
-            d=D,
-            c=C,
-            k=row["k"],
-            num_cold_videos=[min(row["catalog"], N // 3)],
-            trials=20,
-            random_state=7,
-        )
-        row["montecarlo_estimate"] = estimate.failure_probability
-        row["montecarlo_ci"] = round(estimate.confidence_halfwidth, 3)
+    rows = execute_campaign_rows(get_campaign("obstruction_probability"))
 
     nu = th.nu_homogeneous(U, C, MU)
     benchmark.pedantic(
@@ -77,6 +46,7 @@ def test_obstruction_bound_vs_k(benchmark, experiment_header):
     # The Monte-Carlo estimate is (statistically) below both bounds whenever
     # the bounds are informative, and decreases with k.
     mc = [row["montecarlo_estimate"] for row in rows if "montecarlo_estimate" in row]
+    assert len(mc) == 4
     assert mc == sorted(mc, reverse=True)
 
 

@@ -7,22 +7,17 @@ vanishing entirely below the threshold.  The experiment regenerates that
 curve and verifies the cubic shape near the threshold.
 """
 
-import math
-
 import pytest
 
-from repro.analysis.bounds import quality_tradeoff_table
 from repro.analysis.report import print_table
 from repro.core import thresholds as th
-
-RAW_UPLOAD = 1.0  # physical upload, in units of the *reference* bitrate
-BITRATES = [0.30, 0.40, 0.50, 0.65, 0.80, 0.90, 0.99, 1.00, 1.20]
+from repro.orchestrate import execute_campaign_rows, get_campaign
 
 
 def build_table():
-    return quality_tradeoff_table(
-        bitrates=BITRATES, raw_upload=RAW_UPLOAD, n=10_000, d=4.0, mu=1.3
-    )
+    # The sweep is the registered ``quality_tradeoff`` campaign; this
+    # wrapper executes the same cells in-process.
+    return execute_campaign_rows(get_campaign("quality_tradeoff"))
 
 
 def test_quality_tradeoff_table(benchmark, experiment_header):

@@ -14,42 +14,29 @@ from repro.core.heterogeneous import RelayedPreloadingScheduler, compute_compens
 from repro.core.allocation import random_permutation_allocation
 from repro.core.parameters import two_class_population
 from repro.core.video import Catalog
+from repro.orchestrate import execute_campaign_rows, get_campaign
+from repro.orchestrate.campaigns import run_startup_delay
 from repro.sim.engine import VodSimulator
-from repro.workloads.adversarial import ColdStartAdversary
-from repro.workloads.flashcrowd import FlashCrowdWorkload
-from repro.workloads.popularity import UniformDemandWorkload, ZipfDemandWorkload
-
-from conftest import build_homogeneous_system
+from repro.workloads.popularity import ZipfDemandWorkload
 
 MU = 1.5
 
 
-def run_homogeneous(workload_name, workload, rounds=12, seed=0):
-    population, catalog, allocation = build_homogeneous_system(
-        n=60, u=2.0, d=3.0, m=30, c=4, k=4, seed=seed
-    )
-    result = VodSimulator(allocation, mu=MU).run(workload, num_rounds=rounds)
-    metrics = result.metrics
-    return {
-        "strategy": "homogeneous preloading",
-        "workload": workload_name,
-        "feasible": result.feasible,
-        "playbacks": len(result.trace.playback_starts()),
-        "max_startup_delay": metrics.max_startup_delay,
-        "mean_startup_delay": metrics.mean_startup_delay,
-    }
-
-
 def test_startup_delay_across_workloads(benchmark, experiment_header):
-    rows = [
-        run_homogeneous("flash crowd", FlashCrowdWorkload(mu=MU, random_state=1)),
-        run_homogeneous("zipf", ZipfDemandWorkload(arrival_rate=4, random_state=1)),
-        run_homogeneous("uniform", UniformDemandWorkload(arrival_rate=4, random_state=1)),
-        run_homogeneous("cold start", ColdStartAdversary(max_demands_per_round=10, random_state=1)),
-    ]
+    # The homogeneous sweep is the registered ``startup_delay`` campaign.
+    campaign = get_campaign("startup_delay")
+    rows = execute_campaign_rows(campaign)
     benchmark.pedantic(
-        run_homogeneous,
-        args=("flash crowd", FlashCrowdWorkload(mu=MU, random_state=2)),
+        run_startup_delay,
+        args=(
+            dict(
+                campaign.base,
+                workload_kind="flashcrowd",
+                workload_params={},
+                workload_label="flash crowd",
+                workload_seed=2,
+            ),
+        ),
         rounds=1,
         iterations=1,
     )

@@ -2,28 +2,22 @@
 
 Regenerates the analytic design tables: the stripe-count and replication
 prescriptions, the ν margin and the catalog lower bound, swept over the
-upload capacity u, the swarm growth µ and the storage d.  The timed kernel
-is the full design sweep.
+upload capacity u, the swarm growth µ and the storage d.  The sweeps are
+the registered ``threshold_formulas`` and ``catalog_scaling`` campaigns
+of :mod:`repro.orchestrate` — this module is a thin wrapper that executes
+the same cells in-process, prints the tables and times the design sweep.
 """
 
 import numpy as np
 import pytest
 
-from repro.analysis.bounds import (
-    catalog_bound_vs_n,
-    replication_vs_upload,
-    threshold_design_table,
-)
+from repro.analysis.bounds import replication_vs_upload
 from repro.analysis.report import print_table
+from repro.orchestrate import execute_campaign_rows, get_campaign
 
 
 def sweep_designs():
-    return threshold_design_table(
-        n=10_000,
-        d=4.0,
-        mu=1.3,
-        u_values=[1.1, 1.2, 1.5, 2.0, 3.0, 5.0],
-    )
+    return execute_campaign_rows(get_campaign("threshold_formulas"))
 
 
 def test_design_table_vs_upload(benchmark, experiment_header):
@@ -52,18 +46,11 @@ def test_replication_blowup_near_threshold(benchmark, experiment_header):
 
 
 def test_catalog_linear_in_n(benchmark, experiment_header):
-    data = benchmark(
-        catalog_bound_vs_n, [1_000, 5_000, 20_000, 100_000], 2.0, 4.0, 1.3
+    rows = benchmark(
+        execute_campaign_rows, get_campaign("catalog_scaling")
     )
-    rows = [
-        {
-            "n": int(n),
-            "k": int(k),
-            "catalog": int(m),
-            "catalog_per_box": float(per),
-        }
-        for n, k, m, per in zip(data["n"], data["k"], data["catalog"], data["catalog_per_box"])
-    ]
     print_table(rows, title="E5 — catalog guarantee grows linearly with n (u=2, d=4, mu=1.3)")
-    per_box = data["catalog_per_box"]
-    assert np.all(np.abs(per_box - per_box[-1]) <= 0.01 + 1.0 / np.asarray(data["n"], dtype=float) * np.asarray(data["k"], dtype=float))
+    per_box = np.asarray([row["catalog_per_box"] for row in rows], dtype=float)
+    ns = np.asarray([row["n"] for row in rows], dtype=float)
+    ks = np.asarray([row["k"] for row in rows], dtype=float)
+    assert np.all(np.abs(per_box - per_box[-1]) <= 0.01 + ks / ns)

@@ -20,6 +20,8 @@ kind             factory signature                                   built-in na
                                                                      ``independent``,
                                                                      ``round_robin``,
                                                                      ``full_replication``
+``experiment``   ``f(params) -> rows``                               the campaign runners of
+                                                                     :mod:`repro.orchestrate`
 ===============  ==================================================  =========================
 
 The scenario compiler (:mod:`repro.scenarios.build`) resolves every
@@ -77,6 +79,7 @@ COMPONENT_KINDS = (
     "churn",
     "population",
     "allocation",
+    "experiment",
 )
 
 #: kind -> name -> (factory, description)

@@ -1,0 +1,8 @@
+"""``python -m repro.orchestrate`` — see :mod:`repro.orchestrate.cli`."""
+
+import sys
+
+from repro.orchestrate.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

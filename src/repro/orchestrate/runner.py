@@ -1,0 +1,169 @@
+"""Campaign execution: incremental, resumable, optionally process-parallel.
+
+:func:`run_campaign` resolves a :class:`~repro.orchestrate.spec.CampaignSpec`
+into cells, skips every cell whose content address is already in the
+:class:`~repro.orchestrate.store.ResultsStore`, and executes the missing
+ones — serially or over a process pool.  Each completed cell is persisted
+*as it finishes* (atomic write), so a campaign killed mid-run keeps its
+completed cells and a subsequent ``resume`` re-executes only the gap.
+
+Cell execution is deterministic by construction: a cell's parameters
+fully determine its result (runners derive any internal randomness from
+the cell's ``seed`` parameter, via the same
+:func:`repro.util.rng.spawn_seed_sequences` discipline the parallel
+Monte-Carlo drivers use), so executing in a worker process, in a
+different order, or on a different day produces the same rows — and the
+same stored bytes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.orchestrate.spec import CampaignSpec, CellSpec
+from repro.orchestrate.store import ResultsStore
+
+__all__ = ["CellExecutionError", "ExecutionReport", "execute_cell", "execute_campaign_rows", "run_campaign"]
+
+
+class CellExecutionError(RuntimeError):
+    """A cell's runner raised or returned something other than row dicts."""
+
+
+def _resolve_runner(name: str) -> Callable[[Mapping[str, Any]], Any]:
+    # Importing the campaign definitions registers the built-in experiment
+    # runners — required in fresh worker processes, harmless elsewhere.
+    import repro.orchestrate.campaigns  # noqa: F401
+    from repro.api.registry import component_factory
+
+    return component_factory("experiment", name)
+
+
+def execute_cell(payload: Tuple[str, Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Execute one ``(runner_name, params)`` cell; top-level so pools can pickle it."""
+    runner_name, params = payload
+    runner = _resolve_runner(runner_name)
+    outcome = runner(params)
+    if isinstance(outcome, Mapping):
+        outcome = [outcome]
+    if not isinstance(outcome, (list, tuple)) or not all(
+        isinstance(row, Mapping) for row in outcome
+    ):
+        raise CellExecutionError(
+            f"experiment runner {runner_name!r} must return a row dict or a "
+            f"list of row dicts, got {type(outcome).__name__}"
+        )
+    return [dict(row) for row in outcome]
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    campaign: str
+    #: Cell keys of the whole campaign, in sweep order.
+    cell_keys: List[str] = field(default_factory=list)
+    #: Keys executed by *this* invocation.
+    executed: List[str] = field(default_factory=list)
+    #: Keys already present in the store and reused as-is.
+    reused: List[str] = field(default_factory=list)
+
+    @property
+    def total_cells(self) -> int:
+        """Number of cells the campaign resolves to."""
+        return len(self.cell_keys)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell of the campaign is now in the store."""
+        return len(self.executed) + len(self.reused) == self.total_cells
+
+    def describe(self) -> str:
+        """One-line human summary (what the CLI prints)."""
+        state = "complete" if self.complete else "INCOMPLETE"
+        return (
+            f"{self.campaign}: {self.total_cells} cells — "
+            f"{len(self.executed)} executed, {len(self.reused)} reused ({state})"
+        )
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store: ResultsStore,
+    n_jobs: Optional[int] = None,
+    force: bool = False,
+    max_cells: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ExecutionReport:
+    """Execute the campaign's missing cells against ``store``.
+
+    Parameters
+    ----------
+    n_jobs:
+        ``None``/``1`` for serial execution, ``-1`` for one worker per
+        CPU, otherwise a worker count (the same spec the Monte-Carlo
+        estimators take).
+    force:
+        Re-execute every cell even if its key is already stored.
+    max_cells:
+        Execute at most this many *pending* cells, then return (the
+        campaign-smoke CI step and the kill-resume tests use this to
+        leave a campaign deliberately incomplete).
+    progress:
+        Optional callback receiving one human line per executed cell.
+
+    Returns the :class:`ExecutionReport`; ``report.executed`` is empty
+    exactly when the store already held every cell — the resume-is-a-no-op
+    property the CLI's ``resume --expect-complete`` asserts.
+    """
+    from repro.analysis.montecarlo import _resolve_jobs
+
+    say = progress or (lambda message: None)
+    store.write_campaign_index(campaign)
+    cells = campaign.cells()
+    report = ExecutionReport(campaign=campaign.name, cell_keys=[c.key for c in cells])
+
+    pending: List[CellSpec] = []
+    for cell in cells:
+        if not force and store.has(cell.key):
+            report.reused.append(cell.key)
+        else:
+            pending.append(cell)
+    if max_cells is not None:
+        pending = pending[: max(int(max_cells), 0)]
+    if not pending:
+        return report
+
+    # Runners get a copy: an in-place-normalizing runner must not change
+    # the params (and therefore the key) the result is stored under.
+    payloads = [(cell.runner, dict(cell.params)) for cell in pending]
+    jobs = _resolve_jobs(n_jobs)
+    if jobs == 1 or len(payloads) <= 1:
+        results = map(execute_cell, payloads)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
+        results = pool.map(execute_cell, payloads)
+    try:
+        for cell, rows in zip(pending, results):
+            store.put(cell, rows)
+            report.executed.append(cell.key)
+            say(f"  [{len(report.executed)}/{len(pending)}] {cell.key[:12]} {cell.label()}")
+    finally:
+        if jobs != 1 and len(payloads) > 1:
+            pool.shutdown()
+    return report
+
+
+def execute_campaign_rows(campaign: CampaignSpec) -> List[Dict[str, Any]]:
+    """Execute every cell in-process and return the concatenated rows.
+
+    The store-free path the thin benchmark wrappers use: the table a
+    ``bench_*.py`` module prints is exactly the table the campaign
+    persists, produced by the same runner code.
+    """
+    rows: List[Dict[str, Any]] = []
+    for cell in campaign.cells():
+        rows.extend(execute_cell((cell.runner, cell.params)))
+    return rows

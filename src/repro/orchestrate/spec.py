@@ -1,0 +1,230 @@
+"""Declarative campaign specifications and content-addressed cell keys.
+
+A :class:`CampaignSpec` declares one experiment sweep as plain data: the
+name of a registered *experiment runner* (an ``"experiment"`` component
+in :mod:`repro.api.registry`), a dict of fixed base parameters, *grid*
+axes (cartesian product) and explicit *list* points.  Resolving the spec
+yields :class:`CellSpec` cells — one runner invocation each — whose
+identity is the SHA-256 of the canonical JSON of ``(store format,
+runner, resolved parameters)``.  Two campaigns that resolve a cell to
+the same runner and parameters therefore share the stored result, and a
+re-run of an unchanged campaign is a no-op against a warm store.
+
+Specs round-trip through JSON (:meth:`CampaignSpec.to_dict` /
+:meth:`CampaignSpec.from_dict`) so the store can record exactly what was
+swept alongside the results it addresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "canonical_json",
+    "cell_key",
+    "CellSpec",
+    "CampaignSpec",
+]
+
+#: Bump when the stored cell payload layout (or the key derivation)
+#: changes incompatibly — every cell key embeds it, so old store entries
+#: simply stop being addressed rather than being misread.
+STORE_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/containers to plain JSON types (recursively)."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    raise TypeError(f"value {value!r} of type {type(value).__name__} is not JSON-able")
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace, numpy coerced."""
+    return json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(runner: str, params: Mapping[str, Any]) -> str:
+    """Content address of one cell: SHA-256 of the resolved invocation.
+
+    The digest covers the store format version, the runner name and the
+    fully resolved parameter dict — everything that determines the cell's
+    result — and nothing else (no campaign name, no timestamps), so the
+    same invocation is stored once no matter which campaign asked for it.
+
+    >>> key = cell_key("threshold_design", {"u": 2.0, "n": 10000})
+    >>> key == cell_key("threshold_design", {"n": 10000, "u": 2.0})
+    True
+    >>> len(key)
+    64
+    """
+    payload = {
+        "store_format": STORE_FORMAT_VERSION,
+        "runner": str(runner),
+        "params": params,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One resolved campaign cell: a runner name plus its parameters."""
+
+    runner: str
+    params: Dict[str, Any]
+
+    @property
+    def key(self) -> str:
+        """The cell's content address (:func:`cell_key`)."""
+        return cell_key(self.runner, self.params)
+
+    def label(self) -> str:
+        """Compact human label: the non-base parameters, canonically ordered."""
+        return canonical_json(self.params)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment sweep.
+
+    Attributes
+    ----------
+    name:
+        Registry key and CLI handle.
+    description:
+        One-line human description.
+    runner:
+        Name of the registered ``"experiment"`` component executed per
+        cell (signature ``f(params) -> list-of-row-dicts``).
+    base:
+        Parameters shared by every cell.
+    grid:
+        Named axes swept as a cartesian product (axis order is the
+        declaration order; earlier axes vary slowest).
+    points:
+        Explicit extra parameter dicts (each merged over ``base``),
+        appended after the grid cells.
+    paper_claim:
+        The paper claim the campaign quantifies — rendered into the
+        claim-map index of ``docs/results/``.
+    columns:
+        Preferred column order of the report table (unknown columns are
+        appended in first-seen order).
+    benchmark:
+        The ``benchmarks/bench_*.py`` module this campaign migrates, if
+        any (provenance for EXPERIMENTS.md).
+    """
+
+    name: str
+    description: str
+    runner: str
+    base: Dict[str, Any] = field(default_factory=dict)
+    grid: Dict[str, Tuple[Any, ...]] = field(default_factory=dict)
+    points: Tuple[Dict[str, Any], ...] = ()
+    paper_claim: str = ""
+    columns: Tuple[str, ...] = ()
+    benchmark: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must not be empty")
+        if not self.runner:
+            raise ValueError(f"campaign {self.name!r} must declare a runner")
+        object.__setattr__(self, "base", dict(self.base))
+        object.__setattr__(
+            self, "grid", {str(k): tuple(v) for k, v in dict(self.grid).items()}
+        )
+        for axis, values in self.grid.items():
+            if not values:
+                raise ValueError(f"campaign {self.name!r}: axis {axis!r} has no values")
+        object.__setattr__(self, "points", tuple(dict(p) for p in self.points))
+        object.__setattr__(self, "columns", tuple(str(c) for c in self.columns))
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def cells(self) -> List[CellSpec]:
+        """Resolve the sweep into its cells (grid product, then points).
+
+        >>> spec = CampaignSpec(
+        ...     name="demo", description="", runner="r",
+        ...     base={"n": 10}, grid={"u": (1.5, 2.0), "k": (2, 4)},
+        ... )
+        >>> [c.params for c in spec.cells()]  # doctest: +NORMALIZE_WHITESPACE
+        [{'n': 10, 'u': 1.5, 'k': 2}, {'n': 10, 'u': 1.5, 'k': 4},
+         {'n': 10, 'u': 2.0, 'k': 2}, {'n': 10, 'u': 2.0, 'k': 4}]
+        """
+        cells: List[CellSpec] = []
+        axes = list(self.grid)
+        if axes:
+            for combo in itertools.product(*(self.grid[a] for a in axes)):
+                params = dict(self.base)
+                params.update(zip(axes, combo))
+                cells.append(CellSpec(runner=self.runner, params=params))
+        for point in self.points:
+            params = dict(self.base)
+            params.update(point)
+            cells.append(CellSpec(runner=self.runner, params=params))
+        if not cells:
+            cells.append(CellSpec(runner=self.runner, params=dict(self.base)))
+        return cells
+
+    def cell_keys(self) -> List[str]:
+        """Content addresses of all resolved cells, in sweep order."""
+        return [cell.key for cell in self.cells()]
+
+    #: Axis values a grid cell varied, for report provenance rows.
+    def axis_values(self, cell: CellSpec) -> Dict[str, Any]:
+        """The subset of ``cell.params`` the sweep varies (axes + points)."""
+        varied = set(self.grid)
+        for point in self.points:
+            varied.update(point)
+        return {k: v for k, v in cell.params.items() if k in varied}
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready, round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "runner": self.runner,
+            "base": dict(self.base),
+            "grid": {axis: list(values) for axis, values in self.grid.items()},
+            "points": [dict(p) for p in self.points],
+            "paper_claim": self.paper_claim,
+            "columns": list(self.columns),
+            "benchmark": self.benchmark,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            runner=str(data["runner"]),
+            base=dict(data.get("base", {})),
+            grid={
+                str(axis): tuple(values)
+                for axis, values in dict(data.get("grid", {})).items()
+            },
+            points=tuple(dict(p) for p in data.get("points", ())),
+            paper_claim=str(data.get("paper_claim", "")),
+            columns=tuple(str(c) for c in data.get("columns", ())),
+            benchmark=str(data.get("benchmark", "")),
+        )

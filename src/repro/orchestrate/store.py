@@ -1,0 +1,190 @@
+"""The content-addressed on-disk results store.
+
+Layout under the store root::
+
+    objects/<key[:2]>/<key>.json     one JSON record per completed cell
+    campaigns/<name>.json            campaign index: spec + ordered cell keys
+
+Cell records are keyed by :func:`~repro.orchestrate.spec.cell_key` —
+the SHA-256 of the resolved invocation — and contain the runner name,
+the resolved parameters and the result rows.  Records carry **no
+timestamps or host details**: writing the same cell twice produces the
+same bytes, which is what makes campaign re-runs no-ops and the rendered
+reports byte-stable.
+
+Writes are atomic (temp file + ``os.replace``), so a campaign killed
+mid-cell never leaves a torn record; resuming simply re-executes the
+missing keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.orchestrate.spec import CampaignSpec, CellSpec, canonical_json
+
+__all__ = ["StoreError", "ResultsStore"]
+
+_KEY_LENGTH = 64  # hex SHA-256
+
+
+class StoreError(RuntimeError):
+    """A malformed key, record or index in the results store."""
+
+
+def _check_key(key: str) -> str:
+    if len(key) != _KEY_LENGTH or any(c not in "0123456789abcdef" for c in key):
+        raise StoreError(f"malformed cell key {key!r} (expected hex SHA-256)")
+    return key
+
+
+class ResultsStore:
+    """Content-addressed store of campaign cell results.
+
+    >>> import tempfile
+    >>> from repro.orchestrate.spec import CellSpec
+    >>> store = ResultsStore(tempfile.mkdtemp())
+    >>> cell = CellSpec(runner="demo", params={"u": 2.0})
+    >>> store.has(cell.key)
+    False
+    >>> _ = store.put(cell, rows=[{"u": 2.0, "feasible": True}])
+    >>> store.get(cell.key)["rows"]
+    [{'u': 2.0, 'feasible': True}]
+    >>> len(store)
+    1
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Object records
+    # ------------------------------------------------------------------ #
+    def _object_path(self, key: str) -> Path:
+        _check_key(key)
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether a completed record exists for ``key``."""
+        return self._object_path(key).is_file()
+
+    def put(self, cell: CellSpec, rows: List[Mapping[str, Any]]) -> str:
+        """Persist the result ``rows`` of ``cell`` atomically; returns the key.
+
+        The record is deterministic: same cell + same rows ⇒ same bytes.
+        """
+        key = cell.key
+        record = {
+            "key": key,
+            "runner": cell.runner,
+            "params": cell.params,
+            "rows": [dict(row) for row in rows],
+        }
+        path = self._object_path(key)
+        self._write_atomic(path, canonical_json(record) + "\n")
+        return key
+
+    def get(self, key: str) -> Dict[str, Any]:
+        """Load the record stored under ``key``."""
+        path = self._object_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            raise StoreError(f"no record for cell {key} in {self.root}") from None
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt record {path}: {exc}") from None
+        if record.get("key") != key:
+            raise StoreError(
+                f"record {path} claims key {record.get('key')!r}, expected {key}"
+            )
+        return record
+
+    def keys(self) -> List[str]:
+        """All stored cell keys, sorted."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for shard in objects.iterdir()
+            if shard.is_dir()
+            for path in shard.glob("*.json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.has(key)
+
+    # ------------------------------------------------------------------ #
+    # Campaign indexes
+    # ------------------------------------------------------------------ #
+    def _index_path(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise StoreError(f"malformed campaign name {name!r}")
+        return self.root / "campaigns" / f"{name}.json"
+
+    def write_campaign_index(self, campaign: CampaignSpec) -> Path:
+        """Record the campaign spec and its resolved cell keys.
+
+        Written *before* execution starts, so an interrupted campaign's
+        membership is known to ``resume`` and ``report`` even while some
+        cells are still missing.
+        """
+        payload = {
+            "name": campaign.name,
+            "spec": campaign.to_dict(),
+            "cells": campaign.cell_keys(),
+        }
+        path = self._index_path(campaign.name)
+        self._write_atomic(path, canonical_json(payload) + "\n")
+        return path
+
+    def read_campaign_index(self, name: str) -> Dict[str, Any]:
+        """Load a campaign index previously written by a run."""
+        path = self._index_path(name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            raise StoreError(
+                f"campaign {name!r} has no index in {self.root} (never run?)"
+            ) from None
+
+    def campaign_names(self) -> List[str]:
+        """Campaigns with an index in this store, sorted."""
+        campaigns = self.root / "campaigns"
+        if not campaigns.is_dir():
+            return []
+        return sorted(path.stem for path in campaigns.glob("*.json"))
+
+    def missing_cells(self, campaign: CampaignSpec) -> List[CellSpec]:
+        """The campaign's cells that have no stored record yet."""
+        return [cell for cell in campaign.cells() if not self.has(cell.key)]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ResultsStore({str(self.root)!r}, cells={len(self)})"

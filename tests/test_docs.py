@@ -1,0 +1,97 @@
+"""Documentation verification: doctests in docs/*.md and internal links.
+
+Every fenced code example in the hand-written docs pages runs under
+doctest here, so the documented API cannot drift from the code (the CI
+``docs`` job additionally runs ``pytest --doctest-glob='*.md' docs``).
+The link check walks README.md, EXPERIMENTS.md and every docs page and
+asserts that relative link targets exist in the repository.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Hand-written pages (doctested).  docs/results/ is generated output —
+#: tables, no examples — and is covered by the orchestrate diff check.
+DOC_PAGES = sorted(p.name for p in DOCS_DIR.glob("*.md"))
+
+#: Files whose relative links must resolve.
+LINKED_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "EXPERIMENTS.md",
+    *sorted(DOCS_DIR.glob("*.md")),
+    *sorted((DOCS_DIR / "results").glob("*.md")),
+]
+
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def test_docs_directory_has_the_expected_pages():
+    assert {
+        "architecture.md",
+        "api.md",
+        "core.md",
+        "simulation.md",
+        "scenarios.md",
+        "analysis.md",
+        "orchestrate.md",
+    } <= set(DOC_PAGES)
+
+
+@pytest.mark.parametrize("page", DOC_PAGES)
+def test_docs_examples_execute(page):
+    """Run every ``>>>`` example of a docs page under doctest."""
+    results = doctest.testfile(
+        str(DOCS_DIR / page),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in docs/{page}"
+
+
+def test_api_reference_actually_contains_examples():
+    """The API page must stay executable documentation, not prose."""
+    parser = doctest.DocTestParser()
+    text = (DOCS_DIR / "api.md").read_text(encoding="utf-8")
+    examples = parser.get_examples(text)
+    assert len(examples) >= 20
+
+
+@pytest.mark.parametrize(
+    "path", LINKED_FILES, ids=[str(p.relative_to(REPO_ROOT)) for p in LINKED_FILES]
+)
+def test_internal_links_resolve(path):
+    text = path.read_text(encoding="utf-8")
+    broken = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # in-page anchor
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.relative_to(REPO_ROOT)}: broken links {broken}"
+
+
+def test_readme_links_docs_subsystem_pages():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/api.md", "docs/orchestrate.md"):
+        assert page in readme, f"README.md must link {page}"
+
+
+def test_no_stale_pre_service_layer_references():
+    """Pre-PR-3 spellings must not resurface in the front-door docs."""
+    for name in ("README.md", "EXPERIMENTS.md"):
+        text = (REPO_ROOT / name).read_text(encoding="utf-8")
+        assert "from repro import VodSimulator" not in text, name
+        assert "repro.VodSimulator()" not in text, name

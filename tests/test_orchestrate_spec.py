@@ -1,0 +1,150 @@
+"""Campaign spec resolution and content-addressed cell keys."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.orchestrate.spec import (
+    STORE_FORMAT_VERSION,
+    CampaignSpec,
+    CellSpec,
+    canonical_json,
+    cell_key,
+)
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="demo",
+        description="a demo sweep",
+        runner="echo",
+        base={"n": 10, "mu": 1.5},
+        grid={"u": (1.5, 2.0), "k": (2, 4)},
+        paper_claim="none",
+        columns=("u", "k"),
+        benchmark="bench_demo.py",
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestResolution:
+    def test_grid_product_order(self):
+        cells = make_spec().cells()
+        assert [c.params for c in cells] == [
+            {"n": 10, "mu": 1.5, "u": 1.5, "k": 2},
+            {"n": 10, "mu": 1.5, "u": 1.5, "k": 4},
+            {"n": 10, "mu": 1.5, "u": 2.0, "k": 2},
+            {"n": 10, "mu": 1.5, "u": 2.0, "k": 4},
+        ]
+
+    def test_points_follow_grid_and_merge_over_base(self):
+        spec = make_spec(points=({"u": 9.0, "extra": True},))
+        cells = spec.cells()
+        assert len(cells) == 5
+        assert cells[-1].params == {"n": 10, "mu": 1.5, "u": 9.0, "extra": True}
+
+    def test_points_only_campaign_has_no_base_cell(self):
+        spec = make_spec(grid={}, points=({"k": 1}, {"k": 2}))
+        assert [c.params["k"] for c in spec.cells()] == [1, 2]
+
+    def test_empty_campaign_resolves_to_single_base_cell(self):
+        spec = make_spec(grid={}, points=())
+        cells = spec.cells()
+        assert len(cells) == 1
+        assert cells[0].params == {"n": 10, "mu": 1.5}
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="has no values"):
+            make_spec(grid={"u": ()})
+
+    def test_axis_values_reports_varied_params_only(self):
+        spec = make_spec(points=({"extra": 1},))
+        grid_cell = spec.cells()[0]
+        assert spec.axis_values(grid_cell) == {"u": 1.5, "k": 2}
+        point_cell = spec.cells()[-1]
+        assert point_cell.params["extra"] == 1
+        assert "n" not in spec.axis_values(point_cell)
+
+
+class TestCellKey:
+    def test_key_is_order_insensitive_and_hex(self):
+        key = cell_key("r", {"a": 1, "b": 2.5})
+        assert key == cell_key("r", {"b": 2.5, "a": 1})
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_key_depends_on_runner_params_and_format(self):
+        base = cell_key("r", {"a": 1})
+        assert cell_key("other", {"a": 1}) != base
+        assert cell_key("r", {"a": 2}) != base
+        assert cell_key("r", {"a": 1, "b": 0}) != base
+
+    def test_numpy_scalars_hash_like_natives(self):
+        assert cell_key("r", {"a": np.int64(3), "b": np.float64(1.5)}) == cell_key(
+            "r", {"a": 3, "b": 1.5}
+        )
+
+    def test_unserializable_params_rejected(self):
+        with pytest.raises(TypeError):
+            cell_key("r", {"a": object()})
+
+    def test_key_stable_across_processes(self):
+        """Same spec ⇒ same cell key in a fresh interpreter (ISSUE criterion)."""
+        params = {"u": 2.0, "n": 10_000, "label": "x", "flags": [1, 2]}
+        script = (
+            "from repro.orchestrate.spec import cell_key;"
+            f"print(cell_key('threshold_design', {params!r}))"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        assert out.stdout.strip() == cell_key("threshold_design", params)
+
+    def test_campaign_cell_keys_match_cells(self):
+        spec = make_spec()
+        assert spec.cell_keys() == [c.key for c in spec.cells()]
+
+
+class TestSerialization:
+    def test_round_trip_preserves_cells(self):
+        spec = make_spec(points=({"u": 9.0},))
+        clone = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.cell_keys() == spec.cell_keys()
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": (1, 2)}) == '{"a":[1,2],"b":1}'
+
+    def test_store_format_version_in_key(self):
+        payload = {
+            "store_format": STORE_FORMAT_VERSION,
+            "runner": "r",
+            "params": {"a": 1},
+        }
+        import hashlib
+
+        expected = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+        assert cell_key("r", {"a": 1}) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            make_spec(name="")
+        with pytest.raises(ValueError, match="runner"):
+            make_spec(runner="")
+
+    def test_cellspec_label_is_canonical(self):
+        cell = CellSpec(runner="r", params={"b": 1, "a": 2})
+        assert cell.label() == '{"a":2,"b":1}'
