@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -135,7 +136,11 @@ def _run_trials(worker: Callable, payloads: List[tuple], n_jobs: int) -> List[tu
 
     Results come back in trial order either way, so the reduction (and
     therefore failure counts, details and confidence intervals) is
-    bit-identical between the serial and parallel paths.
+    bit-identical between the serial and parallel paths.  A pool broken
+    by a dying worker (OOM kill, SIGKILL, interpreter crash) degrades to
+    a serial re-run of every payload rather than failing the estimate:
+    trials are pure functions of their pre-spawned seeds, so the serial
+    pass reproduces exactly what the pool would have returned.
     """
     jobs = _resolve_jobs(n_jobs)
     if jobs == 1 or len(payloads) <= 1:
@@ -144,8 +149,11 @@ def _run_trials(worker: Callable, payloads: List[tuple], n_jobs: int) -> List[tu
     # Chunking amortizes the per-payload pickling of the shared objects
     # (population, catalog, factories); map preserves order either way.
     chunksize = max(1, len(payloads) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, payloads, chunksize=chunksize))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, payloads, chunksize=chunksize))
+    except BrokenProcessPool:
+        return [worker(payload) for payload in payloads]
 
 
 # ---------------------------------------------------------------------- #

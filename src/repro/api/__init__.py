@@ -32,6 +32,7 @@ from repro.api.errors import (
     ComponentLookupError,
     SessionClosedError,
     SnapshotFormatError,
+    SnapshotIntegrityError,
 )
 from repro.api.protocols import (
     ChurnModel,
@@ -55,6 +56,7 @@ __all__ = [
     "AdmissionError",
     "ComponentLookupError",
     "SnapshotFormatError",
+    "SnapshotIntegrityError",
     "Solver",
     "RequestScheduler",
     "DemandGenerator",

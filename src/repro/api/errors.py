@@ -14,6 +14,7 @@ __all__ = [
     "AdmissionError",
     "ComponentLookupError",
     "SnapshotFormatError",
+    "SnapshotIntegrityError",
 ]
 
 
@@ -38,10 +39,22 @@ class ComponentLookupError(ApiError, KeyError):
     """An unknown component name/kind was requested from the registry."""
 
 
-class SnapshotFormatError(ApiError):
-    """A session snapshot was recorded under an incompatible format version.
+class SnapshotFormatError(ApiError, ValueError):
+    """A session snapshot was recorded under an incompatible format version,
+    or the bytes handed to :meth:`SessionSnapshot.from_file` are not a
+    snapshot at all.
 
     Snapshot payloads pickle the engine's internal state; a payload from a
     different ``SNAPSHOT_FORMAT_VERSION`` cannot be deserialized into the
     current engine layout and must be re-recorded from a fresh run.
+    """
+
+
+class SnapshotIntegrityError(SnapshotFormatError):
+    """A snapshot file or payload is truncated or corrupt.
+
+    Raised instead of a raw ``UnpicklingError``/``EOFError`` when a
+    checkpoint was torn mid-write, truncated on disk, or its payload does
+    not match the checksum recorded at :meth:`VodSession.snapshot` time.
+    The snapshot must be discarded; restore from an intact checkpoint.
     """

@@ -80,6 +80,7 @@ COMPONENT_KINDS = (
     "population",
     "allocation",
     "experiment",
+    "fault",
 )
 
 #: kind -> name -> (factory, description)

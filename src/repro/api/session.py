@@ -30,7 +30,12 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.api.errors import AdmissionError, SessionClosedError, SnapshotFormatError
+from repro.api.errors import (
+    AdmissionError,
+    SessionClosedError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+)
 from repro.core.preloading import Demand
 from repro.sim.engine import SimulationResult, VodSimulator
 from repro.sim.metrics import RoundStats
@@ -84,6 +89,10 @@ class RoundReport:
     playback_starts: int
     #: Boxes offline under churn this round.
     offline_boxes: int
+    #: 1 when the round was solved through the degraded fallback chain
+    #: (augmentation budget exhausted → Dinic re-solve), 0 otherwise.
+    #: Serialized only when set, so fault-free digests are unchanged.
+    degraded: int = 0
 
     @property
     def utilization(self) -> float:
@@ -97,14 +106,18 @@ class RoundReport:
         payload = self.to_round_stats().to_dict()
         for name in _SESSION_ONLY_FIELDS:
             payload[name] = int(getattr(self, name))
+        if not payload["degraded"]:
+            # Only degraded rounds serialize the flag: digests of
+            # fault-free runs are byte-identical to earlier recordings.
+            del payload["degraded"]
         return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RoundReport":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output (tolerates absent flags)."""
         return cls.from_round_stats(
             RoundStats.from_dict(data),
-            **{name: int(data[name]) for name in _SESSION_ONLY_FIELDS},
+            **{name: int(data.get(name, 0)) for name in _SESSION_ONLY_FIELDS},
         )
 
     @classmethod
@@ -158,13 +171,25 @@ class SessionSnapshot:
     #: Rounds completed when the snapshot was taken.
     rounds_completed: int
     format_version: int = SNAPSHOT_FORMAT_VERSION
+    #: SHA-256 of ``payload``, recorded at :meth:`VodSession.snapshot`
+    #: time; :meth:`VodSession.restore` re-verifies it so a corrupted
+    #: in-memory or on-disk payload fails with a typed error.  Empty on
+    #: snapshots recorded before checksums existed (then unverified).
+    payload_sha256: str = ""
 
     def to_file(self, path: Union[str, Path]) -> Path:
-        """Persist the snapshot to ``path`` (checkpoint files)."""
+        """Persist the snapshot to ``path`` (checkpoint files).
+
+        The file is framed — magic, pickle length and a SHA-256 over the
+        pickled snapshot — so :meth:`from_file` detects truncated or torn
+        checkpoint files instead of unpickling garbage.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(body).digest()
         path.write_bytes(
-            pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+            _SNAPSHOT_MAGIC + len(body).to_bytes(8, "big") + digest + body
         )
         return path
 
@@ -172,15 +197,49 @@ class SessionSnapshot:
     def from_file(cls, path: Union[str, Path]) -> "SessionSnapshot":
         """Load a snapshot previously written with :meth:`to_file`.
 
-        Raises :class:`~repro.api.errors.SnapshotFormatError` when the file
-        was recorded under a different snapshot format version — the
-        payload pickles the engine's internal state, which is not
-        migratable across layout changes; re-record the checkpoint from a
-        fresh run instead.
+        Raises :class:`~repro.api.errors.SnapshotIntegrityError` when the
+        file is truncated or its checksum does not match (torn write,
+        bit rot), and :class:`~repro.api.errors.SnapshotFormatError` when
+        it is not a snapshot file at all or was recorded under a different
+        snapshot format version — the payload pickles the engine's
+        internal state, which is not migratable across layout changes;
+        re-record the checkpoint from a fresh run instead.
         """
-        snapshot = pickle.loads(Path(path).read_bytes())
+        raw = Path(path).read_bytes()
+        if raw.startswith(_SNAPSHOT_MAGIC):
+            header_len = len(_SNAPSHOT_MAGIC) + 8 + 32
+            if len(raw) < header_len:
+                raise SnapshotIntegrityError(
+                    f"snapshot {path} is truncated: incomplete header "
+                    f"({len(raw)} bytes)"
+                )
+            body_len = int.from_bytes(
+                raw[len(_SNAPSHOT_MAGIC): len(_SNAPSHOT_MAGIC) + 8], "big"
+            )
+            digest = raw[len(_SNAPSHOT_MAGIC) + 8: header_len]
+            body = raw[header_len:]
+            if len(body) != body_len:
+                raise SnapshotIntegrityError(
+                    f"snapshot {path} is truncated: expected {body_len} "
+                    f"payload bytes, found {len(body)}"
+                )
+            if hashlib.sha256(body).digest() != digest:
+                raise SnapshotIntegrityError(
+                    f"snapshot {path} is corrupt: checksum mismatch"
+                )
+        else:
+            # Legacy checkpoint: a bare pickle of the snapshot object.
+            body = raw
+        try:
+            snapshot = pickle.loads(body)
+        except Exception as exc:
+            raise SnapshotFormatError(
+                f"{path} is not a readable snapshot file ({exc})"
+            ) from exc
         if not isinstance(snapshot, cls):
-            raise ValueError(f"{path} does not contain a SessionSnapshot")
+            raise SnapshotFormatError(
+                f"{path} does not contain a SessionSnapshot"
+            )
         if snapshot.format_version != SNAPSHOT_FORMAT_VERSION:
             raise SnapshotFormatError(
                 f"snapshot {path} has format version {snapshot.format_version}, "
@@ -189,6 +248,11 @@ class SessionSnapshot:
                 "re-record the checkpoint from a fresh run"
             )
         return snapshot
+
+
+#: Leading bytes of a framed snapshot checkpoint file (format: magic,
+#: 8-byte big-endian pickle length, 32-byte SHA-256 of the pickle, pickle).
+_SNAPSHOT_MAGIC = b"VODSNAP\x01"
 
 
 class _SessionWorkload:
@@ -235,6 +299,16 @@ class VodSession:
     horizon:
         Optional round budget; :meth:`step` past it raises
         :class:`SessionClosedError`.  ``None`` = unbounded.
+    fault_driver:
+        Optional :class:`repro.faults.FaultDriver` applied at the start of
+        every round (before the engine steps).  The driver's schedule is
+        precomputed and keyed by absolute round, so it pickles with the
+        session: snapshot/restore replays the remaining faults exactly.
+    shed_when_degraded:
+        When ``True``, :meth:`submit_demands` raises
+        :class:`AdmissionError` while the engine's last round ran through
+        the degraded solver fallback — load shedding instead of piling
+        demand onto a struggling solver.
     """
 
     def __init__(
@@ -242,6 +316,8 @@ class VodSession:
         engine: VodSimulator,
         workload: Optional[DemandGenerator] = None,
         horizon: Optional[int] = None,
+        fault_driver=None,
+        shed_when_degraded: bool = False,
     ):
         if horizon is not None and horizon <= 0:
             raise ValueError(f"horizon must be positive or None, got {horizon}")
@@ -249,6 +325,8 @@ class VodSession:
         self._workload = workload
         self._horizon = horizon
         self._adapter = _SessionWorkload(self)
+        self._fault_driver = fault_driver
+        self._shed_when_degraded = bool(shed_when_degraded)
         #: (box_id, video_id) demands queued for the next step, in order.
         self._pending: List[Tuple[int, int]] = []
         self._reports: List[RoundReport] = []
@@ -333,6 +411,11 @@ class VodSession:
                 f"session is closed after {self.rounds_completed} rounds"
             )
         engine = self._engine
+        if getattr(self, "_shed_when_degraded", False) and engine.last_round_degraded:
+            raise AdmissionError(
+                "admission shed: the previous round ran through the degraded "
+                "solver fallback; retry once the solver recovers"
+            )
         time = engine.now
         count = 0
         queued = {box_id for box_id, _ in self._pending}
@@ -398,6 +481,9 @@ class VodSession:
             )
         engine = self._engine
         time = engine.now
+        driver = getattr(self, "_fault_driver", None)
+        if driver is not None:
+            driver.apply(engine, time)
         injected = len(self._pending)
         rejected_before = engine.rejected_demands
         playbacks_before = engine.playbacks_started
@@ -412,6 +498,7 @@ class VodSession:
             demands_rejected=int(engine.rejected_demands - rejected_before),
             playback_starts=playback_starts,
             offline_boxes=len(engine.offline_boxes(time)),
+            degraded=int(engine.last_round_degraded),
         )
         self._reports.append(report)
         if not feasible and engine._stop_on_infeasible:
@@ -491,6 +578,7 @@ class VodSession:
             payload=payload,
             time=self.now,
             rounds_completed=self.rounds_completed,
+            payload_sha256=hashlib.sha256(payload).hexdigest(),
         )
 
     @classmethod
@@ -500,7 +588,10 @@ class VodSession:
         Each call produces a fresh object graph: restoring twice yields two
         sessions that evolve independently (and identically, given the same
         inputs).  A snapshot from a different format version raises
-        :class:`~repro.api.errors.SnapshotFormatError`.
+        :class:`~repro.api.errors.SnapshotFormatError`; a truncated or
+        corrupted payload raises
+        :class:`~repro.api.errors.SnapshotIntegrityError` instead of a raw
+        ``UnpicklingError``/``EOFError``.
         """
         if snapshot.format_version != SNAPSHOT_FORMAT_VERSION:
             raise SnapshotFormatError(
@@ -508,9 +599,22 @@ class VodSession:
                 f"but this build reads version {SNAPSHOT_FORMAT_VERSION}; "
                 "re-record the checkpoint from a fresh run"
             )
-        session = pickle.loads(snapshot.payload)
+        recorded = getattr(snapshot, "payload_sha256", "")
+        if recorded and hashlib.sha256(snapshot.payload).hexdigest() != recorded:
+            raise SnapshotIntegrityError(
+                "snapshot payload is corrupt: checksum mismatch against the "
+                "digest recorded at capture time"
+            )
+        try:
+            session = pickle.loads(snapshot.payload)
+        except Exception as exc:
+            raise SnapshotIntegrityError(
+                f"snapshot payload is truncated or corrupt ({exc})"
+            ) from exc
         if not isinstance(session, cls):
-            raise ValueError("snapshot payload does not contain a VodSession")
+            raise SnapshotFormatError(
+                "snapshot payload does not contain a VodSession"
+            )
         return session
 
     # ------------------------------------------------------------------ #

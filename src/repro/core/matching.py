@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.video import StripeId
 from repro.flow.bipartite import BMatchingResult, FLOW_SOLVERS, solve_b_matching
-from repro.flow.hopcroft_karp import hopcroft_karp_matching
+from repro.flow.hopcroft_karp import AugmentationBudgetExceeded, hopcroft_karp_matching
 from repro.util.validation import check_non_negative_integer, check_positive_integer
 
 __all__ = [
@@ -740,6 +740,11 @@ class ConnectionMatching:
         (upload slots minus any ``busy_slots``, clipped at zero) — the
         exact right-hand side of the solved instance, reused by the
         differential solver oracle.
+    degraded:
+        ``True`` when the primary solver ran out of its augmentation
+        budget and the round was re-solved by the Dinic fallback.  The
+        matching is still a maximum matching of the same instance; the
+        flag only records that the fast path gave up.
     """
 
     feasible: bool
@@ -749,6 +754,7 @@ class ConnectionMatching:
     obstruction_witness: Optional[Tuple[int, ...]]
     box_load: np.ndarray
     capacities: np.ndarray
+    degraded: bool = False
 
 
 class ConnectionMatcher:
@@ -766,9 +772,21 @@ class ConnectionMatcher:
         ``"dinic"``, ``"push_relabel"`` and ``"edmonds_karp"`` keep the
         original edge-list → max-flow reduction and serve as oracles in
         cross-validation tests and benchmarks.
+    augmentation_budget:
+        Optional per-round cap on the Hopcroft–Karp kernel's
+        augmenting-path searches.  When the kernel exceeds it the round
+        is transparently re-solved with the Dinic fallback and the
+        returned matching carries ``degraded=True`` — graceful
+        degradation instead of an unbounded solve.  Ignored by the
+        max-flow solvers (they have no augmentation budget).
     """
 
-    def __init__(self, upload_slots: Sequence[int], solver: str = "hopcroft_karp"):
+    def __init__(
+        self,
+        upload_slots: Sequence[int],
+        solver: str = "hopcroft_karp",
+        augmentation_budget: Optional[int] = None,
+    ):
         slots = np.asarray(upload_slots, dtype=np.int64)
         if slots.ndim != 1 or slots.size == 0:
             raise ValueError("upload_slots must be a non-empty 1-D sequence")
@@ -779,6 +797,8 @@ class ConnectionMatcher:
             raise ValueError(f"solver must be one of {known}, got {solver!r}")
         self._slots = slots
         self._solver = solver
+        self._augmentation_budget: Optional[int] = None
+        self.set_augmentation_budget(augmentation_budget)
 
     @property
     def upload_slots(self) -> np.ndarray:
@@ -789,6 +809,19 @@ class ConnectionMatcher:
     def solver(self) -> str:
         """Name of the matching kernel in use."""
         return self._solver
+
+    @property
+    def augmentation_budget(self) -> Optional[int]:
+        """Current per-round augmentation budget (``None`` = unlimited)."""
+        return self._augmentation_budget
+
+    def set_augmentation_budget(self, budget: Optional[int]) -> None:
+        """Set (or clear, with ``None``) the per-round augmentation budget."""
+        if budget is not None:
+            budget = int(budget)
+            if budget < 0:
+                raise ValueError("augmentation_budget must be non-negative")
+        self._augmentation_budget = budget
 
     def update_upload_slots(self, upload_slots: Sequence[int]) -> None:
         """Replace the per-box capacities (live capacity reconfiguration).
@@ -850,6 +883,7 @@ class ConnectionMatcher:
                 capacities=capacities,
             )
 
+        degraded = False
         if self._solver in FLOW_SOLVERS:
             request_list = list(requests)
             edges: List[Tuple[int, int]] = []
@@ -873,17 +907,41 @@ class ConnectionMatcher:
             if warm_start is not None and len(warm_start) != num_requests:
                 raise ValueError("warm_start must have one entry per request")
             indptr, indices = possession.adjacency_for(requests, current_time)
-            hk = hopcroft_karp_matching(
-                num_left=num_requests,
-                num_right=n,
-                indptr=indptr,
-                indices=indices,
-                right_capacities=capacities,
-                initial_assignment=warm_start,
-            )
-            assignment = hk.assignment
-            feasible, matched = hk.feasible, hk.matched
-            witness = hk.unsatisfied_witness
+            try:
+                hk = hopcroft_karp_matching(
+                    num_left=num_requests,
+                    num_right=n,
+                    indptr=indptr,
+                    indices=indices,
+                    right_capacities=capacities,
+                    initial_assignment=warm_start,
+                    augmentation_budget=self._augmentation_budget,
+                )
+                assignment = hk.assignment
+                feasible, matched = hk.feasible, hk.matched
+                witness = hk.unsatisfied_witness
+            except AugmentationBudgetExceeded:
+                # Graceful degradation: re-solve the identical instance
+                # (same CSR adjacency, same capacities) with the Dinic
+                # max-flow kernel.  Maximum-matching cardinality is
+                # solver-independent, so feasibility and per-round metrics
+                # are unchanged; only the degraded flag records the event.
+                edges = [
+                    (i, int(indices[e]))
+                    for i in range(num_requests)
+                    for e in range(int(indptr[i]), int(indptr[i + 1]))
+                ]
+                fallback: BMatchingResult = solve_b_matching(
+                    num_left=num_requests,
+                    num_right=n,
+                    edges=edges,
+                    right_capacities=capacities.tolist(),
+                    method="dinic",
+                )
+                assignment = fallback.assignment
+                feasible, matched = fallback.feasible, fallback.matched
+                witness = fallback.unsatisfied_witness
+                degraded = True
 
         served = assignment[assignment >= 0]
         box_load = np.bincount(served, minlength=n).astype(np.int64)
@@ -895,6 +953,7 @@ class ConnectionMatcher:
             obstruction_witness=witness,
             box_load=box_load,
             capacities=capacities,
+            degraded=degraded,
         )
 
 

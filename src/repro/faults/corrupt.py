@@ -1,0 +1,55 @@
+"""File-corruption helpers for integrity tests and the CI chaos job.
+
+These deliberately damage store records and snapshot checkpoints the way
+real failures do — torn writes (truncation) and bit rot (byte flips) —
+so the typed integrity errors and the ``verify``/``repair`` recovery
+path can be exercised end to end.  They are test/CI utilities; nothing
+in the runtime imports them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+__all__ = ["truncate_file", "flip_byte", "corrupt_store_record"]
+
+
+def truncate_file(path: Union[str, Path], keep_bytes: int = 16) -> Path:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes (a torn write)."""
+    path = Path(path)
+    data = path.read_bytes()
+    if keep_bytes < 0:
+        raise ValueError(f"keep_bytes must be non-negative, got {keep_bytes}")
+    path.write_bytes(data[:keep_bytes])
+    return path
+
+
+def flip_byte(path: Union[str, Path], offset: int = -1) -> Path:
+    """XOR one byte of ``path`` (default: the middle byte) — bit rot."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path} is empty; nothing to corrupt")
+    index = len(data) // 2 if offset < 0 else offset
+    if index >= len(data):
+        raise ValueError(f"offset {index} beyond file of {len(data)} bytes")
+    data[index] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return path
+
+
+def corrupt_store_record(store, key: str, mode: str = "truncate") -> Path:
+    """Damage the object file of cell ``key`` in a ``ResultsStore``.
+
+    ``mode`` is ``"truncate"`` (torn JSON) or ``"flip"`` (checksum
+    mismatch: the record stays parseable JSON only by luck, usually not).
+    """
+    path = store._object_path(key)
+    if not path.exists():
+        raise FileNotFoundError(f"no record for cell {key} in {store.root}")
+    if mode == "truncate":
+        return truncate_file(path)
+    if mode == "flip":
+        return flip_byte(path)
+    raise ValueError(f"mode must be 'truncate' or 'flip', got {mode!r}")

@@ -1,0 +1,131 @@
+"""Environment-driven worker-process fault injection.
+
+Campaign and Monte-Carlo worker processes call
+:func:`maybe_inject_worker_fault` at the top of their unit of work.  With
+the ``REPRO_FAULTS`` environment variable unset (the normal case) the
+call is free; when set, it injects a crash (``SIGKILL``), a hang or an
+error into the worker — *outside* the cell parameters, so injected runs
+keep the exact same content-addressed cell keys and record bytes as
+clean runs.  That is what lets the chaos tests assert byte-identical
+stores after recovery.
+
+``REPRO_FAULTS`` holds a JSON object::
+
+    {"worker_crash": {"mode": "once", "marker": "/tmp/crash.marker"}}
+
+Supported fault kinds (at most one fires per call, in this order):
+
+* ``worker_crash`` — ``os.kill(os.getpid(), SIGKILL)``;
+* ``worker_hang`` — ``time.sleep(seconds)`` (default 3600, far beyond
+  any sane cell timeout);
+* ``worker_error`` — raise :class:`InjectedWorkerError`.
+
+Each kind takes:
+
+* ``mode`` — ``"once"`` (default; requires ``marker``) or ``"always"``;
+* ``marker`` — path to a sentinel file: the fault only fires if the file
+  does not exist yet and is created atomically right before firing, so
+  "once" holds across any number of processes;
+* ``match`` — optional substring that must occur in the work label
+  (runner name, cell key, trial id) for the fault to apply.
+
+This module is deliberately stdlib-only: worker entry points import it
+lazily and must not drag the scientific stack in before forking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "InjectedWorkerError",
+    "maybe_inject_worker_fault",
+    "parse_fault_env",
+]
+
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedWorkerError(RuntimeError):
+    """The error deliberately raised by a ``worker_error`` injection."""
+
+
+def parse_fault_env(value: Optional[str]) -> Dict[str, Dict[str, Any]]:
+    """Parse a ``REPRO_FAULTS`` value; invalid specs raise ``ValueError``.
+
+    >>> parse_fault_env(None)
+    {}
+    >>> parse_fault_env('{"worker_error": {"mode": "always"}}')
+    {'worker_error': {'mode': 'always'}}
+    """
+    if not value:
+        return {}
+    try:
+        spec = json.loads(value)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{FAULTS_ENV_VAR} is not valid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise ValueError(f"{FAULTS_ENV_VAR} must hold a JSON object")
+    known = ("worker_crash", "worker_hang", "worker_error")
+    out: Dict[str, Dict[str, Any]] = {}
+    for kind, config in spec.items():
+        if kind not in known:
+            raise ValueError(
+                f"{FAULTS_ENV_VAR} fault kind must be one of {known}, got {kind!r}"
+            )
+        if not isinstance(config, dict):
+            raise ValueError(f"{FAULTS_ENV_VAR}[{kind!r}] must be a JSON object")
+        mode = config.get("mode", "once")
+        if mode not in ("once", "always"):
+            raise ValueError(
+                f"{FAULTS_ENV_VAR}[{kind!r}] mode must be 'once' or 'always'"
+            )
+        if mode == "once" and not config.get("marker"):
+            raise ValueError(
+                f"{FAULTS_ENV_VAR}[{kind!r}] mode 'once' requires a marker path"
+            )
+        out[kind] = dict(config)
+    return out
+
+
+def _should_fire(config: Mapping[str, Any], label: str) -> bool:
+    match = config.get("match")
+    if match and str(match) not in label:
+        return False
+    if config.get("mode", "once") == "once":
+        marker = str(config["marker"])
+        try:
+            # O_EXCL claims the marker atomically: exactly one worker,
+            # across any number of concurrent processes, fires the fault.
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+    return True
+
+
+def maybe_inject_worker_fault(label: str = "") -> None:
+    """Fire a configured worker fault, if any applies to ``label``.
+
+    Free (one ``os.environ`` lookup) when ``REPRO_FAULTS`` is unset.
+    """
+    raw = os.environ.get(FAULTS_ENV_VAR)
+    if not raw:
+        return
+    faults = parse_fault_env(raw)
+    crash = faults.get("worker_crash")
+    if crash is not None and _should_fire(crash, label):
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang = faults.get("worker_hang")
+    if hang is not None and _should_fire(hang, label):
+        time.sleep(float(hang.get("seconds", 3600.0)))
+    error = faults.get("worker_error")
+    if error is not None and _should_fire(error, label):
+        raise InjectedWorkerError(
+            f"injected worker error (label: {label or 'unlabelled'})"
+        )

@@ -32,12 +32,25 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "AugmentationBudgetExceeded",
     "HKMatchingResult",
     "csr_from_edges",
     "hopcroft_karp_matching",
 ]
 
 _INF = float("inf")
+
+
+class AugmentationBudgetExceeded(RuntimeError):
+    """The per-call augmentation budget ran out before the deficit cleared.
+
+    Raised by :func:`hopcroft_karp_matching` when ``augmentation_budget``
+    is set and resolving the residual deficit would need more
+    augmenting-path searches than allowed.  The caller decides what to do
+    with the partially-solved instance — the degraded-solver fallback in
+    :class:`repro.core.matching.ConnectionMatcher` re-solves it with the
+    Dinic max-flow kernel instead of crashing the round.
+    """
 
 
 @dataclass(frozen=True)
@@ -213,6 +226,7 @@ def hopcroft_karp_matching(
     indices: Sequence[int],
     right_capacities: Sequence[int],
     initial_assignment: Optional[Sequence[int]] = None,
+    augmentation_budget: Optional[int] = None,
 ) -> HKMatchingResult:
     """Maximum unit-demand b-matching on a CSR bipartite adjacency.
 
@@ -231,7 +245,19 @@ def hopcroft_karp_matching(
         adjacent and its capacity is not exhausted — then the kernel
         augments from there.  An arbitrary/stale assignment therefore
         cannot corrupt the result, only speed it up or slow it down.
+    augmentation_budget:
+        Optional hard cap on the number of augmenting-path searches spent
+        *after* the warm-start and greedy passes.  ``None`` (the default)
+        means unlimited; when the cap would be exceeded the kernel raises
+        :class:`AugmentationBudgetExceeded` instead of finishing, so a
+        supervising caller can fall back to another solver.  A budget of
+        ``0`` forbids any augmentation: the call raises whenever the
+        greedy pass leaves a deficit.
     """
+    if augmentation_budget is not None:
+        augmentation_budget = int(augmentation_budget)
+        if augmentation_budget < 0:
+            raise ValueError("augmentation_budget must be non-negative")
     indptr_arr = np.asarray(indptr, dtype=np.int64)
     if indptr_arr.shape != (num_left + 1,):
         raise ValueError("indptr must have num_left + 1 entries")
@@ -345,14 +371,25 @@ def hopcroft_karp_matching(
     # per-right matched lists are materialized lazily so the round never
     # pays for all ``num_right`` of them.
     deficit = num_left - matched
+    searches_spent = 0
+
+    def _charge_search() -> None:
+        nonlocal searches_spent
+        searches_spent += 1
+        if augmentation_budget is not None and searches_spent > augmentation_budget:
+            raise AugmentationBudgetExceeded(
+                f"augmentation budget of {augmentation_budget} searches "
+                f"exhausted with a deficit of {num_left - matched} left"
+            )
+
     lazy_rm: Optional[_LazyRightMatches] = None
     if 0 < deficit <= max(8, math.isqrt(num_left)):
         lazy_rm = _LazyRightMatches(num_right, warm_i, warm_b, greedy_pairs)
         for i in range(num_left):
-            if match_left[i] < 0 and _kuhn_augment(
-                i, starts, adj, cap, load, match_left, lazy_rm
-            ):
-                matched += 1
+            if match_left[i] < 0:
+                _charge_search()
+                if _kuhn_augment(i, starts, adj, cap, load, match_left, lazy_rm):
+                    matched += 1
         if matched == num_left:
             return HKMatchingResult(
                 feasible=True,
@@ -461,8 +498,10 @@ def hopcroft_karp_matching(
         # Per-left persistent edge pointers (reset at each phase).
         ptr = starts[:num_left]
         for i in range(num_left):
-            if match_left[i] < 0 and augment(i, ptr, dist_nil):
-                matched += 1
+            if match_left[i] < 0:
+                _charge_search()
+                if augment(i, ptr, dist_nil):
+                    matched += 1
 
     assignment = np.asarray(match_left, dtype=np.int64)
     deficient = tuple(i for i in range(num_left) if match_left[i] < 0)

@@ -561,3 +561,39 @@ register_campaign(
         benchmark="",
     )
 )
+
+
+# The fault-injection chaos runner lives with the faults subsystem
+# (which imports nothing from repro.orchestrate, so there is no cycle);
+# its CampaignSpec is built here to keep this module the single
+# registration point campaign workers import.
+from repro.faults.campaign import CHAOS_SCENARIOS, run_fault_recovery  # noqa: E402
+
+FAULT_RECOVERY_CAMPAIGN = CampaignSpec(
+    name="fault_recovery",
+    description="Chaos scenarios: checkpoint/restore parity through fault windows, "
+    "torn-checkpoint detection, and solver-fallback metric preservation.",
+    runner="fault_recovery",
+    base={"seed": 0},
+    grid={"scenario": CHAOS_SCENARIOS},
+    paper_claim=(
+        "Robustness of the reproduction itself: injected faults (crash "
+        "bursts, brownouts, solver-budget exhaustion) replay "
+        "deterministically, checkpoints recover bit-identically through "
+        "fault windows, damaged checkpoints fail typed, and the solver "
+        "fallback chain degrades without changing any per-round metric."
+    ),
+    columns=(
+        "scenario", "seed", "rounds", "digest", "recovered_matches",
+        "truncated_detected", "degraded_rounds", "matches_fault_free",
+    ),
+    benchmark="",
+)
+
+register_component(
+    "experiment",
+    "fault_recovery",
+    run_fault_recovery,
+    "chaos probe: checkpoint/restore parity through an injected fault window",
+)
+register_campaign(FAULT_RECOVERY_CAMPAIGN)

@@ -8,6 +8,8 @@ Subcommands::
                                  the store already held every cell
     report [NAME...]             render Markdown reports + the claim map
     diff [NAME...]               fail if committed reports are stale
+    verify                       checksum-sweep the store's object records
+    repair                       delete damaged records (resume re-runs them)
 
 The store location defaults to ``results/store`` (override with
 ``--store``), reports to ``docs/results`` (override with ``--out``);
@@ -27,6 +29,7 @@ from repro.orchestrate.report import diff_reports, generate_reports
 from repro.orchestrate.runner import run_campaign
 from repro.orchestrate.spec import CampaignSpec
 from repro.orchestrate.store import ResultsStore
+from repro.orchestrate.supervise import SupervisionPolicy
 
 __all__ = ["main"]
 
@@ -76,6 +79,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace, resume: bool = False) -> int:
     store = ResultsStore(args.store)
     campaigns = _select(args.campaigns, args.all)
+    policy = None
+    if args.cell_timeout is not None or args.retries is not None:
+        policy = SupervisionPolicy(
+            cell_timeout=args.cell_timeout,
+            max_retries=args.retries if args.retries is not None else 2,
+        )
     exit_code = 0
     for campaign in campaigns:
         report = run_campaign(
@@ -85,6 +94,7 @@ def _cmd_run(args: argparse.Namespace, resume: bool = False) -> int:
             force=getattr(args, "force", False),
             max_cells=getattr(args, "max_cells", None),
             progress=print,
+            policy=policy,
         )
         print(report.describe())
         if not report.complete:
@@ -124,6 +134,37 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store)
+    damage = store.verify()
+    if not damage:
+        print(f"store {args.store} OK: {len(store)} records verified")
+        return 0
+    for item in damage:
+        print(f"DAMAGED {item.key[:12]} {item.reason} ({item.path})", file=sys.stderr)
+    print(
+        f"{len(damage)} damaged record(s) — remove them with "
+        "`python -m repro.orchestrate repair`, then `resume` the campaigns",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store)
+    removed = store.repair()
+    if not removed:
+        print(f"store {args.store} OK: nothing to repair")
+        return 0
+    for key in removed:
+        print(f"removed damaged record {key[:12]}")
+    print(
+        f"removed {len(removed)} damaged record(s); "
+        "`resume` re-executes exactly those cells"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.orchestrate``."""
     parser = argparse.ArgumentParser(
@@ -149,6 +190,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             type=int,
             default=None,
             help="worker processes for cell fan-out (-1: one per CPU)",
+        )
+        p.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            help="per-cell wall-clock budget in seconds for parallel runs "
+            "(hung workers are killed and the cell retried)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            help="retries before a failing cell is quarantined (default 2)",
         )
         add_store_argument(p)
 
@@ -188,6 +242,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     add_store_argument(p_diff)
 
+    add_store_argument(
+        sub.add_parser("verify", help="checksum-sweep every record in the store")
+    )
+    add_store_argument(
+        sub.add_parser("repair", help="delete damaged records so resume re-runs them")
+    )
+
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
@@ -200,9 +261,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "diff":
             return _cmd_diff(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
+        if args.command == "repair":
+            return _cmd_repair(args)
     except _CliError as exc:
         # Only user-input problems (unknown names, empty selection) land
         # here; failures inside runner code propagate with full tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Cells persist as they finish, so an interrupted campaign's
+        # store is intact and `resume` picks up the gap — say so instead
+        # of dumping a traceback over the progress output.
+        print(
+            "\ninterrupted — completed cells are stored; "
+            "rerun with `resume` to finish",
+            file=sys.stderr,
+        )
+        return 130
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

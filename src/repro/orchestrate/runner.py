@@ -18,12 +18,13 @@ same stored bytes.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.orchestrate.spec import CampaignSpec, CellSpec
 from repro.orchestrate.store import ResultsStore
+from repro.orchestrate.supervise import QuarantinedCell, SupervisionPolicy, run_supervised
 
 __all__ = ["CellExecutionError", "ExecutionReport", "execute_cell", "execute_campaign_rows", "run_campaign"]
 
@@ -44,6 +45,13 @@ def _resolve_runner(name: str) -> Callable[[Mapping[str, Any]], Any]:
 def execute_cell(payload: Tuple[str, Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Execute one ``(runner_name, params)`` cell; top-level so pools can pickle it."""
     runner_name, params = payload
+    if os.environ.get("REPRO_FAULTS"):
+        # Chaos hook for the supervision tests and the CI chaos-smoke
+        # job: injected crashes/hangs/errors live *outside* the cell
+        # params, so faulted and clean stores stay byte-comparable.
+        from repro.faults.process import maybe_inject_worker_fault
+
+        maybe_inject_worker_fault(label=f"cell:{runner_name}")
     runner = _resolve_runner(runner_name)
     outcome = runner(params)
     if isinstance(outcome, Mapping):
@@ -69,6 +77,9 @@ class ExecutionReport:
     executed: List[str] = field(default_factory=list)
     #: Keys already present in the store and reused as-is.
     reused: List[str] = field(default_factory=list)
+    #: Cells that exhausted their retry budget under supervision.
+    #: Reported, never fatal; the campaign is simply incomplete.
+    quarantined: List[QuarantinedCell] = field(default_factory=list)
 
     @property
     def total_cells(self) -> int:
@@ -83,10 +94,13 @@ class ExecutionReport:
     def describe(self) -> str:
         """One-line human summary (what the CLI prints)."""
         state = "complete" if self.complete else "INCOMPLETE"
-        return (
+        line = (
             f"{self.campaign}: {self.total_cells} cells — "
             f"{len(self.executed)} executed, {len(self.reused)} reused ({state})"
         )
+        if self.quarantined:
+            line += f", {len(self.quarantined)} quarantined"
+        return line
 
 
 def run_campaign(
@@ -96,6 +110,7 @@ def run_campaign(
     force: bool = False,
     max_cells: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> ExecutionReport:
     """Execute the campaign's missing cells against ``store``.
 
@@ -113,6 +128,13 @@ def run_campaign(
         leave a campaign deliberately incomplete).
     progress:
         Optional callback receiving one human line per executed cell.
+    policy:
+        Supervision knobs for the parallel path (per-cell timeout,
+        retry budget, backoff).  Parallel campaigns always run under the
+        supervised pool — a SIGKILLed or hung worker costs retries, not
+        the campaign; cells that exhaust their retries are *quarantined*
+        on the report instead of raising.  The serial path executes
+        in-process and propagates errors directly (``policy`` ignored).
 
     Returns the :class:`ExecutionReport`; ``report.executed`` is empty
     exactly when the store already held every cell — the resume-is-a-no-op
@@ -141,18 +163,29 @@ def run_campaign(
     payloads = [(cell.runner, dict(cell.params)) for cell in pending]
     jobs = _resolve_jobs(n_jobs)
     if jobs == 1 or len(payloads) <= 1:
-        results = map(execute_cell, payloads)
-    else:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
-        results = pool.map(execute_cell, payloads)
-    try:
-        for cell, rows in zip(pending, results):
+        for cell, rows in zip(pending, map(execute_cell, payloads)):
             store.put(cell, rows)
             report.executed.append(cell.key)
             say(f"  [{len(report.executed)}/{len(pending)}] {cell.key[:12]} {cell.label()}")
-    finally:
-        if jobs != 1 and len(payloads) > 1:
-            pool.shutdown()
+        return report
+
+    def _persist(index: int, rows: List[Dict[str, Any]]) -> None:
+        cell = pending[index]
+        store.put(cell, rows)
+        report.executed.append(cell.key)
+        say(f"  [{len(report.executed)}/{len(pending)}] {cell.key[:12]} {cell.label()}")
+
+    _, quarantined = run_supervised(
+        payloads,
+        worker=execute_cell,
+        max_workers=min(jobs, len(payloads)),
+        policy=policy,
+        on_complete=_persist,
+        labels=[cell.label() for cell in pending],
+    )
+    report.quarantined.extend(quarantined)
+    for item in quarantined:
+        say(f"  QUARANTINED {pending[item.index].key[:12]} {item.label}: {item.reason}")
     return report
 
 

@@ -14,11 +14,17 @@ reports byte-stable.
 
 Writes are atomic (temp file + ``os.replace``), so a campaign killed
 mid-cell never leaves a torn record; resuming simply re-executes the
-missing keys.
+missing keys.  Against damage that happens *after* a clean write — torn
+copies, bit rot, hand edits — every record also embeds a ``sha256``
+checksum of its own body; :meth:`ResultsStore.get` verifies it on every
+read, :meth:`ResultsStore.verify` sweeps the whole object tree, and
+:meth:`ResultsStore.repair` deletes damaged records so a campaign
+``resume`` re-runs exactly the damaged cells.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -27,7 +33,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.orchestrate.spec import CampaignSpec, CellSpec, canonical_json
 
-__all__ = ["StoreError", "ResultsStore"]
+__all__ = ["StoreError", "StoreIntegrityError", "StoreDamage", "ResultsStore"]
 
 _KEY_LENGTH = 64  # hex SHA-256
 
@@ -36,10 +42,34 @@ class StoreError(RuntimeError):
     """A malformed key, record or index in the results store."""
 
 
+class StoreIntegrityError(StoreError):
+    """A stored record is corrupt: unparseable, mis-keyed or checksum-failed."""
+
+
 def _check_key(key: str) -> str:
     if len(key) != _KEY_LENGTH or any(c not in "0123456789abcdef" for c in key):
         raise StoreError(f"malformed cell key {key!r} (expected hex SHA-256)")
     return key
+
+
+def _record_checksum(record: Mapping[str, Any]) -> str:
+    """SHA-256 of a record's body, excluding the ``sha256`` field itself."""
+    body = {name: value for name, value in record.items() if name != "sha256"}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+class StoreDamage:
+    """One damaged object file found by :meth:`ResultsStore.verify`."""
+
+    __slots__ = ("key", "path", "reason")
+
+    def __init__(self, key: str, path: Path, reason: str):
+        self.key = key
+        self.path = path
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StoreDamage(key={self.key[:12]}..., reason={self.reason!r})"
 
 
 class ResultsStore:
@@ -84,23 +114,38 @@ class ResultsStore:
             "params": cell.params,
             "rows": [dict(row) for row in rows],
         }
+        record["sha256"] = _record_checksum(record)
         path = self._object_path(key)
         self._write_atomic(path, canonical_json(record) + "\n")
         return key
 
     def get(self, key: str) -> Dict[str, Any]:
-        """Load the record stored under ``key``."""
+        """Load the record stored under ``key``, verifying its checksum.
+
+        Raises :class:`StoreIntegrityError` for corrupt records — torn
+        JSON, a key that doesn't match the file, or a checksum mismatch.
+        Records written before checksums existed (no ``sha256`` field)
+        load without verification; :meth:`verify` flags them.
+        """
         path = self._object_path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except FileNotFoundError:
             raise StoreError(f"no record for cell {key} in {self.root}") from None
-        except json.JSONDecodeError as exc:
-            raise StoreError(f"corrupt record {path}: {exc}") from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # Bit rot can break the UTF-8 encoding before JSON parsing
+            # even starts; both read failures are the same damage class.
+            raise StoreIntegrityError(f"corrupt record {path}: {exc}") from None
         if record.get("key") != key:
-            raise StoreError(
+            raise StoreIntegrityError(
                 f"record {path} claims key {record.get('key')!r}, expected {key}"
+            )
+        stored = record.get("sha256")
+        if stored is not None and stored != _record_checksum(record):
+            raise StoreIntegrityError(
+                f"corrupt record {path}: checksum mismatch "
+                f"(stored {str(stored)[:12]}..., recomputed differs)"
             )
         return record
 
@@ -118,6 +163,53 @@ class ResultsStore:
 
     def __len__(self) -> int:
         return len(self.keys())
+
+    # ------------------------------------------------------------------ #
+    # Integrity
+    # ------------------------------------------------------------------ #
+    def verify(self) -> List[StoreDamage]:
+        """Sweep every object file and report the damaged ones.
+
+        Strict: a record without a ``sha256`` field counts as damaged
+        (it cannot be distinguished from one whose checksum was torn
+        off).  Returns an empty list for a healthy store.
+        """
+        damage: List[StoreDamage] = []
+        for key in self.keys():
+            path = self._object_path(key)
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                damage.append(StoreDamage(key, path, f"unparseable JSON: {exc}"))
+                continue
+            if not isinstance(record, dict) or record.get("key") != key:
+                damage.append(StoreDamage(key, path, "key mismatch"))
+                continue
+            stored = record.get("sha256")
+            if stored is None:
+                damage.append(StoreDamage(key, path, "missing checksum"))
+            elif stored != _record_checksum(record):
+                damage.append(StoreDamage(key, path, "checksum mismatch"))
+        return damage
+
+    def repair(self, damage: Optional[List[StoreDamage]] = None) -> List[str]:
+        """Delete damaged object files so ``resume`` re-runs those cells.
+
+        ``damage`` defaults to a fresh :meth:`verify` sweep.  Returns the
+        keys whose records were removed.  Campaign indexes are untouched
+        — they still name the removed keys, which is exactly what lets
+        ``resume`` re-execute only the damaged cells.
+        """
+        if damage is None:
+            damage = self.verify()
+        removed: List[str] = []
+        for item in damage:
+            try:
+                os.unlink(item.path)
+            except FileNotFoundError:
+                continue
+            removed.append(item.key)
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self.has(key)

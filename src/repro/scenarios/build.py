@@ -18,7 +18,7 @@ from scenario specs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.scenarios.phases import PhasedWorkload, WorkloadPhase
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.churn import ChurnSchedule
 from repro.sim.engine import RoundObservation, VodSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.faults.plan import FaultDriver
 
 __all__ = ["CompiledScenario", "build_scenario"]
 
@@ -58,11 +61,20 @@ class CompiledScenario:
     churn: Optional[ChurnSchedule]
     workload: PhasedWorkload
     simulator: VodSimulator
+    fault_driver: Optional["FaultDriver"] = None
 
     def run(self, num_rounds: Optional[int] = None):
         """Run the compiled simulator for ``num_rounds`` (default: horizon)."""
         rounds = self.spec.horizon if num_rounds is None else int(num_rounds)
-        return self.simulator.run(self.workload, rounds)
+        if self.fault_driver is None:
+            return self.simulator.run(self.workload, rounds)
+        # Faulted runs are driven through a session so the fault driver
+        # fires before every round; the session steps the exact same
+        # per-round path the batch loop uses, so a fault-free driver
+        # (or none) yields the identical result either way.
+        session = self.session(horizon=rounds)
+        session.step_until(round=rounds)
+        return session.result()
 
     def session(self, horizon: Optional[int] = None) -> VodSession:
         """Open a stepwise session over the compiled engine and workload.
@@ -74,7 +86,12 @@ class CompiledScenario:
         session.
         """
         rounds = self.spec.horizon if horizon is None else int(horizon)
-        return VodSession(self.simulator, workload=self.workload, horizon=rounds)
+        return VodSession(
+            self.simulator,
+            workload=self.workload,
+            horizon=rounds,
+            fault_driver=self.fault_driver,
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -110,6 +127,11 @@ def build_scenario(
 
     root = np.random.SeedSequence(seed)
     streams = root.spawn(3 + len(spec.workload))
+    # Fault streams are spawned *after* every pre-existing stream:
+    # SeedSequence.spawn is append-stable, so adding faults to a spec
+    # never perturbs the population/allocation/churn/workload draws, and
+    # fault-free specs keep their recorded randomness bit-identical.
+    fault_streams = root.spawn(len(spec.faults)) if spec.faults else []
     population_rng = np.random.default_rng(streams[0])
     allocation_rng = np.random.default_rng(streams[1])
     churn_rng = np.random.default_rng(streams[2])
@@ -159,6 +181,19 @@ def build_scenario(
     ]
     workload = PhasedWorkload(phases)
 
+    fault_driver = None
+    if spec.faults:
+        # Imported lazily: importing the module registers the built-in
+        # "fault" components, and fault-free builds skip the cost.
+        from repro.faults.plan import build_fault_driver
+
+        fault_driver = build_fault_driver(
+            spec.faults,
+            population,
+            spec.horizon,
+            [np.random.default_rng(stream) for stream in fault_streams],
+        )
+
     simulator = system.build_simulator(
         record_connections=record_connections,
         stop_on_infeasible=stop_on_infeasible,
@@ -178,4 +213,5 @@ def build_scenario(
         churn=churn,
         workload=workload,
         simulator=simulator,
+        fault_driver=fault_driver,
     )

@@ -317,13 +317,27 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
+    # Unknown names are a usage error (exit 2), expected run failures
+    # (bad specs, infeasible builds — ValueError/ApiError) are counted
+    # and reported (exit 1), and anything else is a programming error
+    # whose traceback must NOT be swallowed: a smoke canary that prints
+    # "ERROR" and moves on would hide real regressions from CI.
+    from repro.api.errors import ApiError
+
     names = args.names or scenario_names()
+    unknown = [name for name in names if name not in scenario_names()]
+    if unknown:
+        print(
+            f"error: unknown scenario(s): {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
     failures = 0
     for name in names:
         try:
             run = run_scenario(name, seed=args.seed, num_rounds=args.rounds)
-        except Exception as exc:  # pragma: no cover - defensive CI surface
-            print(f"{name:<22} ERROR {exc}")
+        except (ValueError, ApiError) as exc:
+            print(f"{name:<22} ERROR {type(exc).__name__}: {exc}")
             failures += 1
             continue
         feasible = "feasible" if run.summary["infeasible_rounds"] == 0 else (

@@ -19,6 +19,7 @@ from repro.scenarios.spec import (
     AllocationSpec,
     CatalogSpec,
     ChurnSpec,
+    FaultSpec,
     PopulationSpec,
     ScenarioSpec,
     WorkloadPhaseSpec,
@@ -247,5 +248,76 @@ register(
         workload=(WorkloadPhaseSpec("uniform", params={"arrival_rate": 10.0}),),
         mu=1.5,
         horizon=20,
+    )
+)
+
+# Chaos scenarios: the regimes above with declarative, seed-deterministic
+# fault plans (:mod:`repro.faults.plan`) layered on top.  They are golden
+# scenarios like any other — injected faults replay bit-identically — and
+# the recovery properties they pin down are asserted in
+# `tests/test_faults_plan.py` and the `fault_recovery` campaign.
+register(
+    ScenarioSpec(
+        name="chaos_box_crash",
+        description="A correlated crash burst takes 20% of boxes down mid-run.",
+        paper_claim=(
+            "Robustness extension under correlated failure: k independent "
+            "replicas keep most rounds feasible through a crash burst, and "
+            "the crashed boxes rejoin without repair."
+        ),
+        catalog=CatalogSpec(num_videos=12, num_stripes=4, duration=10),
+        population=PopulationSpec("homogeneous", {"n": 36, "u": 2.5, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=5),
+        workload=(WorkloadPhaseSpec("zipf", params={"arrival_rate": 2.0}),),
+        mu=1.5,
+        horizon=24,
+        faults=(
+            FaultSpec("box_crash", {"start": 4, "duration": 4, "fraction": 0.2}),
+        ),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="chaos_brownout",
+        description="A quarter of the boxes run at half upload for a window.",
+        paper_claim=(
+            "Capacity-margin sensitivity: a partial upload brownout erodes "
+            "the u > 1 margin without disconnecting any replica."
+        ),
+        catalog=CatalogSpec(num_videos=16, num_stripes=4, duration=12),
+        population=PopulationSpec("homogeneous", {"n": 32, "u": 2.0, "d": 3.0}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=4),
+        workload=(WorkloadPhaseSpec("zipf", params={"arrival_rate": 3.0}),),
+        mu=1.5,
+        horizon=24,
+        faults=(
+            FaultSpec(
+                "brownout",
+                {"start": 6, "duration": 6, "fraction": 0.25, "factor": 0.5},
+            ),
+        ),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="chaos_degraded_solver",
+        description="Near-threshold load with the matcher's search budget cut to zero.",
+        paper_claim=(
+            "Graceful degradation: when the primary solver's augmentation "
+            "budget is exhausted the fallback chain must preserve the "
+            "matching cardinality, so per-round metrics equal the "
+            "fault-free run bit for bit."
+        ),
+        catalog=CatalogSpec(num_videos=14, num_stripes=4, duration=10),
+        population=PopulationSpec("homogeneous", {"n": 48, "u": 1.05, "d": 2.5}),
+        allocation=AllocationSpec("permutation", replicas_per_stripe=3),
+        workload=(WorkloadPhaseSpec("uniform", params={"arrival_rate": 10.0}),),
+        mu=1.5,
+        horizon=20,
+        faults=(
+            FaultSpec("solver_budget", {"start": 1, "duration": 19, "budget": 0}),
+        ),
     )
 )

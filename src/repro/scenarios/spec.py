@@ -36,6 +36,7 @@ __all__ = [
     "AllocationSpec",
     "WorkloadPhaseSpec",
     "ChurnSpec",
+    "FaultSpec",
     "ScenarioSpec",
 ]
 
@@ -240,6 +241,33 @@ class ChurnSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault injection: registry kind plus parameters.
+
+    ``kind`` names a registered ``"fault"`` component (built-ins in
+    :mod:`repro.faults.plan`: ``"box_crash"``, ``"brownout"``,
+    ``"solver_budget"``); ``params`` are forwarded to its factory.  All
+    randomness the plan needs is drawn from a dedicated child stream of
+    the scenario master seed, so faulted runs replay bit-identically.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("fault kind must not be empty")
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A fully declarative end-to-end scenario.
 
@@ -269,6 +297,11 @@ class ScenarioSpec:
         (infeasibility markers only — what the 10k+-box scale tiers use
         to keep memory bounded).  Serialized only when non-default, so
         pre-existing golden recordings stay byte-identical.
+    faults:
+        Deterministic fault injections (:class:`FaultSpec` tuple) applied
+        by the compiled scenario: box crash/rejoin bursts, capacity
+        brownouts, solver-budget windows.  Serialized only when
+        non-empty, for the same golden-compatibility reason.
     """
 
     name: str
@@ -285,11 +318,13 @@ class ScenarioSpec:
     warm_start: bool = True
     default_seed: int = 0
     trace_level: str = "full"
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must not be empty")
         object.__setattr__(self, "workload", tuple(self.workload))
+        object.__setattr__(self, "faults", tuple(self.faults))
         if not self.workload:
             raise ValueError("scenario must declare at least one workload phase")
         check_in_range(self.mu, "mu", 1.0, float("inf"))
@@ -325,9 +360,11 @@ class ScenarioSpec:
             "default_seed": self.default_seed,
         }
         # Serialized only when non-default: golden traces recorded before
-        # the field existed must keep comparing spec-identical.
+        # the fields existed must keep comparing spec-identical.
         if self.trace_level != "full":
             payload["trace_level"] = self.trace_level
+        if self.faults:
+            payload["faults"] = [fault.to_dict() for fault in self.faults]
         return payload
 
     @classmethod
@@ -351,6 +388,9 @@ class ScenarioSpec:
             warm_start=bool(data.get("warm_start", True)),
             default_seed=int(data.get("default_seed", 0)),
             trace_level=str(data.get("trace_level", "full")),
+            faults=tuple(
+                FaultSpec.from_dict(fault) for fault in data.get("faults", ())
+            ),
         )
 
     def with_overrides(
@@ -375,4 +415,5 @@ class ScenarioSpec:
             warm_start=self.warm_start if warm_start is None else warm_start,
             default_seed=self.default_seed,
             trace_level=self.trace_level,
+            faults=self.faults,
         )

@@ -270,6 +270,8 @@ class VodSimulator:
         self._demand_last_relay: Dict[Tuple[int, int], int] = {}
         self._rejected_demands = 0
         self._playbacks_started = 0
+        self._degraded_rounds = 0
+        self._last_round_degraded = False
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -323,6 +325,30 @@ class VodSimulator:
     def rounds_completed(self) -> int:
         """Number of rounds executed so far."""
         return self._metrics.rounds_recorded
+
+    @property
+    def last_round_degraded(self) -> bool:
+        """Whether the last round fell back to the degraded solver path."""
+        return getattr(self, "_last_round_degraded", False)
+
+    @property
+    def degraded_rounds(self) -> int:
+        """Number of rounds solved through the degraded fallback so far."""
+        return getattr(self, "_degraded_rounds", 0)
+
+    def set_solver_budget(self, budget) -> None:
+        """Set (or clear, with ``None``) the matcher's per-round augmentation budget.
+
+        Only meaningful for matchers exposing ``set_augmentation_budget``
+        (the default :class:`~repro.core.matching.ConnectionMatcher`);
+        a custom matcher without the hook raises ``RuntimeError``.
+        """
+        setter = getattr(self._matcher, "set_augmentation_budget", None)
+        if setter is None:
+            raise RuntimeError(
+                "the configured matcher does not support augmentation budgets"
+            )
+        setter(budget)
 
     @property
     def trace(self) -> SimulationTrace:
@@ -458,6 +484,9 @@ class VodSimulator:
         matching = self._matcher.match(
             request_set, self._possession, time, busy_slots=busy_slots, warm_start=warm
         )
+        self._last_round_degraded = bool(getattr(matching, "degraded", False))
+        if self._last_round_degraded:
+            self._degraded_rounds += 1
         self._pool.apply_matching(matching.assignment, time)
 
         if self._record_connections:

@@ -1,0 +1,276 @@
+"""The scenario-level fault-injection layer: plans, drivers, degradation.
+
+Covers the determinism contract (same spec + seed ⇒ same fault events ⇒
+same run digest), batch/session parity for faulted runs, snapshot
+recovery *through* a fault window, and the solver-budget degradation
+chain (budget trip → Dinic fallback → identical metrics → `degraded`
+flags → optional admission shedding).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import AdmissionError, VodSession
+from repro.core.matching import ConnectionMatcher
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultDriver,
+    FaultEvent,
+    box_crash_plan,
+    build_fault_driver,
+)
+from repro.flow.hopcroft_karp import AugmentationBudgetExceeded, hopcroft_karp_matching
+from repro.scenarios.build import build_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.replay import _round_records, _summary, run_scenario
+from repro.scenarios.spec import FaultSpec, ScenarioSpec
+
+CHAOS_NAMES = ("chaos_box_crash", "chaos_brownout", "chaos_degraded_solver")
+
+
+def _with_faults(base_name: str, *faults: FaultSpec) -> ScenarioSpec:
+    return dataclasses.replace(get_scenario(base_name), faults=tuple(faults))
+
+
+# ---------------------------------------------------------------------- #
+# Specs and events
+# ---------------------------------------------------------------------- #
+def test_fault_spec_roundtrips_through_dict():
+    spec = _with_faults(
+        "steady_state", FaultSpec("box_crash", {"start": 2, "fraction": 0.2})
+    )
+    restored = ScenarioSpec.from_dict(spec.to_dict())
+    assert restored == spec
+    assert restored.faults[0].kind == "box_crash"
+
+
+def test_fault_free_spec_dict_has_no_faults_key():
+    # Golden compatibility: adding the faults field must not change the
+    # serialized form (and therefore the digests) of fault-free specs.
+    assert "faults" not in get_scenario("steady_state").to_dict()
+
+
+def test_fault_spec_rejects_empty_kind():
+    with pytest.raises(ValueError, match="kind"):
+        FaultSpec("", {})
+
+
+def test_fault_event_validates_action_and_time():
+    with pytest.raises(ValueError, match="action"):
+        FaultEvent(0, "reboot")
+    with pytest.raises(ValueError, match="time"):
+        FaultEvent(-1, "set_capacity")
+
+
+def test_box_crash_plan_pairs_crash_with_rejoin():
+    population = build_scenario(get_scenario("steady_state"), seed=0).population
+    plan = box_crash_plan(
+        {"start": 2, "duration": 3, "boxes": [5, 7]},
+        population,
+        horizon=24,
+        rng=np.random.default_rng(0),
+    )
+    crash = [e for e in plan.events if e.time == 2]
+    rejoin = [e for e in plan.events if e.time == 5]
+    assert {e.box_id for e in crash} == {5, 7}
+    assert all(e.value == 0.0 for e in crash)
+    assert {e.box_id for e in rejoin} == {5, 7}
+    assert all(e.value == float(population.uploads[e.box_id]) for e in rejoin)
+
+
+def test_fault_window_beyond_horizon_rejected():
+    spec = _with_faults("steady_state", FaultSpec("box_crash", {"start": 99}))
+    with pytest.raises(ValueError, match="horizon"):
+        build_scenario(spec, seed=0)
+
+
+def test_build_fault_driver_requires_one_rng_per_spec():
+    population = build_scenario(get_scenario("steady_state"), seed=0).population
+    with pytest.raises(ValueError, match="one rng per fault spec"):
+        build_fault_driver(
+            (FaultSpec("box_crash", {}),), population, 24, rngs=[]
+        )
+
+
+def test_all_fault_kinds_are_registered_components():
+    from repro.api.registry import available_components
+
+    assert set(FAULT_KINDS) <= set(available_components("fault")["fault"])
+
+
+# ---------------------------------------------------------------------- #
+# Determinism and parity
+# ---------------------------------------------------------------------- #
+def test_fault_plans_are_seed_deterministic():
+    spec = _with_faults(
+        "steady_state", FaultSpec("box_crash", {"start": 2, "fraction": 0.2})
+    )
+    a = build_scenario(spec, seed=7).fault_driver.events
+    b = build_scenario(spec, seed=7).fault_driver.events
+    c = build_scenario(spec, seed=8).fault_driver.events
+    assert a == b
+    assert a != c  # different seed draws different boxes
+
+
+def test_adding_faults_keeps_prior_streams_untouched():
+    # The fault streams are spawned after all pre-existing ones, so the
+    # faulted population must equal the fault-free population draw.
+    base = get_scenario("steady_state")
+    faulted = _with_faults("steady_state", FaultSpec("brownout", {"start": 2}))
+    p0 = build_scenario(base, seed=11).population
+    p1 = build_scenario(faulted, seed=11).population
+    assert np.array_equal(p0.uploads, p1.uploads)
+    assert np.array_equal(p0.storages, p1.storages)
+
+
+@pytest.mark.parametrize("name", CHAOS_NAMES)
+def test_faulted_batch_run_equals_stepped_session(name):
+    spec = get_scenario(name)
+    batch = build_scenario(spec, seed=3).run()
+    session = build_scenario(spec, seed=3).session()
+    stepped = session.run_to_horizon()
+    assert _round_records(batch) == _round_records(stepped)
+    assert _summary(batch) == _summary(stepped)
+
+
+def test_crash_burst_changes_metrics_but_replays_identically():
+    spec = get_scenario("chaos_box_crash")
+    run_a = run_scenario(spec, seed=5)
+    run_b = run_scenario(spec, seed=5)
+    fault_free = run_scenario(dataclasses.replace(spec, faults=()), seed=5)
+    assert run_a.digest == run_b.digest
+    assert run_a.digest != fault_free.digest
+
+
+def test_snapshot_restore_through_fault_window():
+    # Checkpoint *inside* the crash window: the restored continuation
+    # must replay the remaining fault events (including the rejoins).
+    spec = get_scenario("chaos_box_crash")
+    baseline = build_scenario(spec, seed=2).session()
+    baseline.step_until(round=spec.horizon)
+    expected = [r.to_dict() for r in baseline.reports]
+
+    interrupted = build_scenario(spec, seed=2).session()
+    interrupted.step_until(round=6)  # crash at 4, rejoin at 8
+    restored = VodSession.restore(interrupted.snapshot())
+    restored.step_until(round=spec.horizon)
+    assert [r.to_dict() for r in restored.reports] == expected
+
+
+# ---------------------------------------------------------------------- #
+# Solver-budget degradation
+# ---------------------------------------------------------------------- #
+def test_hopcroft_karp_budget_raises_typed_error():
+    # A 2x2 crossing where the greedy pass picks the blocking edges:
+    # finishing needs augmenting-path searches, which budget 0 forbids.
+    # CSR for adjacency [[0, 1], [0]]:
+    indptr, indices = [0, 2, 3], [0, 1, 0]
+    with pytest.raises(AugmentationBudgetExceeded):
+        hopcroft_karp_matching(
+            2, 2, indptr, indices, right_capacities=[1, 1], augmentation_budget=0
+        )
+    # The same instance solves fine without a budget.
+    result = hopcroft_karp_matching(2, 2, indptr, indices, right_capacities=[1, 1])
+    assert result.matched == 2
+
+
+def test_hopcroft_karp_budget_validation():
+    with pytest.raises(ValueError, match="augmentation_budget"):
+        hopcroft_karp_matching(1, 1, [0, 1], [0], [1], augmentation_budget=-1)
+
+
+def test_connection_matcher_budget_setter_validates():
+    matcher = ConnectionMatcher(np.array([1, 1]))
+    with pytest.raises(ValueError, match="budget"):
+        matcher.set_augmentation_budget(-3)
+    matcher.set_augmentation_budget(5)
+    assert matcher.augmentation_budget == 5
+    matcher.set_augmentation_budget(None)
+    assert matcher.augmentation_budget is None
+
+
+def test_degraded_solver_metrics_match_fault_free_bitwise():
+    spec = get_scenario("chaos_degraded_solver")
+    session = build_scenario(spec, seed=spec.default_seed).session()
+    degraded_run = session.run_to_horizon()
+    fault_free = build_scenario(
+        dataclasses.replace(spec, faults=()), seed=spec.default_seed
+    ).run()
+    assert sum(r.degraded for r in session.reports) > 0
+    assert _round_records(degraded_run) == _round_records(fault_free)
+    assert _summary(degraded_run) == _summary(fault_free)
+    assert session.engine.degraded_rounds == sum(r.degraded for r in session.reports)
+
+
+def test_round_report_degraded_flag_roundtrip_and_lean_serialization():
+    from repro.api.session import RoundReport
+
+    spec = get_scenario("chaos_degraded_solver")
+    session = build_scenario(spec, seed=0).session()
+    reports = session.step_until(rounds=8)
+    degraded = [r for r in reports if r.degraded]
+    clean = [r for r in reports if not r.degraded]
+    assert degraded and clean
+    # Fault-free rounds serialize without the key (golden/digest compat);
+    # degraded rounds carry it and round-trip.
+    assert "degraded" not in clean[0].to_dict()
+    assert degraded[0].to_dict()["degraded"] == 1
+    assert RoundReport.from_dict(degraded[0].to_dict()) == degraded[0]
+    assert RoundReport.from_dict(clean[0].to_dict()) == clean[0]
+
+
+def test_admission_shedding_when_degraded():
+    spec = get_scenario("chaos_degraded_solver")
+    compiled = build_scenario(spec, seed=0)
+    session = VodSession(
+        compiled.simulator,
+        workload=compiled.workload,
+        horizon=spec.horizon,
+        fault_driver=compiled.fault_driver,
+        shed_when_degraded=True,
+    )
+    session.step_until(rounds=12)  # rounds 10+ are all degraded at seed 0
+    assert session.engine.last_round_degraded
+    with pytest.raises(AdmissionError, match="shed"):
+        session.submit_demands([(0, 0)])
+
+
+def test_engine_without_budget_hook_raises():
+    class NoBudget:
+        pass
+
+    engine = build_scenario(get_scenario("steady_state"), seed=0).simulator
+    engine._matcher = NoBudget()
+    with pytest.raises(RuntimeError, match="budget"):
+        engine.set_solver_budget(1)
+
+
+def test_fault_recovery_runner_row_shape_and_guarantees():
+    # The cell behind the committed fault_recovery table: every pinned
+    # column must be present and the recovery booleans must hold.
+    from repro.faults.campaign import FAULT_RECOVERY_CAMPAIGN, run_fault_recovery
+
+    (row,) = run_fault_recovery({"scenario": "chaos_box_crash", "seed": 0})
+    assert row["scenario"] == "chaos_box_crash"
+    assert row["recovered_matches"] is True
+    assert row["truncated_detected"] is True
+    assert row["matches_fault_free"] is False  # crashes genuinely change the run
+    assert len(row["digest"]) > 0
+    assert FAULT_RECOVERY_CAMPAIGN.runner == "fault_recovery"
+    assert set(FAULT_RECOVERY_CAMPAIGN.grid["scenario"]) == set(CHAOS_NAMES)
+
+
+def test_driver_applies_budget_events():
+    engine = build_scenario(get_scenario("steady_state"), seed=0).simulator
+    driver = FaultDriver(
+        [FaultEvent(0, "set_budget", value=3.0), FaultEvent(1, "clear_budget")]
+    )
+    assert driver.apply(engine, 0) == 1
+    assert engine._matcher.augmentation_budget == 3
+    assert driver.apply(engine, 1) == 1
+    assert engine._matcher.augmentation_budget is None
+    assert driver.apply(engine, 2) == 0  # nothing scheduled

@@ -28,11 +28,16 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 #: (scenario name, recorded seed) — keep in sync with the files on disk.
 #: scale_tier_10k pins the vectorized struct-of-arrays hot path at a
 #: 10k-box instance size (seeded, spec-horizon recording).
+#: The chaos_* entries pin the fault-injection layer: their specs embed
+#: FaultSpecs, so replaying them exercises the compiled fault plans.
 GOLDEN_SCENARIOS = [
     ("steady_state", 1234),
     ("flashcrowd_spike", 1234),
     ("churn_storm", 1234),
     ("scale_tier_10k", 1234),
+    ("chaos_box_crash", 1234),
+    ("chaos_brownout", 1234),
+    ("chaos_degraded_solver", 1234),
 ]
 
 
