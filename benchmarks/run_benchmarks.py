@@ -12,7 +12,13 @@ cross-validates the two kernels on randomized instances along the way:
 * ``per_round_matcher`` — full ``ConnectionMatcher.match`` round cost,
   set-based edge building + Dinic vs CSR adjacency + Hopcroft–Karp;
 * ``warm_start_rounds`` — ``VodSimulator`` wall-clock with and without
-  carrying the previous round's assignment forward;
+  carrying the previous round's assignment forward, measured at a tier
+  (hundreds of boxes, thousands of carried requests) where the carried
+  assignment actually amortizes — at toy sizes the validation overhead
+  cancels the win;
+* ``incremental_matching`` — the 10k-box scale tier with the
+  delta-repair path on vs forced full per-round re-solves (per-round
+  matched cardinalities cross-checked equal);
 * ``parallel_montecarlo`` — serial vs process-pool static obstruction
   estimation (checked bit-identical for the fixed seed).
 
@@ -162,6 +168,40 @@ def bench_warm_start_rounds(n, m, c, k, num_rounds, repeats) -> Dict[str, object
     }
 
 
+def bench_incremental_matching(rounds, repeats) -> Dict[str, object]:
+    """Scale-tier engine wall-clock: full per-round re-solve vs delta repair."""
+    from repro.scenarios.build import build_scenario
+    from repro.scenarios.registry import get_scenario
+
+    spec = get_scenario("scale_tier_10k")
+
+    def run(incremental: bool):
+        compiled = build_scenario(spec, seed=7, min_horizon=rounds)
+        compiled.simulator.set_incremental_matching(incremental)
+        start = time.perf_counter()
+        result = compiled.run(rounds)
+        return time.perf_counter() - start, result, compiled.simulator
+
+    t_full, full_result, _ = run(False)
+    t_inc, inc_result, simulator = run(True)
+    full_matched = [s.matched for s in full_result.metrics.round_stats]
+    inc_matched = [s.matched for s in inc_result.metrics.round_stats]
+    assert inc_matched == full_matched, "incremental path changed a cardinality"
+    for _ in range(repeats - 1):
+        t_full = min(t_full, run(False)[0])
+        t_inc = min(t_inc, run(True)[0])
+    return {
+        "name": "incremental_matching",
+        "tier": "10k",
+        "boxes": int(spec.population.params["n"]),
+        "rounds": rounds,
+        "repair_fallback_rounds": int(simulator.repair_fallback_rounds),
+        "old_seconds": t_full,
+        "new_seconds": t_inc,
+        "speedup": t_full / t_inc if t_inc > 0 else float("inf"),
+    }
+
+
 def bench_obstruction_estimator(n, trials, repeats) -> Dict[str, object]:
     """End-to-end static obstruction estimation, Dinic vs Hopcroft–Karp."""
     kwargs = dict(
@@ -256,12 +296,16 @@ def main(argv=None) -> int:
 
     if args.smoke:
         round_sizes = dict(n=120, m=60, c=4, k=3, num_requests=300, cache_entries=150, seed=0)
-        repeats, sim_rounds, mc_trials, xval = 3, 10, 6, 40
-        sim_n, sim_m = 60, 30
+        repeats, sim_rounds, mc_trials, xval = 3, 15, 6, 40
+        # Warm starts only pay once the carried assignment is large
+        # relative to the per-round churn: hundreds of boxes, not tens.
+        sim_n, sim_m = 400, 240
+        inc_rounds = 12
     else:
         round_sizes = dict(n=400, m=240, c=5, k=4, num_requests=1500, cache_entries=800, seed=0)
-        repeats, sim_rounds, mc_trials, xval = 5, 25, 12, 120
-        sim_n, sim_m = 120, 72
+        repeats, sim_rounds, mc_trials, xval = 5, 15, 12, 120
+        sim_n, sim_m = 2000, 1200
+        inc_rounds = 30
 
     results: List[Dict[str, object]] = []
     print(f"[bench] mode={'smoke' if args.smoke else 'full'}")
@@ -269,6 +313,7 @@ def main(argv=None) -> int:
         lambda: bench_unit_matching_kernel(round_sizes, repeats),
         lambda: bench_per_round_matcher(round_sizes, repeats),
         lambda: bench_warm_start_rounds(sim_n, sim_m, 4, 3, sim_rounds, max(2, repeats - 2)),
+        lambda: bench_incremental_matching(inc_rounds, max(2, repeats - 2)),
         lambda: bench_obstruction_estimator(48, mc_trials, max(2, repeats - 2)),
         lambda: bench_parallel_montecarlo(48, mc_trials, max(2, repeats - 2)),
     ):

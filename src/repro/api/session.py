@@ -26,6 +26,8 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+
+import numpy as np
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -60,7 +62,7 @@ class RoundReport:
     The first eight fields mirror the engine's
     :class:`~repro.sim.metrics.RoundStats` (serialization and the
     batch-parity view derive from it generically — adding a stats field
-    flows through automatically); the last four are session-only.  All
+    flows through automatically); the rest are session-only.  All
     fields are native Python scalars; :meth:`to_dict` output feeds
     ``json.dumps`` directly, which is what external services log.
     """
@@ -93,6 +95,10 @@ class RoundReport:
     #: (augmentation budget exhausted → Dinic re-solve), 0 otherwise.
     #: Serialized only when set, so fault-free digests are unchanged.
     degraded: int = 0
+    #: 1 when the incremental repair path gave up on its search budget and
+    #: the round fell back to the full matching kernel, 0 otherwise.
+    #: Serialized only when set (same digest-stability rule as ``degraded``).
+    repair_fallback: int = 0
 
     @property
     def utilization(self) -> float:
@@ -106,10 +112,11 @@ class RoundReport:
         payload = self.to_round_stats().to_dict()
         for name in _SESSION_ONLY_FIELDS:
             payload[name] = int(getattr(self, name))
-        if not payload["degraded"]:
-            # Only degraded rounds serialize the flag: digests of
-            # fault-free runs are byte-identical to earlier recordings.
-            del payload["degraded"]
+        for flag in ("degraded", "repair_fallback"):
+            if not payload[flag]:
+                # Only rounds that tripped the flag serialize it: digests of
+                # fault-free runs are byte-identical to earlier recordings.
+                del payload[flag]
         return payload
 
     @classmethod
@@ -265,6 +272,24 @@ class _SessionWorkload:
 
     def __init__(self, session: "VodSession"):
         self._session = session
+
+    def demand_arrays_for_round(self, view: SystemView):
+        """Array-path arrivals; ``None`` whenever injected demands exist.
+
+        Injection merging (and its duplicate-box filtering) lives on the
+        object path, so any pending injected demand forces a fallback —
+        returned before any random stream is touched.
+        """
+        if self._session._pending:
+            return None
+        background = self._session._workload
+        if background is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        supplier = getattr(background, "demand_arrays_for_round", None)
+        if supplier is None:
+            return None
+        return supplier(view)
 
     def demands_for_round(self, view: SystemView) -> List[Demand]:
         demands = [
@@ -499,6 +524,7 @@ class VodSession:
             playback_starts=playback_starts,
             offline_boxes=len(engine.offline_boxes(time)),
             degraded=int(engine.last_round_degraded),
+            repair_fallback=int(getattr(engine, "last_round_repair_fallback", False)),
         )
         self._reports.append(report)
         if not feasible and engine._stop_on_infeasible:

@@ -21,6 +21,7 @@ This module provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -30,18 +31,28 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.video import StripeId
 from repro.flow.bipartite import BMatchingResult, FLOW_SOLVERS, solve_b_matching
-from repro.flow.hopcroft_karp import AugmentationBudgetExceeded, hopcroft_karp_matching
+from repro.flow.hopcroft_karp import (
+    AugmentationBudgetExceeded,
+    hopcroft_karp_matching,
+    repair_matching,
+)
 from repro.util.validation import check_non_negative_integer, check_positive_integer
 
 __all__ = [
     "StripeRequest",
     "RequestSet",
     "ArrayRequestSet",
+    "MatchDelta",
+    "NEVER_EXPIRES",
     "PossessionIndex",
     "ConnectionMatching",
     "ConnectionMatcher",
     "check_feasibility_hall",
 ]
+
+#: Edge-expiry sentinel for edges that never age out (static replicas and
+#: relay caches).  Playback-cache edges expire after ``entry_time + T``.
+NEVER_EXPIRES: int = int(np.iinfo(np.int64).max)
 
 
 @dataclass(frozen=True, order=True)
@@ -110,6 +121,34 @@ class RequestSet:
 
 
 _EMPTY_INT64 = np.empty(0, dtype=np.int64)
+
+#: Cache-block clip for the repair greedy's delta gather: per row, only
+#: the newest this-many playback-cache edges are materialized (plus all
+#: static/relay edges).  Heuristic only — exact searches use full rows.
+_GREEDY_MAX_CACHE_EDGES = 48
+
+#: Bits reserved for the time component of the download-log view's
+#: cached ``(stripe, time)`` composite keys — good for 2M rounds.
+_KEY_SHIFT = 21
+
+
+@dataclass(frozen=True)
+class MatchDelta:
+    """The inter-round change of the active request multiset.
+
+    Produced by the engine each round and handed to
+    :meth:`ConnectionMatcher.match`: the new request set equals the
+    previous one filtered by ``keep_mask`` (order preserved) followed by
+    ``num_new`` appended arrivals.  ``keep_mask`` is ``None`` when no
+    request expired.  Capacity changes (churn, faults, joins) need no
+    explicit feed — the matcher compares its own load bookkeeping against
+    the capacities of the current round.
+    """
+
+    #: Boolean mask over the *previous* round's requests (``None`` = all kept).
+    keep_mask: Optional[np.ndarray]
+    #: Number of requests appended after the survivors.
+    num_new: int
 
 
 class ArrayRequestSet(RequestSet):
@@ -228,6 +267,10 @@ class _DownloadLog:
         "_view_boxes",
         "_view_times",
         "_view_stale",
+        "_append_total",
+        "_view_append_total",
+        "_evict_horizon",
+        "_view_keys",
     )
 
     def __init__(self):
@@ -241,6 +284,13 @@ class _DownloadLog:
         self._view_boxes: np.ndarray = _EMPTY_INT64
         self._view_times: np.ndarray = _EMPTY_INT64
         self._view_stale = True
+        # Incremental-view bookkeeping: total entries ever appended, the
+        # total as of the last view build (-1 = view unusable as a merge
+        # base), and the strictest eviction horizon since that build.
+        self._append_total = 0
+        self._view_append_total = -1
+        self._evict_horizon: Optional[int] = None
+        self._view_keys: Optional[np.ndarray] = _EMPTY_INT64
 
     def __len__(self) -> int:
         return self.tail - self.head
@@ -263,6 +313,10 @@ class _DownloadLog:
         self._view_boxes = _EMPTY_INT64
         self._view_times = _EMPTY_INT64
         self._view_stale = True
+        self._append_total = int(stripes.size)
+        self._view_append_total = -1
+        self._evict_horizon = None
+        self._view_keys = _EMPTY_INT64
 
     def append(self, stripe: int, box: int, time: int) -> None:
         if self.tail == self.stripes.size:
@@ -273,6 +327,7 @@ class _DownloadLog:
         self.boxes[self.tail] = box
         self.times[self.tail] = time
         self.tail += 1
+        self._append_total += 1
         self._view_stale = True
 
     def extend(self, stripes: np.ndarray, boxes: np.ndarray, time: int) -> None:
@@ -289,6 +344,7 @@ class _DownloadLog:
         self.boxes[lo:hi] = boxes
         self.times[lo:hi] = time
         self.tail = hi
+        self._append_total += count
         self._view_stale = True
 
     def _grow(self) -> None:
@@ -316,6 +372,8 @@ class _DownloadLog:
             if advance:
                 self.head += advance
                 self._view_stale = True
+                if self._evict_horizon is None or horizon > self._evict_horizon:
+                    self._evict_horizon = horizon
             if self.head > 4096 and self.head > (self.tail - self.head):
                 self._grow()  # reclaim the dead prefix
         else:
@@ -330,6 +388,7 @@ class _DownloadLog:
             self.head, self.tail = 0, kept
             self.sorted = True
             self._view_stale = True
+            self._view_append_total = -1  # compaction breaks the merge base
 
     def sorted_view(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Live entries stable-sorted by stripe: ``(stripes, times, boxes)``.
@@ -338,19 +397,108 @@ class _DownloadLog:
         order the old per-stripe ring buffers exposed.
         """
         if self._view_stale:
-            live = slice(self.head, self.tail)
-            stripes = self.stripes[live]
-            if self.sorted:
-                order = np.argsort(stripes, kind="stable")
-            else:
-                by_time = np.argsort(self.times[live], kind="stable")
-                by_stripe = np.argsort(stripes[by_time], kind="stable")
-                order = by_time[by_stripe]
-            self._view_stripes = stripes[order]
-            self._view_times = self.times[live][order]
-            self._view_boxes = self.boxes[live][order]
+            if not self._patch_view_incremental():
+                live = slice(self.head, self.tail)
+                stripes = self.stripes[live]
+                if self.sorted:
+                    order = np.argsort(stripes, kind="stable")
+                else:
+                    by_time = np.argsort(self.times[live], kind="stable")
+                    by_stripe = np.argsort(stripes[by_time], kind="stable")
+                    order = by_time[by_stripe]
+                self._view_stripes = stripes[order]
+                self._view_times = self.times[live][order]
+                self._view_boxes = self.boxes[live][order]
+                if self._times_keyable():
+                    self._view_keys = (
+                        (self._view_stripes << _KEY_SHIFT) + self._view_times
+                    )
+                else:
+                    self._view_keys = None
+            self._view_append_total = self._append_total
+            self._evict_horizon = None
             self._view_stale = False
         return self._view_stripes, self._view_times, self._view_boxes
+
+    def _times_keyable(self) -> bool:
+        """True when live times fit the fixed composite-key encoding."""
+        if self.head == self.tail:
+            return True
+        if not self.sorted:
+            return False
+        return (
+            int(self.times[self.head]) >= 0
+            and int(self.times[self.tail - 1]) < (1 << _KEY_SHIFT)
+        )
+
+    def view_keys(self) -> Optional[np.ndarray]:
+        """``(stripe << _KEY_SHIFT) + time`` per sorted-view entry, cached.
+
+        ``None`` when the live times fall outside ``[0, 2**_KEY_SHIFT)``
+        (never in simulator runs) — callers then build their own keys.
+        """
+        self.sorted_view()
+        return self._view_keys
+
+    def _patch_view_incremental(self) -> bool:
+        """Rebuild the sorted view from the previous one plus the delta.
+
+        Sound only while the log stays time-sorted: head evictions map to
+        a time filter on the cached view, and the entries appended since
+        the last build sit at the tail with times no earlier than any
+        cached entry, so one ``searchsorted`` places each new entry after
+        its stripe's existing run.  Returns ``False`` (caller does a full
+        rebuild) whenever the cached view cannot be proven to match the
+        live segment exactly.
+        """
+        if not self.sorted or self._view_append_total < 0:
+            return False
+        new_k = self._append_total - self._view_append_total
+        live_n = self.tail - self.head
+        if new_k < 0 or new_k > live_n:
+            return False
+        old_s, old_t, old_b = self._view_stripes, self._view_times, self._view_boxes
+        old_k = self._view_keys
+        if self._evict_horizon is not None:
+            keep = old_t >= self._evict_horizon
+            old_s, old_t, old_b = old_s[keep], old_t[keep], old_b[keep]
+            if old_k is not None:
+                old_k = old_k[keep]
+        if old_s.size + new_k != live_n:
+            return False
+        if new_k == 0:
+            self._view_stripes, self._view_times, self._view_boxes = old_s, old_t, old_b
+            self._view_keys = old_k
+            return True
+        lo = self.tail - new_k
+        order = np.argsort(self.stripes[lo: self.tail], kind="stable")
+        add_s = self.stripes[lo: self.tail][order]
+        add_t = self.times[lo: self.tail][order]
+        add_b = self.boxes[lo: self.tail][order]
+        idx = np.searchsorted(old_s, add_s, side="right")
+        idx += np.arange(new_k, dtype=np.int64)
+        merged_s = np.empty(live_n, dtype=np.int64)
+        merged_t = np.empty(live_n, dtype=np.int64)
+        merged_b = np.empty(live_n, dtype=np.int64)
+        old_slots = np.ones(live_n, dtype=bool)
+        old_slots[idx] = False
+        merged_s[idx] = add_s
+        merged_t[idx] = add_t
+        merged_b[idx] = add_b
+        merged_s[old_slots] = old_s
+        merged_t[old_slots] = old_t
+        merged_b[old_slots] = old_b
+        self._view_stripes = merged_s
+        self._view_times = merged_t
+        self._view_boxes = merged_b
+        if old_k is not None and self._times_keyable():
+            merged_k = np.empty(live_n, dtype=np.int64)
+            merged_k[idx] = (add_s << _KEY_SHIFT) + add_t
+            merged_k[old_slots] = old_k
+            self._view_keys = merged_k
+        else:
+            self._view_keys = None
+        return True
 
     def live_stripes(self) -> np.ndarray:
         """Stripe column of the live segment (unsorted, may repeat)."""
@@ -484,23 +632,29 @@ class PossessionIndex:
             self._static_indptr[stripe_id]: self._static_indptr[stripe_id + 1]
         ]
 
-    def _cache_boxes_array(
+    def _cache_slice(
         self, stripe_id: int, request_time: int, current_time: int
-    ) -> np.ndarray:
-        """Playback-cache servers as an array slice (may contain duplicates)."""
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Playback-cache servers and their entry times for one request."""
         if not len(self._log):
-            return _EMPTY_INT64
+            return _EMPTY_INT64, _EMPTY_INT64
         stripes, times, boxes = self._log.sorted_view()
         stripe_id = int(stripe_id)
         lo = int(np.searchsorted(stripes, stripe_id, side="left"))
         hi = int(np.searchsorted(stripes, stripe_id, side="right"))
         if lo == hi:
-            return _EMPTY_INT64
+            return _EMPTY_INT64, _EMPTY_INT64
         horizon = current_time - self._window
         segment = times[lo:hi]
         a = int(np.searchsorted(segment, horizon, side="left"))
         b = int(np.searchsorted(segment, request_time, side="left"))
-        return boxes[lo + a: lo + b]
+        return boxes[lo + a: lo + b], segment[a:b]
+
+    def _cache_boxes_array(
+        self, stripe_id: int, request_time: int, current_time: int
+    ) -> np.ndarray:
+        """Playback-cache servers as an array slice (may contain duplicates)."""
+        return self._cache_slice(stripe_id, request_time, current_time)[0]
 
     def _relay_array(self, stripe_id: int) -> np.ndarray:
         relays = self._relays.get(stripe_id)
@@ -527,6 +681,48 @@ class PossessionIndex:
         servers |= self._relays.get(int(request.stripe_id), set())
         servers |= self.cache_servers(request.stripe_id, request.request_time, current_time)
         return servers
+
+    def _cache_windows(
+        self, stripes: np.ndarray, times: np.ndarray, current_time: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-request playback-cache windows into the log's sorted view.
+
+        Returns ``(sorted_times, sorted_boxes, win_lo, win_hi)`` where
+        ``[win_lo[i], win_hi[i])`` slices request ``i``'s cache window —
+        entries of its stripe with time in ``[current_time − T,
+        request_time)``.  Uses the view's cached composite keys when the
+        involved times fit the fixed encoding; otherwise (exotic
+        test-only inputs) builds one-shot keys with a dynamic scale.
+        """
+        sorted_stripes, sorted_times, sorted_boxes = self._log.sorted_view()
+        keys = self._log.view_keys()
+        if (
+            keys is not None
+            and times.size
+            and int(times.min()) >= 0
+            and int(times.max()) < (1 << _KEY_SHIFT)
+        ):
+            lo = max(current_time - self._window, 0)
+            shifted = stripes << _KEY_SHIFT
+            win_lo = np.searchsorted(keys, shifted + lo, side="left")
+            win_hi = np.searchsorted(keys, shifted + times, side="left")
+        else:
+            # Shift times to be non-negative so the composite keys are
+            # monotone per stripe even for exotic (test-only) inputs.
+            base = min(int(sorted_times.min()), 0)
+            span = max(
+                int(sorted_times.max()),
+                int(times.max()) if times.size else 0,
+                current_time - self._window,
+            )
+            scale = span - base + 2
+            keys = sorted_stripes * scale + (sorted_times - base)
+            lo = max(current_time - self._window - base, 0)
+            win_lo = np.searchsorted(keys, stripes * scale + lo, side="left")
+            win_hi = np.searchsorted(
+                keys, stripes * scale + (times - base), side="left"
+            )
+        return sorted_times, sorted_boxes, win_lo, win_hi
 
     def adjacency_for(
         self,
@@ -603,21 +799,8 @@ class PossessionIndex:
                         extra_vals.append(window)
                         extra_rows.append(np.full(window.size, i, dtype=np.int64))
             elif len(self._log):
-                sorted_stripes, sorted_times, sorted_boxes = self._log.sorted_view()
-                # Shift times to be non-negative so the composite keys are
-                # monotone per stripe even for exotic (test-only) inputs.
-                base = min(int(sorted_times.min()), 0)
-                span = max(
-                    int(sorted_times.max()),
-                    int(times.max()) if times.size else 0,
-                    current_time - self._window,
-                )
-                scale = span - base + 2
-                keys = sorted_stripes * scale + (sorted_times - base)
-                lo = max(current_time - self._window - base, 0)
-                win_lo = np.searchsorted(keys, stripes * scale + lo, side="left")
-                win_hi = np.searchsorted(
-                    keys, stripes * scale + (times - base), side="left"
+                sorted_times, sorted_boxes, win_lo, win_hi = self._cache_windows(
+                    stripes, times, current_time
                 )
                 # A request issued before the horizon has an inverted
                 # (empty) window: clip, as the old slice-based path did.
@@ -703,6 +886,197 @@ class PossessionIndex:
         indices = np.concatenate(rows) if rows else _EMPTY_INT64
         return indptr, indices
 
+    def row_with_expiry(
+        self,
+        stripe_id: int,
+        box_id: int,
+        request_time: int,
+        current_time: int,
+        exclude_self: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One request's candidate boxes plus per-edge expiry rounds.
+
+        The lazily materialized row the incremental repair augments
+        through: parallel int64 arrays of candidate boxes and the last
+        round each edge stays valid (:data:`NEVER_EXPIRES` for static
+        and relay edges, ``entry_time + T`` for playback-cache edges).
+        """
+        stripe_id = int(stripe_id)
+        static = self.static_servers(stripe_id)
+        parts = [static]
+        exp_parts = [np.full(static.size, NEVER_EXPIRES, dtype=np.int64)]
+        cache_boxes, cache_times = self._cache_slice(
+            stripe_id, request_time, current_time
+        )
+        if cache_boxes.size:
+            parts.append(cache_boxes)
+            exp_parts.append(cache_times + self._window)
+        if self._relays:
+            relay = self._relay_array(stripe_id)
+            if relay.size:
+                parts.append(relay)
+                exp_parts.append(
+                    np.full(relay.size, NEVER_EXPIRES, dtype=np.int64)
+                )
+        if len(parts) == 1:
+            boxes_arr, expiry_arr = parts[0], exp_parts[0]
+        else:
+            boxes_arr = np.concatenate(parts)
+            expiry_arr = np.concatenate(exp_parts)
+        if exclude_self:
+            mask = boxes_arr != box_id
+            if not mask.all():
+                boxes_arr = boxes_arr[mask]
+                expiry_arr = expiry_arr[mask]
+        return boxes_arr, expiry_arr
+
+    def adjacency_delta_for(
+        self,
+        requests: Sequence[StripeRequest],
+        current_time: int,
+        rows: Optional[np.ndarray] = None,
+        exclude_self: bool = True,
+        max_cache_edges: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency restricted to ``rows``, with per-edge expiries.
+
+        The incremental round path never re-gathers the full instance:
+        pairs carried over from the previous round's CSR stay valid until
+        their recorded expiry, so only the *delta rows* (arrivals plus
+        requests whose pair was retired) need fresh adjacency.  ``rows``
+        selects those request indices (``None`` = all of them); the result
+        is ``(indptr, indices, expiry)`` over ``len(rows)`` rows, where
+        ``expiry[e]`` is the last round edge ``e`` remains valid
+        (:data:`NEVER_EXPIRES` for static/relay edges, ``entry_time + T``
+        for playback-cache edges).
+
+        ``max_cache_edges`` clips every row's playback-cache block to its
+        *newest* that-many entries (popular stripes accumulate thousands
+        of cachers per window; the newest expire last, so the kept pairs
+        survive longest).  Clipped rows are **incomplete** — valid for
+        heuristic passes like the repair greedy, never for an exact
+        solve.
+        """
+        if isinstance(requests, ArrayRequestSet):
+            stripes = requests.stripe_id_array
+            boxes = requests.box_id_array
+            times = requests.request_time_array
+        else:
+            num_all = len(requests)
+            stripes = np.fromiter(
+                (r.stripe_id for r in requests), dtype=np.int64, count=num_all
+            )
+            boxes = np.fromiter(
+                (r.box_id for r in requests), dtype=np.int64, count=num_all
+            )
+            times = np.fromiter(
+                (r.request_time for r in requests), dtype=np.int64, count=num_all
+            )
+        if rows is not None:
+            rows = np.asarray(rows, dtype=np.int64)
+            stripes = stripes[rows]
+            boxes = boxes[rows]
+            times = times[rows]
+        num = int(stripes.size)
+        if num == 0:
+            return np.zeros(1, dtype=np.int64), _EMPTY_INT64, _EMPTY_INT64
+
+        # Static block: one fancy-index gather over the stripe CSR.
+        row_starts = self._static_indptr[stripes]
+        lens = self._static_indptr[stripes + 1] - row_starts
+        total = int(lens.sum())
+        offsets = np.zeros(num + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        gather = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets[:-1], lens)
+            + np.repeat(row_starts, lens)
+        )
+        all_vals = self._static_boxes[gather]
+        all_rows = np.repeat(np.arange(num, dtype=np.int64), lens)
+        all_expiry = np.full(total, NEVER_EXPIRES, dtype=np.int64)
+
+        extra_vals: List[np.ndarray] = []
+        extra_rows: List[np.ndarray] = []
+        extra_expiry: List[np.ndarray] = []
+        if len(self._log):
+            sorted_times, sorted_boxes, win_lo, win_hi = self._cache_windows(
+                stripes, times, current_time
+            )
+            if max_cache_edges is not None:
+                win_lo = np.maximum(win_lo, win_hi - max_cache_edges)
+            counts_cache = np.maximum(win_hi - win_lo, 0)
+            total_cache = int(counts_cache.sum())
+            if total_cache:
+                cache_offsets = np.zeros(num + 1, dtype=np.int64)
+                np.cumsum(counts_cache, out=cache_offsets[1:])
+                gather_cache = (
+                    np.arange(total_cache, dtype=np.int64)
+                    - np.repeat(cache_offsets[:-1], counts_cache)
+                    + np.repeat(win_lo, counts_cache)
+                )
+                cache_vals = sorted_boxes[gather_cache]
+                cache_expiry = sorted_times[gather_cache] + self._window
+                if not self._relays:
+                    # Static + caches only: positional merge, no edge sort.
+                    row_counts = lens + counts_cache
+                    indptr_merged = np.zeros(num + 1, dtype=np.int64)
+                    np.cumsum(row_counts, out=indptr_merged[1:])
+                    merged = np.empty(total + total_cache, dtype=np.int64)
+                    merged_expiry = np.empty(total + total_cache, dtype=np.int64)
+                    static_pos = (
+                        np.repeat(indptr_merged[:-1], lens)
+                        + (gather - np.repeat(row_starts, lens))
+                    )
+                    cache_pos = (
+                        np.repeat(indptr_merged[:-1] + lens, counts_cache)
+                        + (gather_cache - np.repeat(win_lo, counts_cache))
+                    )
+                    merged[static_pos] = all_vals
+                    merged[cache_pos] = cache_vals
+                    merged_expiry[static_pos] = all_expiry
+                    merged_expiry[cache_pos] = cache_expiry
+                    all_vals = merged
+                    all_expiry = merged_expiry
+                    all_rows = np.repeat(np.arange(num, dtype=np.int64), row_counts)
+                else:
+                    extra_vals.append(cache_vals)
+                    extra_rows.append(
+                        np.repeat(np.arange(num, dtype=np.int64), counts_cache)
+                    )
+                    extra_expiry.append(cache_expiry)
+        if self._relays:
+            relay_stripes = np.fromiter(
+                self._relays.keys(), dtype=np.int64, count=len(self._relays)
+            )
+            for i in np.flatnonzero(np.isin(stripes, relay_stripes)).tolist():
+                relay = self._relay_array(int(stripes[i]))
+                if relay.size:
+                    extra_vals.append(relay)
+                    extra_rows.append(np.full(relay.size, i, dtype=np.int64))
+                    extra_expiry.append(
+                        np.full(relay.size, NEVER_EXPIRES, dtype=np.int64)
+                    )
+        if extra_vals:
+            all_vals = np.concatenate([all_vals] + extra_vals)
+            all_rows = np.concatenate([all_rows] + extra_rows)
+            all_expiry = np.concatenate([all_expiry] + extra_expiry)
+            order = np.argsort(all_rows, kind="stable")
+            all_vals = all_vals[order]
+            all_rows = all_rows[order]
+            all_expiry = all_expiry[order]
+
+        if exclude_self:
+            mask = all_vals != boxes[all_rows]
+            if not mask.all():
+                all_vals = all_vals[mask]
+                all_rows = all_rows[mask]
+                all_expiry = all_expiry[mask]
+        counts = np.bincount(all_rows, minlength=num)
+        indptr = np.zeros(num + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, all_vals, all_expiry
+
     def swarm_size(self, video_id: int, num_stripes_per_video: int) -> int:
         """Number of distinct boxes currently downloading any stripe of a video."""
         base = video_id * num_stripes_per_video
@@ -745,6 +1119,11 @@ class ConnectionMatching:
         budget and the round was re-solved by the Dinic fallback.  The
         matching is still a maximum matching of the same instance; the
         flag only records that the fast path gave up.
+    repair_fallback:
+        ``True`` when the incremental repair path exceeded its search
+        budget and the round was re-solved by the full Hopcroft–Karp
+        kernel.  Like ``degraded``, a pure provenance flag: the matching
+        itself is identical to what the repair would have produced.
     """
 
     feasible: bool
@@ -755,6 +1134,7 @@ class ConnectionMatching:
     box_load: np.ndarray
     capacities: np.ndarray
     degraded: bool = False
+    repair_fallback: bool = False
 
 
 class ConnectionMatcher:
@@ -799,6 +1179,14 @@ class ConnectionMatcher:
         self._solver = solver
         self._augmentation_budget: Optional[int] = None
         self.set_augmentation_budget(augmentation_budget)
+        # Incremental round state: per previous-round request, the last
+        # round its matched pair stays valid (meaningless where unmatched).
+        # ``None`` means "no usable state" — the next delta round runs the
+        # full kernel once and rebuilds it.
+        self._pair_expiry: Optional[np.ndarray] = None
+        self._partial_repair: Optional[np.ndarray] = None
+        self._repair_search_budget: Optional[int] = None
+        self._repair_rounds = 0
 
     @property
     def upload_slots(self) -> np.ndarray:
@@ -823,6 +1211,35 @@ class ConnectionMatcher:
                 raise ValueError("augmentation_budget must be non-negative")
         self._augmentation_budget = budget
 
+    @property
+    def repair_search_budget(self) -> Optional[int]:
+        """Search cap of the incremental repair (``None`` = size heuristic)."""
+        return getattr(self, "_repair_search_budget", None)
+
+    def set_repair_search_budget(self, budget: Optional[int]) -> None:
+        """Cap the incremental repair's augmenting-path searches.
+
+        When a round's repair would exceed the cap it re-runs the full
+        Hopcroft–Karp kernel instead (counted via
+        :attr:`ConnectionMatching.repair_fallback`).  ``None`` restores
+        the default ``max(256, 2·⌈√n⌉)`` heuristic.
+        """
+        if budget is not None:
+            budget = int(budget)
+            if budget < 0:
+                raise ValueError("repair_search_budget must be non-negative")
+        self._repair_search_budget = budget
+
+    @property
+    def repair_rounds(self) -> int:
+        """Rounds solved entirely by the incremental repair (no full kernel)."""
+        return getattr(self, "_repair_rounds", 0)
+
+    def reset_incremental_state(self) -> None:
+        """Drop the incremental pair bookkeeping (next round solves cold)."""
+        self._pair_expiry = None
+        self._partial_repair = None
+
     def update_upload_slots(self, upload_slots: Sequence[int]) -> None:
         """Replace the per-box capacities (live capacity reconfiguration).
 
@@ -846,6 +1263,7 @@ class ConnectionMatcher:
         current_time: int,
         busy_slots: Optional[Sequence[int]] = None,
         warm_start: Optional[Sequence[int]] = None,
+        delta: Optional[MatchDelta] = None,
     ) -> ConnectionMatching:
         """Wire the requests of round ``current_time``.
 
@@ -860,6 +1278,19 @@ class ConnectionMatcher:
         during validation, so the result is always a maximum matching of
         the *current* instance; only the solve gets cheaper.  Ignored by
         the max-flow oracle solvers.
+
+        ``delta`` additionally describes how the request set evolved from
+        the previous ``match`` call (see :class:`MatchDelta`) and enables
+        the incremental path: instead of re-gathering the full adjacency,
+        the matcher retires only the pairs invalidated by the delta
+        (expired cache edges, over-capacity boxes) and repairs the small
+        deficit against delta-only adjacency rows.  A repaired-to-perfect
+        matching is maximum by construction; any other outcome falls back
+        to the full kernel, so results are bit-compatible with the
+        non-incremental path.  Requires ``warm_start``, the default
+        Hopcroft–Karp solver, an unset ``augmentation_budget`` (budgeted
+        rounds must charge the classic kernel so degradation fires
+        identically) and an unsubclassed :class:`PossessionIndex`.
         """
         n = self._slots.size
         capacities = self._slots.copy()
@@ -873,6 +1304,8 @@ class ConnectionMatcher:
 
         num_requests = len(requests)
         if not num_requests:
+            if self._solver not in FLOW_SOLVERS:
+                self._pair_expiry = _EMPTY_INT64
             return ConnectionMatching(
                 feasible=True,
                 assignment=np.empty(0, dtype=np.int64),
@@ -884,6 +1317,7 @@ class ConnectionMatcher:
             )
 
         degraded = False
+        repair_fallback = False
         if self._solver in FLOW_SOLVERS:
             request_list = list(requests)
             edges: List[Tuple[int, int]] = []
@@ -906,42 +1340,87 @@ class ConnectionMatcher:
         else:
             if warm_start is not None and len(warm_start) != num_requests:
                 raise ValueError("warm_start must have one entry per request")
-            indptr, indices = possession.adjacency_for(requests, current_time)
-            try:
-                hk = hopcroft_karp_matching(
-                    num_left=num_requests,
-                    num_right=n,
-                    indptr=indptr,
-                    indices=indices,
-                    right_capacities=capacities,
-                    initial_assignment=warm_start,
-                    augmentation_budget=self._augmentation_budget,
-                )
-                assignment = hk.assignment
-                feasible, matched = hk.feasible, hk.matched
-                witness = hk.unsatisfied_witness
-            except AugmentationBudgetExceeded:
-                # Graceful degradation: re-solve the identical instance
-                # (same CSR adjacency, same capacities) with the Dinic
-                # max-flow kernel.  Maximum-matching cardinality is
-                # solver-independent, so feasibility and per-round metrics
-                # are unchanged; only the degraded flag records the event.
-                edges = [
-                    (i, int(indices[e]))
-                    for i in range(num_requests)
-                    for e in range(int(indptr[i]), int(indptr[i + 1]))
-                ]
-                fallback: BMatchingResult = solve_b_matching(
-                    num_left=num_requests,
-                    num_right=n,
-                    edges=edges,
-                    right_capacities=capacities.tolist(),
-                    method="dinic",
-                )
-                assignment = fallback.assignment
-                feasible, matched = fallback.feasible, fallback.matched
-                witness = fallback.unsatisfied_witness
-                degraded = True
+            # The incremental path needs the exact base-class edge
+            # semantics (subclasses may override possession hooks) and a
+            # budget-free round: when a budget is set, the classic kernel
+            # must do the searching so AugmentationBudgetExceeded →
+            # degraded fires exactly as without the incremental layer.
+            incremental_ctx = (
+                delta is not None
+                and warm_start is not None
+                and self._augmentation_budget is None
+                and type(possession) is PossessionIndex
+            )
+            repaired: Optional[Tuple[np.ndarray, np.ndarray]] = None
+            warm_seed = warm_start
+            if incremental_ctx:
+                try:
+                    repaired = self._try_repair(
+                        requests, possession, current_time, capacities,
+                        warm_start, delta,
+                    )
+                except AugmentationBudgetExceeded:
+                    repair_fallback = True
+                if repaired is None and self._partial_repair is not None:
+                    # The partially repaired assignment only holds valid
+                    # pairs within capacity — a strictly better warm seed.
+                    warm_seed = self._partial_repair
+            else:
+                self._pair_expiry = None
+            if repaired is not None:
+                assignment, pair_expiry = repaired
+                feasible, matched, witness = True, num_requests, None
+                self._pair_expiry = pair_expiry
+                self._repair_rounds = getattr(self, "_repair_rounds", 0) + 1
+            else:
+                if incremental_ctx:
+                    indptr, indices, edge_expiry = possession.adjacency_delta_for(
+                        requests, current_time
+                    )
+                else:
+                    indptr, indices = possession.adjacency_for(
+                        requests, current_time
+                    )
+                    edge_expiry = None
+                try:
+                    hk = hopcroft_karp_matching(
+                        num_left=num_requests,
+                        num_right=n,
+                        indptr=indptr,
+                        indices=indices,
+                        right_capacities=capacities,
+                        initial_assignment=warm_seed,
+                        augmentation_budget=self._augmentation_budget,
+                    )
+                    assignment = hk.assignment
+                    feasible, matched = hk.feasible, hk.matched
+                    witness = hk.unsatisfied_witness
+                except AugmentationBudgetExceeded:
+                    # Graceful degradation: re-solve the identical instance
+                    # (same CSR adjacency, same capacities) with the Dinic
+                    # max-flow kernel.  Maximum-matching cardinality is
+                    # solver-independent, so feasibility and per-round metrics
+                    # are unchanged; only the degraded flag records the event.
+                    edges = [
+                        (i, int(indices[e]))
+                        for i in range(num_requests)
+                        for e in range(int(indptr[i]), int(indptr[i + 1]))
+                    ]
+                    fallback: BMatchingResult = solve_b_matching(
+                        num_left=num_requests,
+                        num_right=n,
+                        edges=edges,
+                        right_capacities=capacities.tolist(),
+                        method="dinic",
+                    )
+                    assignment = fallback.assignment
+                    feasible, matched = fallback.feasible, fallback.matched
+                    witness = fallback.unsatisfied_witness
+                    degraded = True
+                if edge_expiry is not None:
+                    self._pair_expiry = self._pair_expiry_from_csr(
+                        assignment, indptr, indices, edge_expiry
+                    )
 
         served = assignment[assignment >= 0]
         box_load = np.bincount(served, minlength=n).astype(np.int64)
@@ -954,7 +1433,244 @@ class ConnectionMatcher:
             box_load=box_load,
             capacities=capacities,
             degraded=degraded,
+            repair_fallback=repair_fallback,
         )
+
+    # ------------------------------------------------------------------ #
+    # Incremental round path
+    # ------------------------------------------------------------------ #
+    def _pair_expiry_from_csr(
+        self,
+        assignment: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_expiry: np.ndarray,
+    ) -> np.ndarray:
+        """Per-request expiry of the matched pair, from a full expiry CSR.
+
+        Duplicate ``(request, box)`` edges (static holder that also
+        caches) take the *latest* expiry — exactly the round after which
+        the classic validation would drop the pair.
+        """
+        num = assignment.size
+        pair_expiry = np.full(num, -1, dtype=np.int64)
+        if num and indices.size:
+            rows_of = np.repeat(
+                np.arange(num, dtype=np.int64), np.diff(indptr)
+            )
+            hit = indices == assignment[rows_of]
+            if hit.any():
+                np.maximum.at(pair_expiry, rows_of[hit], edge_expiry[hit])
+        return pair_expiry
+
+    def _try_repair(
+        self,
+        requests: RequestSet,
+        possession: PossessionIndex,
+        current_time: int,
+        capacities: np.ndarray,
+        warm_start: Sequence[int],
+        delta: MatchDelta,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Attempt the incremental repair of one round.
+
+        Returns ``(assignment, pair_expiry)`` when the delta was repaired
+        to a perfect — hence maximum — matching, ``None`` when the round
+        must run the full kernel (no usable state, or some request has no
+        augmenting path, i.e. the round is infeasible and needs the
+        kernel's Hall witness).  Raises
+        :class:`~repro.flow.hopcroft_karp.AugmentationBudgetExceeded`
+        when the repair search budget runs out; the caller counts that as
+        a *repair fallback* and re-solves with the full kernel.
+        """
+        self._partial_repair: Optional[np.ndarray] = None
+        pair_expiry_prev = getattr(self, "_pair_expiry", None)
+        if pair_expiry_prev is None:
+            return None
+        num_requests = len(requests)
+        num_new = int(delta.num_new)
+        num_survivors = num_requests - num_new
+        if num_survivors < 0:
+            return None
+        keep = delta.keep_mask
+        if keep is not None:
+            if (
+                keep.size != pair_expiry_prev.size
+                or int(keep.sum()) != num_survivors
+            ):
+                return None
+            pair_expiry_prev = pair_expiry_prev[keep]
+        elif pair_expiry_prev.size != num_survivors:
+            return None
+
+        warm = np.asarray(warm_start, dtype=np.int64)
+        n = capacities.size
+        assignment = warm.copy()
+        pair_expiry = np.empty(num_requests, dtype=np.int64)
+        pair_expiry[:num_survivors] = pair_expiry_prev
+        pair_expiry[num_survivors:] = -1
+
+        # Retire pairs whose backing cache edge aged out of the window.
+        active = assignment >= 0
+        stale = active & (pair_expiry < current_time)
+        if stale.any():
+            assignment[stale] = -1
+            active &= ~stale
+        # Retire pairs on boxes whose capacity dropped below their load
+        # (churn outages, fault brownouts/crashes, busy slots) — keeping,
+        # per box, the first ``cap`` pairs in request order, mirroring the
+        # classic warm validation.
+        load = np.bincount(
+            assignment[active], minlength=n
+        ).astype(np.int64)
+        over = load > capacities
+        if over.any():
+            # Mask lookup instead of np.isin: assignment == -1 reads the
+            # last slot of ``over``, which the active filter discards.
+            affected = np.flatnonzero(active & over[assignment])
+            order = np.argsort(assignment[affected], kind="stable")
+            aff_sorted = affected[order]
+            ab = assignment[aff_sorted]
+            new_group = np.empty(ab.size, dtype=bool)
+            new_group[0] = True
+            new_group[1:] = ab[1:] != ab[:-1]
+            group_start = np.flatnonzero(new_group)
+            group_id = np.cumsum(new_group) - 1
+            rank = np.arange(ab.size, dtype=np.int64) - group_start[group_id]
+            drop = aff_sorted[rank >= capacities[ab]]
+            assignment[drop] = -1
+            load = np.bincount(
+                assignment[assignment >= 0], minlength=n
+            ).astype(np.int64)
+
+        deficit = np.flatnonzero(assignment < 0)
+        if not deficit.size:
+            return assignment, pair_expiry
+
+        # Fresh adjacency for the delta rows only, then a vectorized
+        # multi-pass greedy against the residual capacities.  The cache
+        # blocks are clipped (greedy is a heuristic filler — leftovers go
+        # to the exact search): popular-stripe rows would otherwise carry
+        # thousands of cache edges and dominate the gather.
+        indptr_d, indices_d, expiry_d = possession.adjacency_delta_for(
+            requests, current_time, rows=deficit,
+            max_cache_edges=_GREEDY_MAX_CACHE_EDGES,
+        )
+        residual = capacities - load
+        ptr = indptr_d[:-1].copy()
+        ends = indptr_d[1:]
+        unresolved = np.arange(deficit.size, dtype=np.int64)
+        leftovers: List[np.ndarray] = []
+        while unresolved.size:
+            has_edge = ptr[unresolved] < ends[unresolved]
+            if not has_edge.all():
+                leftovers.append(unresolved[~has_edge])
+                unresolved = unresolved[has_edge]
+                if not unresolved.size:
+                    break
+            cand = indices_d[ptr[unresolved]]
+            order = np.argsort(cand.astype(np.int32), kind="stable")
+            sc = cand[order]
+            new_group = np.empty(sc.size, dtype=bool)
+            new_group[0] = True
+            new_group[1:] = sc[1:] != sc[:-1]
+            group_start = np.flatnonzero(new_group)
+            group_id = np.cumsum(new_group) - 1
+            rank = np.arange(sc.size, dtype=np.int64) - group_start[group_id]
+            ok = np.empty(sc.size, dtype=bool)
+            ok[order] = rank < residual[sc]  # back to row order: stays sorted
+            accepted = unresolved[ok]
+            if accepted.size:
+                acc_boxes = cand[ok]
+                assignment[deficit[accepted]] = acc_boxes
+                pair_expiry[deficit[accepted]] = expiry_d[ptr[accepted]]
+                # Per-box acceptance counts straight from the group
+                # structure: each group takes min(size, residual) rows —
+                # an O(n)-boxes bincount per pass would dwarf the pass.
+                group_sizes = np.empty(group_start.size, dtype=np.int64)
+                group_sizes[:-1] = group_start[1:] - group_start[:-1]
+                group_sizes[-1] = sc.size - group_start[-1]
+                group_boxes = sc[group_start]
+                residual[group_boxes] -= np.minimum(
+                    group_sizes, residual[group_boxes]
+                )
+            rejected = unresolved[~ok]
+            ptr[rejected] += 1
+            # Fast-forward rejected rows past runs of saturated boxes:
+            # residual never grows within a round, so such edges can
+            # never be taken and an argsort pass each is wasted on them.
+            check = rejected
+            while check.size:
+                check = check[ptr[check] < ends[check]]
+                if not check.size:
+                    break
+                check = check[residual[indices_d[ptr[check]]] <= 0]
+                ptr[check] += 1
+            unresolved = rejected
+
+        budget = getattr(self, "_repair_search_budget", None)
+        if budget is None:
+            budget = max(256, 2 * math.isqrt(num_requests), num_requests // 64)
+        if leftovers:
+            remaining = deficit[np.sort(np.concatenate(leftovers))]
+        else:
+            remaining = _EMPTY_INT64
+        if not remaining.size:
+            return assignment, pair_expiry
+        if remaining.size > budget:
+            self._partial_repair = assignment
+            raise AugmentationBudgetExceeded(
+                f"incremental repair budget of {budget} searches exhausted "
+                f"with a deficit of {remaining.size}"
+            )
+
+        # Exhaustive augmentation for the stragglers, over lazily
+        # materialized rows.  Each flipped pair records its edge expiry.
+        if isinstance(requests, ArrayRequestSet):
+            stripes = requests.stripe_id_array
+            boxes = requests.box_id_array
+            times = requests.request_time_array
+        else:
+            stripes = np.fromiter(
+                (r.stripe_id for r in requests), dtype=np.int64, count=num_requests
+            )
+            boxes = np.fromiter(
+                (r.box_id for r in requests), dtype=np.int64, count=num_requests
+            )
+            times = np.fromiter(
+                (r.request_time for r in requests), dtype=np.int64,
+                count=num_requests,
+            )
+        row_cache: Dict[int, Tuple[np.ndarray, List[int], List[int]]] = {}
+
+        def get_row(i: int) -> Tuple[np.ndarray, List[int], List[int]]:
+            row = row_cache.get(i)
+            if row is None:
+                arr, exp = possession.row_with_expiry(
+                    int(stripes[i]), int(boxes[i]), int(times[i]), current_time
+                )
+                row = row_cache[i] = (arr, arr.tolist(), exp.tolist())
+            return row
+
+        load = capacities - residual
+        complete = repair_matching(
+            num_requests,
+            n,
+            get_row,
+            capacities,
+            assignment,
+            load,
+            pair_expiry,
+            remaining.tolist(),
+            search_budget=budget,
+        )
+        if not complete:
+            # Some request has no augmenting path: the round is infeasible
+            # and the full kernel must run for the Hall witness.  Not a
+            # budget event — the partial matching still seeds the kernel.
+            self._partial_repair = assignment
+            return None
+        return assignment, pair_expiry
 
 
 def check_feasibility_hall(

@@ -102,6 +102,10 @@ class PreloadingScheduler:
         self._pending: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
         #: (box, video, demand time) log of scheduled demands, for metrics.
         self._scheduled: List[Demand] = []
+        #: Array-path demand-log blocks ``(time, box_ids, video_ids)`` not
+        #: yet materialized into ``_scheduled`` (lazy — the hot path never
+        #: builds Demand objects).
+        self._scheduled_blocks: List[Tuple[int, np.ndarray, np.ndarray]] = []
 
     @property
     def catalog(self) -> Catalog:
@@ -126,6 +130,24 @@ class PreloadingScheduler:
         """Number of boxes that have entered the swarm of ``video_id`` so far."""
         return self._entry_counter.get(int(video_id), 0)
 
+    def _flush_scheduled(self) -> None:
+        """Materialize queued array-path demand blocks into ``_scheduled``.
+
+        Keeps the object and array logging paths interleavable: whichever
+        entries arrived first appear first.  ``getattr`` tolerates
+        schedulers unpickled from snapshots taken before the lazy log
+        existed.
+        """
+        blocks = getattr(self, "_scheduled_blocks", None)
+        if not blocks:
+            return
+        for time, boxes, videos in blocks:
+            self._scheduled.extend(
+                Demand(time=time, box_id=b, video_id=v)
+                for b, v in zip(boxes.tolist(), videos.tolist())
+            )
+        blocks.clear()
+
     # ------------------------------------------------------------------ #
     # Demand handling
     # ------------------------------------------------------------------ #
@@ -146,6 +168,7 @@ class PreloadingScheduler:
         c = video.num_stripes
         entry_index = self._entry_counter.get(demand.video_id, 0)
         self._entry_counter[demand.video_id] = entry_index + 1
+        self._flush_scheduled()
         self._scheduled.append(demand)
 
         preload_index = entry_index % c
@@ -206,6 +229,7 @@ class PreloadingScheduler:
         boxes = np.empty(n, dtype=np.int64)
         demand_indices = np.empty(n, dtype=np.int64)
         counter = self._entry_counter
+        self._flush_scheduled()
         for j, (demand_index, demand) in enumerate(accepted):
             entry = counter.get(demand.video_id, 0)
             counter[demand.video_id] = entry + 1
@@ -227,6 +251,70 @@ class PreloadingScheduler:
                 )
             )
         return pre_stripes, boxes, demand_indices
+
+    def on_demand_arrays(
+        self,
+        video_ids: np.ndarray,
+        box_ids: np.ndarray,
+        demand_indices: np.ndarray,
+        time: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-path :meth:`on_demands_batch`: no Demand objects at all.
+
+        Produces the same preloading requests and queues the same
+        postponed blocks as the object paths for the same arrivals in the
+        same order; the demand log is recorded lazily (materialized on
+        :attr:`demands_seen` access).  Only valid without
+        ``skip_locally_stored``; all arrivals share round ``time``.
+        """
+        if self._skip_local:
+            raise RuntimeError("on_demand_arrays does not support skip_locally_stored")
+        c = self._catalog.num_stripes_per_video
+        n = int(video_ids.size)
+        time = int(time)
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        # Per-video swarm-entry counters: the j-th arrival of a video this
+        # round preloads stripe (counter + j) mod c.  The stable sort keeps
+        # arrival order within each video, so ranks equal the per-demand
+        # counter values the object path would have used.
+        order = np.argsort(video_ids, kind="stable")
+        sorted_videos = video_ids[order]
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        np.not_equal(sorted_videos[1:], sorted_videos[:-1], out=starts[1:])
+        start_pos = np.flatnonzero(starts)
+        counts = np.diff(np.append(start_pos, n))
+        unique_videos = sorted_videos[start_pos]
+        base = np.empty(unique_videos.size, dtype=np.int64)
+        counter = self._entry_counter
+        for j, vid in enumerate(unique_videos.tolist()):
+            entry = counter.get(vid, 0)
+            base[j] = entry
+            counter[vid] = entry + int(counts[j])
+        rank_sorted = np.arange(n, dtype=np.int64) - np.repeat(start_pos, counts)
+        entry_sorted = base.repeat(counts) + rank_sorted
+        entries = np.empty(n, dtype=np.int64)
+        entries[order] = entry_sorted
+        preload_idx = entries % c
+        blocks = getattr(self, "_scheduled_blocks", None)
+        if blocks is None:
+            blocks = self._scheduled_blocks = []
+        blocks.append((time, box_ids.copy(), video_ids.copy()))
+        pre_stripes = video_ids * c + preload_idx
+        if c > 1:
+            stripe_offsets = np.arange(c, dtype=np.int64)
+            grid = video_ids[:, None] * c + stripe_offsets[None, :]
+            keep = stripe_offsets[None, :] != preload_idx[:, None]
+            self._pending.setdefault(time + 1, []).append(
+                (
+                    grid[keep],
+                    np.repeat(box_ids, c - 1),
+                    np.repeat(demand_indices, c - 1),
+                )
+            )
+        return pre_stripes, box_ids, demand_indices
 
     def due_arrays(self, time: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Pop the postponed requests queued for round ``time`` as arrays.
@@ -275,6 +363,7 @@ class PreloadingScheduler:
     @property
     def demands_seen(self) -> Tuple[Demand, ...]:
         """All demands processed so far (chronological order of arrival)."""
+        self._flush_scheduled()
         return tuple(self._scheduled)
 
     def reset(self) -> None:
@@ -282,6 +371,7 @@ class PreloadingScheduler:
         self._entry_counter.clear()
         self._pending.clear()
         self._scheduled.clear()
+        getattr(self, "_scheduled_blocks", []).clear()
 
 
 class ImmediateRequestScheduler:

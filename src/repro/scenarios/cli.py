@@ -23,6 +23,8 @@ Commands
     solver spot-checks every K-th round (exit code 1 on any failure).
 ``smoke``
     Run every registered scenario for a few rounds — the CI canary.
+    Each scenario runs twice, with the incremental delta-repair path on
+    and forced off, and the per-round records must agree bit for bit.
 """
 
 from __future__ import annotations
@@ -90,6 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
     oracle_p.add_argument("--rounds", type=int, default=None)
     oracle_p.add_argument(
         "--sample-every", type=int, default=1, help="check every k-th round"
+    )
+    oracle_p.add_argument(
+        "--incremental",
+        choices=("on", "off"),
+        default=None,
+        help="pin the engine's incremental delta-repair path (default: "
+        "engine default, i.e. on) so both paths can be certified",
     )
 
     session_p = sub.add_parser(
@@ -218,6 +227,7 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_rounds=args.rounds,
         sample_every=args.sample_every,
+        incremental=None if args.incremental is None else args.incremental == "on",
     )
     print(report.describe())
     for disagreement in report.disagreements:
@@ -336,14 +346,33 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     for name in names:
         try:
             run = run_scenario(name, seed=args.seed, num_rounds=args.rounds)
+            # The smoke-level oracle on the incremental path: re-run with
+            # the delta repair forced off and require every round's
+            # matched cardinality (and the full record: feasibility,
+            # upload usage) to agree with the full per-round solve.
+            full = run_scenario(
+                name, seed=run.seed, num_rounds=args.rounds, incremental=False
+            )
         except (ValueError, ApiError) as exc:
             print(f"{name:<22} ERROR {type(exc).__name__}: {exc}")
+            failures += 1
+            continue
+        if run.round_records != full.round_records:
+            diverged = sum(
+                1
+                for a, b in zip(run.round_records, full.round_records)
+                if a != b
+            )
+            print(
+                f"{name:<22} ERROR incremental/full divergence in "
+                f"{diverged} of {len(run.round_records)} rounds"
+            )
             failures += 1
             continue
         feasible = "feasible" if run.summary["infeasible_rounds"] == 0 else (
             f"{run.summary['infeasible_rounds']} infeasible rounds"
         )
-        print(f"{name:<22} {run.digest[:16]}  {feasible}")
+        print(f"{name:<22} {run.digest[:16]}  {feasible}  inc==full")
     return 1 if failures else 0
 
 

@@ -14,10 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.preloading import Demand
 from repro.workloads.base import DemandGenerator, SystemView
 
 __all__ = ["WorkloadPhase", "PhasedWorkload"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,27 @@ class PhasedWorkload:
     def phases(self) -> Tuple[WorkloadPhase, ...]:
         """The phases, in declaration (priority) order."""
         return self._phases
+
+    def demand_arrays_for_round(
+        self, view: SystemView
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Array-path arrivals when exactly one array-capable phase is active.
+
+        With several phases active (or a generator without the array
+        protocol) this returns ``None`` *without touching any random
+        stream*, and the caller must fall back to
+        :meth:`demands_for_round` — the cross-phase duplicate-box
+        filtering only exists on the object path.
+        """
+        active = [p for p in self._phases if p.active_at(view.time)]
+        if not active:
+            return _EMPTY, _EMPTY
+        if len(active) > 1:
+            return None
+        supplier = getattr(active[0].generator, "demand_arrays_for_round", None)
+        if supplier is None:
+            return None
+        return supplier(view)
 
     def demands_for_round(self, view: SystemView) -> List[Demand]:
         """Collect demands from every phase active at ``view.time``."""

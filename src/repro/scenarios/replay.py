@@ -141,11 +141,19 @@ def run_scenario(
     scenario: Union[str, ScenarioSpec],
     seed: Optional[int] = None,
     num_rounds: Optional[int] = None,
+    incremental: Optional[bool] = None,
 ) -> ScenarioRun:
-    """Build, run and digest a scenario (by name or explicit spec)."""
+    """Build, run and digest a scenario (by name or explicit spec).
+
+    ``incremental`` pins the engine's incremental-matching toggle:
+    ``True``/``False`` force the delta-repair path on/off, ``None``
+    (default) leaves the engine default.
+    """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     rounds = spec.horizon if num_rounds is None else int(num_rounds)
     compiled = build_scenario(spec, seed=seed, min_horizon=rounds)
+    if incremental is not None:
+        compiled.simulator.set_incremental_matching(incremental)
     result = compiled.run(rounds)
     return digest_result(spec, compiled.seed, rounds, result)
 

@@ -34,6 +34,7 @@ from repro.core.heterogeneous import CompensationPlan, RelayedPreloadingSchedule
 from repro.core.matching import (
     ConnectionMatcher,
     ConnectionMatching,
+    MatchDelta,
     PossessionIndex,
     RequestSet,
 )
@@ -217,6 +218,7 @@ class VodSimulator:
         solver: Union[str, Callable[[np.ndarray], "ConnectionMatcher"]] = "hopcroft_karp",
         round_observer: Optional[Callable[[RoundObservation], None]] = None,
         trace_level: str = "full",
+        incremental_matching: bool = True,
     ):
         self._allocation = allocation
         self._catalog = allocation.catalog
@@ -228,6 +230,7 @@ class VodSimulator:
         self._stop_on_infeasible = stop_on_infeasible
         self._churn = churn
         self._warm_start = warm_start
+        self._incremental_matching = bool(incremental_matching)
         self._round_observer = round_observer
         if trace_level not in ("full", "lean"):
             raise ValueError(
@@ -272,6 +275,8 @@ class VodSimulator:
         self._playbacks_started = 0
         self._degraded_rounds = 0
         self._last_round_degraded = False
+        self._repair_fallback_rounds = 0
+        self._last_round_repair_fallback = False
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -335,6 +340,32 @@ class VodSimulator:
     def degraded_rounds(self) -> int:
         """Number of rounds solved through the degraded fallback so far."""
         return getattr(self, "_degraded_rounds", 0)
+
+    @property
+    def last_round_repair_fallback(self) -> bool:
+        """Whether the last round's incremental repair fell back to the full kernel."""
+        return getattr(self, "_last_round_repair_fallback", False)
+
+    @property
+    def repair_fallback_rounds(self) -> int:
+        """Number of rounds whose repair budget forced a full re-solve so far."""
+        return getattr(self, "_repair_fallback_rounds", 0)
+
+    @property
+    def incremental_matching(self) -> bool:
+        """Whether the incremental delta-repair matching path is enabled."""
+        return getattr(self, "_incremental_matching", True)
+
+    def set_incremental_matching(self, enabled: bool) -> None:
+        """Toggle the incremental matching path (benchmarks, A/B tests).
+
+        Disabling also drops the matcher's pair bookkeeping so a later
+        re-enable bootstraps from a clean full solve.
+        """
+        self._incremental_matching = bool(enabled)
+        reset = getattr(self._matcher, "reset_incremental_state", None)
+        if reset is not None:
+            reset()
 
     def set_solver_budget(self, budget) -> None:
         """Set (or clear, with ``None``) the matcher's per-round augmentation budget.
@@ -443,7 +474,8 @@ class VodSimulator:
     def _step(self, workload: DemandGenerator) -> bool:
         time = self._clock.now
         self._possession.evict_before(time)
-        self._pool.drop_expired(time)
+        keep_mask = self._pool.drop_expired_keeping(time)
+        survivors = len(self._pool)
 
         # 1. Demand arrivals.
         view = SystemView(
@@ -454,20 +486,40 @@ class VodSimulator:
             swarms=self._swarms,
             free_boxes=self.free_boxes(time),
         )
-        demands = workload.demands_for_round(view)
-        accepted = self._accept_demands(demands, time)
-        self._metrics.record_demands(len(accepted))
-
-        # 2. Request generation (preload now, postponed queued earlier).
         # The paper's homogeneous preloading strategy flows through the
-        # batched array path; relayed/custom schedulers keep the object
-        # path.  Both produce identical requests in identical order.
-        if type(self._scheduler) is PreloadingScheduler and not (
+        # batched array paths; relayed/custom schedulers and full traces
+        # keep the object path.  All produce identical requests in
+        # identical order.  Workloads exposing the array protocol skip
+        # Demand materialization entirely (steps 1+2 fused on arrays);
+        # the protocol guarantees the same arrivals from the same random
+        # stream as the object path, so the choice is digest-neutral.
+        batched_scheduler = type(self._scheduler) is PreloadingScheduler and not (
             self._scheduler.skip_locally_stored
-        ):
-            new_request_count = self._generate_requests_batched(accepted, time)
+        )
+        demand_arrays = None
+        if batched_scheduler and not self._full_trace and self._plan is None:
+            supplier = getattr(workload, "demand_arrays_for_round", None)
+            if supplier is not None:
+                demand_arrays = supplier(view)
+        if demand_arrays is not None:
+            # 1+2. Demand arrivals and request generation, array path.
+            demand_indices, demand_boxes, demand_videos = self._accept_demand_arrays(
+                demand_arrays[0], demand_arrays[1], time
+            )
+            self._metrics.record_demands(int(demand_indices.size))
+            new_request_count = self._generate_requests_arrays(
+                demand_videos, demand_boxes, demand_indices, time
+            )
         else:
-            new_request_count = self._generate_requests_objects(accepted, time)
+            # 1. Demand arrivals.
+            demands = workload.demands_for_round(view)
+            accepted = self._accept_demands(demands, time)
+            self._metrics.record_demands(len(accepted))
+            # 2. Request generation (preload now, postponed queued earlier).
+            if batched_scheduler:
+                new_request_count = self._generate_requests_batched(accepted, time)
+            else:
+                new_request_count = self._generate_requests_objects(accepted, time)
         self._metrics.record_requests(new_request_count)
 
         # 3. Connection matching over all active requests.  Offline boxes
@@ -481,12 +533,42 @@ class VodSimulator:
         warm = None
         if self._warm_start and len(self._pool):
             warm = self._pool.assigned_snapshot()
-        matching = self._matcher.match(
-            request_set, self._possession, time, busy_slots=busy_slots, warm_start=warm
-        )
+        delta = None
+        if (
+            warm is not None
+            and getattr(self, "_incremental_matching", True)
+            and isinstance(self._matcher, ConnectionMatcher)
+        ):
+            delta = MatchDelta(
+                keep_mask=keep_mask, num_new=len(self._pool) - survivors
+            )
+        if delta is not None:
+            matching = self._matcher.match(
+                request_set,
+                self._possession,
+                time,
+                busy_slots=busy_slots,
+                warm_start=warm,
+                delta=delta,
+            )
+        else:
+            matching = self._matcher.match(
+                request_set,
+                self._possession,
+                time,
+                busy_slots=busy_slots,
+                warm_start=warm,
+            )
         self._last_round_degraded = bool(getattr(matching, "degraded", False))
         if self._last_round_degraded:
             self._degraded_rounds += 1
+        self._last_round_repair_fallback = bool(
+            getattr(matching, "repair_fallback", False)
+        )
+        if self._last_round_repair_fallback:
+            self._repair_fallback_rounds = (
+                getattr(self, "_repair_fallback_rounds", 0) + 1
+            )
         self._pool.apply_matching(matching.assignment, time)
 
         if self._record_connections:
@@ -554,6 +636,33 @@ class VodSimulator:
     ) -> int:
         """Array-path request generation (plain preloading scheduler)."""
         pre_stripes, pre_boxes, pre_demand = self._scheduler.on_demands_batch(accepted)
+        return self._finish_request_generation(
+            pre_stripes, pre_boxes, pre_demand, time
+        )
+
+    def _generate_requests_arrays(
+        self,
+        video_ids: np.ndarray,
+        box_ids: np.ndarray,
+        demand_indices: np.ndarray,
+        time: int,
+    ) -> int:
+        """Request generation from accepted-demand arrays (no Demand objects)."""
+        pre_stripes, pre_boxes, pre_demand = self._scheduler.on_demand_arrays(
+            video_ids, box_ids, demand_indices, time
+        )
+        return self._finish_request_generation(
+            pre_stripes, pre_boxes, pre_demand, time
+        )
+
+    def _finish_request_generation(
+        self,
+        pre_stripes: np.ndarray,
+        pre_boxes: np.ndarray,
+        pre_demand: np.ndarray,
+        time: int,
+    ) -> int:
+        """Shared tail of the batched request paths: postponed pops + pool."""
         post_stripes, post_boxes, post_demand = self._scheduler.due_arrays(time)
         if post_demand.size and (post_demand < 0).any():
             # Blocks queued through the scheduler's object API carry no
@@ -661,6 +770,67 @@ class VodSimulator:
             accepted.append((demand_index, demand))
         return accepted
 
+    def _accept_demand_arrays(
+        self, box_ids: np.ndarray, video_ids: np.ndarray, time: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-path :meth:`_accept_demands` over one round's arrivals.
+
+        Applies the same admission rule (busy boxes rejected; a box's
+        second demand in one round rejected because the first made it
+        busy) and the same side effects — demand log, last-demand map,
+        busy horizon, swarm entries with growth-bound checks — as the
+        object path.  Returns ``(demand_indices, box_ids, video_ids)`` of
+        the accepted arrivals, in arrival order.  Callers gate on lean
+        trace and ``plan is None``.
+        """
+        n = int(box_ids.size)
+        if n and int(video_ids.max()) >= self._catalog.num_videos:
+            bad = int(video_ids[video_ids >= self._catalog.num_videos][0])
+            raise ValueError(
+                f"demand for video {bad} outside catalog of size "
+                f"{self._catalog.num_videos}"
+            )
+        accept = self._busy_until[box_ids] <= time
+        if accept.any():
+            # Keep only each box's first demand of the round: accepting
+            # one makes the box busy, so the object path rejects the rest.
+            order = np.argsort(box_ids, kind="stable")
+            sorted_boxes = box_ids[order]
+            dup_sorted = np.empty(n, dtype=bool)
+            dup_sorted[0] = False
+            np.equal(sorted_boxes[1:], sorted_boxes[:-1], out=dup_sorted[1:])
+            if dup_sorted.any():
+                duplicate = np.empty(n, dtype=bool)
+                duplicate[order] = dup_sorted
+                accept &= ~duplicate
+        kept = int(accept.sum())
+        self._rejected_demands += n - kept
+        if kept == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        boxes = box_ids[accept] if kept != n else box_ids
+        videos = video_ids[accept] if kept != n else video_ids
+
+        ensure_column_capacity(
+            self,
+            ("_demand_time", "_demand_box", "_demand_video", "_demand_started"),
+            self._demand_count,
+            self._demand_count + kept,
+        )
+        lo = self._demand_count
+        hi = lo + kept
+        self._demand_time[lo:hi] = time
+        self._demand_box[lo:hi] = boxes
+        self._demand_video[lo:hi] = videos
+        self._demand_started[lo:hi] = False
+        self._demand_count = hi
+        demand_last = self._demand_last
+        for offset, key in enumerate(zip(boxes.tolist(), videos.tolist())):
+            demand_last[key] = lo + offset
+        self._busy_until[boxes] = time + self._catalog.duration
+        self._swarms.enter_batch(videos, boxes, time)
+        return np.arange(lo, hi, dtype=np.int64), boxes, videos
+
     def _find_demand_index(self, box_id: int, stripe_id: int, time: int) -> Optional[int]:
         """Find the most recent demand of ``box_id`` matching the stripe's video.
 
@@ -685,26 +855,36 @@ class VodSimulator:
         if not served.any():
             return
         d = demand_idx[served]
-        counts = np.bincount(d, minlength=self._demand_count)
-        last_first = np.full(self._demand_count, -1, dtype=np.int64)
+        # Pool entries expire after ``duration`` rounds, so the demand
+        # indices present span a short window — bincount over that window
+        # instead of the whole (ever-growing) demand log.
+        lo = int(d.min())
+        d = d - lo
+        width = self._demand_count - lo
+        counts = np.bincount(d, minlength=width)
+        last_first = np.full(width, -1, dtype=np.int64)
         np.maximum.at(last_first, d, first[served])
         expected = self._catalog.num_stripes_per_video
-        started = self._demand_started[: self._demand_count]
+        started = self._demand_started[lo: self._demand_count]
         # All stripes served, playback round reached, not yet started.
         ready = (counts >= expected) & (last_first + 1 <= time + 1) & ~started
-        for demand_index in np.flatnonzero(ready).tolist():
-            playback_round = int(last_first[demand_index]) + 1
-            delay = playback_round - int(self._demand_time[demand_index]) + 1
-            started[demand_index] = True
-            self._playbacks_started += 1
-            self._metrics.record_startup_delay(delay)
-            if self._full_trace:
+        ready_idx = np.flatnonzero(ready)
+        if not ready_idx.size:
+            return
+        started[ready_idx] = True
+        self._playbacks_started += int(ready_idx.size)
+        playback_rounds = last_first[ready_idx] + 1
+        delays = playback_rounds - self._demand_time[lo + ready_idx] + 1
+        self._metrics.record_startup_delays(delays)
+        if self._full_trace:
+            for k in range(ready_idx.size):
+                demand_index = int(lo + ready_idx[k])
                 self._trace.record(
                     PlaybackStartEvent(
-                        time=playback_round,
+                        time=int(playback_rounds[k]),
                         box_id=int(self._demand_box[demand_index]),
                         video_id=int(self._demand_video[demand_index]),
-                        startup_delay=delay,
+                        startup_delay=int(delays[k]),
                     )
                 )
 

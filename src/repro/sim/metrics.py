@@ -236,6 +236,13 @@ class MetricsCollector:
             raise ValueError("delay must be non-negative")
         self._startup_delays.append(delay)
 
+    def record_startup_delays(self, delays: np.ndarray) -> None:
+        """Record a round's start-up delays in one append."""
+        if delays.size:
+            if int(delays.min()) < 0:
+                raise ValueError("delay must be non-negative")
+            self._startup_delays.extend(delays.tolist())
+
     def record_swarm_violations(self, count: int) -> None:
         """Record the (final) number of swarm-growth violations."""
         if count < 0:

@@ -205,6 +205,21 @@ class ActiveRequestPool:
             return 0
         return self._compact_expired(removed_mask)
 
+    def drop_expired_keeping(self, current_time: int) -> Optional[np.ndarray]:
+        """Like :meth:`drop_expired`, but returns the keep mask.
+
+        ``None`` means no request expired; otherwise the boolean mask (over
+        the pre-drop rows) of the survivors, in order — the delta feed of
+        the incremental matcher.
+        """
+        check_non_negative_integer(current_time, "current_time")
+        removed_mask = self._expired_mask(current_time)
+        if removed_mask is None:
+            return None
+        keep = ~removed_mask
+        self._compact_expired(removed_mask)
+        return keep
+
     def _expired_mask(self, current_time: int) -> Optional[np.ndarray]:
         """Mask of expired rows, or ``None`` when nothing expires."""
         n = self._size

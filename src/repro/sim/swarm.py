@@ -118,6 +118,21 @@ class SwarmRegistry:
         # Size history: video_id -> {round: size at end of round}
         self._history: Dict[int, Dict[int, int]] = {}
         self._violations: List[SwarmGrowthViolation] = []
+        # Rolling size cache for the batched entry path: live sizes as of
+        # round ``_cache_time`` plus per-round arrival counts (to expire
+        # entries leaving the duration window without re-counting entry
+        # logs).  The unbatched ``enter`` bypasses and invalidates it;
+        # ``enter_batch`` then falls back to counting the entry logs.
+        self._size_cache: Dict[int, int] = {}
+        self._round_adds: Dict[int, Dict[int, int]] = {}
+        self._cache_time = -1
+        self._cache_valid = True
+        # Entry blocks accepted by ``enter_batch`` but not yet written to
+        # the per-video logs / size history, as ``(time, videos, boxes,
+        # unique_videos, final_sizes)`` with videos/boxes grouped by video.
+        # Lean runs never query individual swarms, so the grouping work is
+        # deferred until something does.
+        self._pending_entries: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
 
     @property
     def mu(self) -> float:
@@ -129,8 +144,40 @@ class SwarmRegistry:
         """All growth-bound violations observed so far."""
         return tuple(self._violations)
 
+    def _flush_entries(self) -> None:
+        """Write deferred ``enter_batch`` blocks to the per-video logs.
+
+        Blocks keep chronological order, so the logs end up exactly as if
+        every entry had been appended eagerly.  ``getattr`` tolerates
+        registries unpickled from snapshots predating the deferred log.
+        """
+        pending = getattr(self, "_pending_entries", None)
+        if not pending:
+            return
+        self._pending_entries = []
+        for time, videos, boxes, unique_videos, final_sizes in pending:
+            n = int(videos.size)
+            starts = np.empty(n, dtype=bool)
+            starts[0] = True
+            np.not_equal(videos[1:], videos[:-1], out=starts[1:])
+            bounds = np.append(np.flatnonzero(starts), n)
+            for j, vid in enumerate(unique_videos.tolist()):
+                lo, hi = int(bounds[j]), int(bounds[j + 1])
+                swarm = self._swarms.get(vid)
+                if swarm is None:
+                    swarm = self._swarms[vid] = _VideoSwarm()
+                size = swarm.size
+                ensure_column_capacity(swarm, ("boxes", "times"), size, size + hi - lo)
+                if size and time < swarm.times[size - 1]:
+                    swarm.sorted = False
+                swarm.boxes[size : size + hi - lo] = boxes[lo:hi]
+                swarm.times[size : size + hi - lo] = time
+                swarm.size = size + hi - lo
+                self._history.setdefault(vid, {})[time] = int(final_sizes[j])
+
     def size(self, video_id: int, time: int) -> int:
         """Swarm size of ``video_id`` at round ``time`` (members not yet expired)."""
+        self._flush_entries()
         swarm = self._swarms.get(int(video_id))
         if swarm is None:
             return 0
@@ -139,6 +186,7 @@ class SwarmRegistry:
 
     def members(self, video_id: int, time: int) -> List[int]:
         """Boxes in the swarm of ``video_id`` at round ``time``."""
+        self._flush_entries()
         swarm = self._swarms.get(int(video_id))
         if swarm is None:
             return []
@@ -152,6 +200,8 @@ class SwarmRegistry:
         engine surfaces violations in its result.
         """
         video_id = int(video_id)
+        self._cache_valid = False
+        self._flush_entries()
         previous = self.size(video_id, time - 1) if time > 0 else 0
         swarm = self._swarms.get(video_id)
         if swarm is None:
@@ -171,6 +221,123 @@ class SwarmRegistry:
             )
         self._history.setdefault(video_id, {})[int(time)] = new_size
 
+    def enter_batch(
+        self, video_ids: np.ndarray, box_ids: np.ndarray, time: int
+    ) -> None:
+        """Batched :meth:`enter` over one round's arrivals (hot path).
+
+        Records the same swarm entries, growth-bound violations (in the
+        same arrival order, with the same per-entry sizes) and size
+        history as calling :meth:`enter` per ``(video, box)`` pair, but
+        touches each video's entry log once instead of once per arrival.
+        All entries share the arrival round ``time``.
+        """
+        n = int(video_ids.size)
+        if n == 0:
+            return
+        time = int(time)
+        order = np.argsort(video_ids, kind="stable")
+        sorted_videos = video_ids[order]
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        np.not_equal(sorted_videos[1:], sorted_videos[:-1], out=starts[1:])
+        start_pos = np.flatnonzero(starts)
+        counts = np.diff(np.append(start_pos, n))
+        unique_videos = sorted_videos[start_pos]
+
+        base = np.empty(unique_videos.size, dtype=np.int64)
+        previous = np.empty(unique_videos.size, dtype=np.int64)
+        sorted_boxes = box_ids[order]
+
+        # Size queries: O(1) against the rolling cache when it is live,
+        # entry-log counting otherwise (after unbatched enter() calls or
+        # restores from pre-cache snapshots).
+        duration = self._duration
+        cache_live = (
+            getattr(self, "_cache_valid", False) and self._cache_time <= time
+        )
+        if not cache_live:
+            self._cache_valid = False
+            self._flush_entries()
+            for j, vid in enumerate(unique_videos.tolist()):
+                swarm = self._swarms.get(vid)
+                if swarm is None:
+                    swarm = self._swarms[vid] = _VideoSwarm()
+                k = int(counts[j])
+                previous[j] = (
+                    swarm.count(time - 1 - duration, time - 1) if time > 0 else 0
+                )
+                base[j] = swarm.count(time - duration, time)
+                lo = int(start_pos[j])
+                size = swarm.size
+                ensure_column_capacity(swarm, ("boxes", "times"), size, size + k)
+                if size and time < swarm.times[size - 1]:
+                    swarm.sorted = False
+                swarm.boxes[size : size + k] = sorted_boxes[lo : lo + k]
+                swarm.times[size : size + k] = time
+                swarm.size = size + k
+                self._history.setdefault(vid, {})[time] = int(base[j]) + k
+        else:
+            sizes = self._size_cache
+            adds = self._round_adds
+            # Advance pre-append to `time`: entries from the rounds that
+            # left the duration window stop counting.
+            for r in range(self._cache_time + 1, time + 1):
+                expired = adds.get(r - duration)
+                if expired:
+                    for vid, expired_count in expired.items():
+                        left = sizes.get(vid, 0) - expired_count
+                        if left > 0:
+                            sizes[vid] = left
+                        else:
+                            sizes.pop(vid, None)
+            prev_adds = adds.get(time - duration) or {}
+            this_adds = adds.setdefault(time, {})
+            for stale in [r for r in adds if r < time - duration]:
+                del adds[stale]
+            self._cache_time = time
+            for j, vid in enumerate(unique_videos.tolist()):
+                k = int(counts[j])
+                before = sizes.get(vid, 0)
+                previous[j] = (
+                    before - this_adds.get(vid, 0) + prev_adds.get(vid, 0)
+                    if time > 0
+                    else 0
+                )
+                base[j] = before
+                sizes[vid] = before + k
+                this_adds[vid] = this_adds.get(vid, 0) + k
+            # Log writes and size history are deferred: nothing reads them
+            # inside a lean engine round.
+            self._pending_entries.append(
+                (time, sorted_videos, sorted_boxes, unique_videos, base + counts)
+            )
+
+        allowed = np.ceil(np.maximum(previous, 1) * self._mu).astype(np.int64)
+        # Per-entry size after the append, in arrival order: the i-th
+        # arrival of a video this round takes its swarm to base + i + 1
+        # (the stable sort keeps arrival order within each video).
+        rank_sorted = np.arange(n, dtype=np.int64) - np.repeat(start_pos, counts)
+        new_size_sorted = base.repeat(counts) + rank_sorted + 1
+        new_size = np.empty(n, dtype=np.int64)
+        new_size[order] = new_size_sorted
+        allowed_per = np.empty(n, dtype=np.int64)
+        allowed_per[order] = allowed.repeat(counts)
+        previous_per = np.empty(n, dtype=np.int64)
+        previous_per[order] = previous.repeat(counts)
+        violating = new_size > allowed_per
+        if violating.any():
+            for k in np.flatnonzero(violating).tolist():
+                self._violations.append(
+                    SwarmGrowthViolation(
+                        video_id=int(video_ids[k]),
+                        time=time,
+                        previous_size=int(previous_per[k]),
+                        new_size=int(new_size[k]),
+                        allowed_size=int(allowed_per[k]),
+                    )
+                )
+
     def admissible_joiners(self, video_id: int, time: int) -> int:
         """How many boxes may still join ``video_id``'s swarm at round ``time``."""
         previous = self.size(int(video_id), time - 1) if time > 0 else 0
@@ -180,8 +347,10 @@ class SwarmRegistry:
 
     def history(self, video_id: int) -> Dict[int, int]:
         """Recorded swarm sizes of ``video_id`` keyed by round."""
+        self._flush_entries()
         return dict(self._history.get(int(video_id), {}))
 
     def active_videos(self, time: int) -> List[int]:
         """Videos with a non-empty swarm at round ``time``."""
+        self._flush_entries()
         return [vid for vid in self._swarms if self.size(vid, time) > 0]

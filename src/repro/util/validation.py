@@ -13,6 +13,8 @@ from typing import Any
 
 def check_integer(value: Any, name: str) -> int:
     """Return ``value`` as ``int`` or raise ``TypeError``."""
+    if type(value) is int:  # fast path: the abc instancecheck dominates hot loops
+        return value
     if isinstance(value, bool) or not isinstance(value, Integral):
         raise TypeError(f"{name} must be an integer, got {value!r}")
     return int(value)
@@ -36,7 +38,9 @@ def check_non_negative_integer(value: Any, name: str) -> int:
 
 def check_real(value: Any, name: str) -> float:
     """Return ``value`` as ``float`` or raise ``TypeError``."""
-    if isinstance(value, bool) or not isinstance(value, Real):
+    if type(value) is not float and (
+        isinstance(value, bool) or not isinstance(value, Real)
+    ):
         raise TypeError(f"{name} must be a real number, got {value!r}")
     fvalue = float(value)
     if fvalue != fvalue:  # NaN check without importing math

@@ -9,7 +9,7 @@ workloads are contrasted in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +19,16 @@ from repro.util.validation import check_non_negative_integer, check_positive
 from repro.workloads.base import SystemView
 
 __all__ = ["zipf_weights", "ZipfDemandWorkload", "UniformDemandWorkload"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _materialize(time: int, boxes: np.ndarray, videos: np.ndarray) -> List[Demand]:
+    """Demand objects for one round's ``(box, video)`` arrival arrays."""
+    return [
+        Demand(time=time, box_id=b, video_id=v)
+        for b, v in zip(boxes.tolist(), videos.tolist())
+    ]
 
 
 def zipf_weights(num_videos: int, exponent: float = 0.8) -> np.ndarray:
@@ -59,25 +69,34 @@ class ZipfDemandWorkload:
         self._rng = as_generator(random_state)
         self._weights: Optional[np.ndarray] = None
 
-    def demands_for_round(self, view: SystemView) -> List[Demand]:
-        """Draw Poisson(rate) arrivals and assign them Zipf-popular videos."""
+    def demand_arrays_for_round(
+        self, view: SystemView
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array-path :meth:`demands_for_round`: ``(box_ids, video_ids)``.
+
+        Draws from the random stream in exactly the same call sequence as
+        the object path, so either path yields the same arrivals; the
+        boxes are distinct (sampled without replacement).
+        """
         if view.time < self._start:
-            return []
+            return _EMPTY, _EMPTY
         if self._weights is None or self._weights.size != view.catalog.num_videos:
             self._weights = zipf_weights(view.catalog.num_videos, self._exponent)
         count = int(self._rng.poisson(self._rate))
         free = np.asarray(view.free_boxes, dtype=np.int64)
         count = min(count, free.size)
         if count == 0:
-            return []
+            return _EMPTY, _EMPTY
         boxes = self._rng.choice(free, size=count, replace=False)
         videos = self._rng.choice(
             view.catalog.num_videos, size=count, replace=True, p=self._weights
         )
-        return [
-            Demand(time=view.time, box_id=int(b), video_id=int(v))
-            for b, v in zip(boxes, videos)
-        ]
+        return boxes.astype(np.int64, copy=False), videos.astype(np.int64, copy=False)
+
+    def demands_for_round(self, view: SystemView) -> List[Demand]:
+        """Draw Poisson(rate) arrivals and assign them Zipf-popular videos."""
+        boxes, videos = self.demand_arrays_for_round(view)
+        return _materialize(view.time, boxes, videos)
 
 
 class UniformDemandWorkload:
@@ -93,18 +112,22 @@ class UniformDemandWorkload:
         self._start = check_non_negative_integer(start_time, "start_time")
         self._rng = as_generator(random_state)
 
-    def demands_for_round(self, view: SystemView) -> List[Demand]:
-        """Draw Poisson(rate) arrivals over uniformly random videos."""
+    def demand_arrays_for_round(
+        self, view: SystemView
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array-path :meth:`demands_for_round` (same random call sequence)."""
         if view.time < self._start:
-            return []
+            return _EMPTY, _EMPTY
         count = int(self._rng.poisson(self._rate))
         free = np.asarray(view.free_boxes, dtype=np.int64)
         count = min(count, free.size)
         if count == 0:
-            return []
+            return _EMPTY, _EMPTY
         boxes = self._rng.choice(free, size=count, replace=False)
         videos = self._rng.integers(0, view.catalog.num_videos, size=count)
-        return [
-            Demand(time=view.time, box_id=int(b), video_id=int(v))
-            for b, v in zip(boxes, videos)
-        ]
+        return boxes.astype(np.int64, copy=False), videos.astype(np.int64, copy=False)
+
+    def demands_for_round(self, view: SystemView) -> List[Demand]:
+        """Draw Poisson(rate) arrivals over uniformly random videos."""
+        boxes, videos = self.demand_arrays_for_round(view)
+        return _materialize(view.time, boxes, videos)
