@@ -222,6 +222,10 @@ class VodSystem:
         solver: str = "hopcroft_karp",
         round_observer=None,
         trace_level: str = "full",
+        n_shards: Optional[int] = None,
+        shard_host: str = "process",
+        shard_random_state=None,
+        shard_checkpoint_every: int = 8,
     ) -> VodSimulator:
         """Construct the round engine over the adopted allocation.
 
@@ -231,6 +235,12 @@ class VodSystem:
         ready component, or ``None`` for the paper's preloading strategy;
         ``solver`` any registered solver name — including names registered
         by the caller, whose factories are invoked to build the matcher.
+
+        Passing ``n_shards`` returns the sharded multi-process engine
+        (:class:`~repro.shard.ShardedVodSimulator`): the box space is
+        partitioned across that many worker shards (``shard_host``
+        ``"process"`` or ``"inline"``), digest-identical to the
+        single-process engine on the same inputs.
         """
         if self._allocation is None:
             raise ApiError(
@@ -243,6 +253,26 @@ class VodSystem:
         solver_factory = component_factory("solver", solver)
         if isinstance(scheduler, str):
             scheduler = create_component("scheduler", scheduler, self._catalog)
+        if n_shards is not None:
+            from repro.shard import ShardedVodSimulator
+
+            return ShardedVodSimulator(
+                self._allocation,
+                mu=self._mu,
+                scheduler=scheduler,
+                compensation_plan=compensation_plan,
+                record_connections=record_connections,
+                stop_on_infeasible=stop_on_infeasible,
+                churn=churn,
+                warm_start=warm_start,
+                solver=solver_factory,
+                round_observer=round_observer,
+                trace_level=trace_level,
+                n_shards=int(n_shards),
+                shard_host=shard_host,
+                shard_random_state=shard_random_state,
+                shard_checkpoint_every=shard_checkpoint_every,
+            )
         return VodSimulator(
             self._allocation,
             mu=self._mu,

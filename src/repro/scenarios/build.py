@@ -104,6 +104,8 @@ def build_scenario(
     stop_on_infeasible: bool = False,
     round_observer: Optional[Callable[[RoundObservation], None]] = None,
     min_horizon: Optional[int] = None,
+    n_shards: Optional[int] = None,
+    shard_host: str = "process",
 ) -> CompiledScenario:
     """Compile ``spec`` into a fully wired simulator run.
 
@@ -118,6 +120,13 @@ def build_scenario(
     (otherwise the extra rounds would silently be churn-free).  The
     per-round churn draw is prefix-stable, so a longer schedule never
     changes the outages of the earlier rounds.
+
+    ``n_shards`` compiles the scenario onto the sharded multi-process
+    engine (:mod:`repro.shard`) with ``shard_host`` workers.  Sharded
+    runs are digest-identical to single-process runs of the same
+    ``(spec, seed)``: the shard entropy is a dedicated child stream
+    spawned after every other stream (append-stable), and the shard
+    data plane consumes no randomness during the run.
     """
     if seed is None:
         seed = spec.default_seed
@@ -132,6 +141,10 @@ def build_scenario(
     # never perturbs the population/allocation/churn/workload draws, and
     # fault-free specs keep their recorded randomness bit-identical.
     fault_streams = root.spawn(len(spec.faults)) if spec.faults else []
+    # Shard entropy comes last in the spawn order for the same
+    # append-stability reason; it is spawned even for unsharded builds so
+    # that turning sharding on (or off) never perturbs any later spawn.
+    shard_stream = root.spawn(1)[0]
     population_rng = np.random.default_rng(streams[0])
     allocation_rng = np.random.default_rng(streams[1])
     churn_rng = np.random.default_rng(streams[2])
@@ -202,6 +215,9 @@ def build_scenario(
         solver=spec.solver,
         round_observer=round_observer,
         trace_level=spec.trace_level,
+        n_shards=n_shards,
+        shard_host=shard_host,
+        shard_random_state=shard_stream,
     )
     return CompiledScenario(
         spec=spec,

@@ -142,19 +142,31 @@ def run_scenario(
     seed: Optional[int] = None,
     num_rounds: Optional[int] = None,
     incremental: Optional[bool] = None,
+    n_shards: Optional[int] = None,
+    shard_host: str = "process",
 ) -> ScenarioRun:
     """Build, run and digest a scenario (by name or explicit spec).
 
     ``incremental`` pins the engine's incremental-matching toggle:
     ``True``/``False`` force the delta-repair path on/off, ``None``
-    (default) leaves the engine default.
+    (default) leaves the engine default.  ``n_shards`` runs the scenario
+    on the sharded multi-process engine (``shard_host`` ``"process"`` or
+    ``"inline"``); the digest is identical to the single-process run of
+    the same ``(scenario, seed)``.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     rounds = spec.horizon if num_rounds is None else int(num_rounds)
-    compiled = build_scenario(spec, seed=seed, min_horizon=rounds)
+    compiled = build_scenario(
+        spec, seed=seed, min_horizon=rounds, n_shards=n_shards, shard_host=shard_host
+    )
     if incremental is not None:
         compiled.simulator.set_incremental_matching(incremental)
-    result = compiled.run(rounds)
+    try:
+        result = compiled.run(rounds)
+    finally:
+        closer = getattr(compiled.simulator, "close", None)
+        if closer is not None:
+            closer()
     return digest_result(spec, compiled.seed, rounds, result)
 
 

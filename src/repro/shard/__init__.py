@@ -1,0 +1,27 @@
+"""Sharded multi-process engine.
+
+Partitions the box space of a VoD system into ``N`` contiguous shards,
+each holding its slice of the engine's box-side state (busy horizons,
+demand log, playback detection) in its own worker process, under a
+coordinator (:class:`ShardedVodSimulator`) that owns the sequential
+control plane — workload consumption, the preloading scheduler, the
+global request pool and the exact connection matching — and therefore
+stays digest-identical to the single-process engine on every scenario.
+
+See ``docs/architecture.md`` ("Sharded multi-process engine") for the
+partition/reconcile data flow and the determinism argument.
+"""
+
+from repro.shard.coordinator import ShardedVodSimulator
+from repro.shard.host import InlineShardHost, ProcessShardHost, ShardHostError
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import ShardWorker
+
+__all__ = [
+    "ShardPlan",
+    "ShardWorker",
+    "InlineShardHost",
+    "ProcessShardHost",
+    "ShardHostError",
+    "ShardedVodSimulator",
+]

@@ -1,0 +1,687 @@
+"""The sharded simulator: a coordinator over per-shard worker processes.
+
+:class:`ShardedVodSimulator` partitions the *box-side* state of the
+engine across ``n_shards`` workers while keeping every digest-critical
+sequential decision on the coordinator.  Per round:
+
+* **Phase A (partition)** — the round's demand arrivals are split by the
+  owning shard of each demanding box (:class:`~repro.shard.plan.ShardPlan`
+  preserves arrival order within each slice) and every worker admits its
+  slice against its own busy horizons with the shared
+  :func:`~repro.sim.rules.admission_mask` rule.  The coordinator gathers
+  the accept masks back into global arrival order and assigns *global*
+  demand ids in global acceptance order — exactly the demand-log indices
+  the single-process engine would have assigned.
+* **Matching (coordinate)** — request generation, the global request
+  pool and the connection matching run unchanged on the coordinator,
+  inherited from :class:`~repro.sim.engine.VodSimulator`.  This is what
+  makes the sharded run *digest-identical* to the single-process run:
+  the preloading scheduler's per-video stripe rotation and the matcher's
+  choice among maximum matchings (which ``peak_box_load`` observes) are
+  global sequential state that cannot be partitioned without changing
+  the trajectory.
+* **Phase B (reconcile)** — each worker receives its shard's slice of
+  the round's new request blocks and the set of its rows first served
+  this round, mirrors them into its mini pool, and runs playback
+  detection over its own demand log.  The coordinator aggregates the
+  per-shard playback starts and start-up delays into the one global
+  metrics collector, and records the round's cross-shard reconciliation
+  statistics (videos whose active swarm spans shards, connections served
+  across a shard boundary).
+
+Workers hold the per-box data plane (busy horizons, demand logs, mini
+pools, playback detection) — the state that dominates memory at the
+millions-of-boxes tiers — in their own processes; the supervising host
+rebuilds a crashed worker from its last checkpoint without perturbing
+the digest (see :mod:`repro.shard.host`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.preloading import Demand, PreloadingScheduler
+from repro.sim.engine import VodSimulator
+from repro.sim.events import DemandEvent, PlaybackStartEvent, RequestEvent
+from repro.shard.host import InlineShardHost, ProcessShardHost, ShardHostError
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import ShardWorker
+from repro.util.soa import ensure_column_capacity
+
+__all__ = ["ShardedVodSimulator"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_BLOCK = {"stripes": _EMPTY, "boxes": _EMPTY, "demands": _EMPTY}
+
+
+class ShardedVodSimulator(VodSimulator):
+    """A :class:`VodSimulator` whose box-side state runs on shard workers.
+
+    Accepts every :class:`VodSimulator` parameter except that the
+    scheduler must be the plain homogeneous
+    :class:`~repro.core.preloading.PreloadingScheduler` (without
+    ``skip_locally_stored``) and no compensation plan is allowed — the
+    relayed timeline routes requests through relay boxes, which breaks
+    the "a demand's requests live in its own box's shard" partition
+    invariant the workers rely on.
+
+    Parameters (sharding)
+    ---------------------
+    n_shards:
+        Number of box shards (contiguous, near-equal ranges).
+    shard_host:
+        ``"process"`` (default): one forked worker process per shard,
+        supervised with checkpoint + replay recovery.  ``"inline"``: all
+        workers in this process (tests, reference runs).
+    shard_random_state:
+        Entropy source for the per-shard RNG streams (identity tokens);
+        compiled scenarios pass a dedicated child of the master seed.
+    shard_checkpoint_every:
+        Rounds between worker checkpoint captures in the process host.
+    shard_call_timeout:
+        Optional per-command timeout (seconds) in the process host; a
+        worker that exceeds it is treated as crashed and rebuilt.
+    """
+
+    def __init__(
+        self,
+        allocation,
+        mu: float,
+        scheduler=None,
+        compensation_plan=None,
+        record_connections: bool = False,
+        stop_on_infeasible: bool = False,
+        churn=None,
+        warm_start: bool = True,
+        solver="hopcroft_karp",
+        round_observer=None,
+        trace_level: str = "full",
+        incremental_matching: bool = True,
+        *,
+        n_shards: int,
+        shard_host: str = "process",
+        shard_random_state=None,
+        shard_checkpoint_every: int = 8,
+        shard_call_timeout: Optional[float] = None,
+    ):
+        if compensation_plan is not None:
+            raise ValueError(
+                "sharded simulation does not support compensation plans: "
+                "relayed requests cross the box-shard partition"
+            )
+        super().__init__(
+            allocation,
+            mu,
+            scheduler=scheduler,
+            compensation_plan=None,
+            record_connections=record_connections,
+            stop_on_infeasible=stop_on_infeasible,
+            churn=churn,
+            warm_start=warm_start,
+            solver=solver,
+            round_observer=round_observer,
+            trace_level=trace_level,
+            incremental_matching=incremental_matching,
+        )
+        if type(self._scheduler) is not PreloadingScheduler or (
+            self._scheduler.skip_locally_stored
+        ):
+            raise ValueError(
+                "sharded simulation requires the plain PreloadingScheduler "
+                "(without skip_locally_stored); got "
+                f"{type(self._scheduler).__name__}"
+            )
+        if shard_host not in ("process", "inline"):
+            raise ValueError(
+                f"shard_host must be 'process' or 'inline', got {shard_host!r}"
+            )
+        self._shard_plan = ShardPlan(
+            self._population.n, n_shards, shard_random_state
+        )
+        self._host_kind = shard_host
+        self._checkpoint_every = int(shard_checkpoint_every)
+        self._call_timeout = shard_call_timeout
+        workers = [
+            ShardWorker(
+                shard_index=s,
+                box_lo=self._shard_plan.range_of(s)[0],
+                box_hi=self._shard_plan.range_of(s)[1],
+                duration=self._catalog.duration,
+                expected_stripes=self._catalog.num_stripes_per_video,
+                seed_sequence=self._shard_plan.seed_sequences[s],
+            )
+            for s in range(n_shards)
+        ]
+        self._host: Optional[Any] = self._build_host(workers=workers)
+        self._worker_states: Optional[List[bytes]] = None
+
+        # Global demand id -> (owning shard, shard-local demand id).
+        self._gd_shard = np.empty(64, dtype=np.int64)
+        self._gd_local = np.empty(64, dtype=np.int64)
+        # Per pool row (parallel to the global pool, same order):
+        # owning shard and the row's index in that shard's mini pool.
+        self._row_shard = np.empty(64, dtype=np.int64)
+        self._row_local = np.empty(64, dtype=np.int64)
+        # Per-shard request blocks of the current round, staged between
+        # request generation and Phase B.
+        self._pending_blocks: Optional[List[Tuple[Dict, Dict]]] = None
+
+        self._reconciled_rounds = 0
+        self._cross_shard_total = 0
+        self._last_round_cross_shard = 0
+        self._last_round_boundary_videos = 0
+        self._shard_restarts_total = 0
+        self._last_round_shard_restarts = 0
+        self._host_restarts_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Host plumbing
+    # ------------------------------------------------------------------ #
+    def _build_host(self, workers=None, states=None):
+        if self._host_kind == "inline":
+            if workers is None:
+                return InlineShardHost.from_states(states)
+            return InlineShardHost(workers)
+        if workers is None:
+            return ProcessShardHost.from_states(
+                states,
+                checkpoint_every=self._checkpoint_every,
+                call_timeout=self._call_timeout,
+            )
+        return ProcessShardHost(
+            workers,
+            checkpoint_every=self._checkpoint_every,
+            call_timeout=self._call_timeout,
+        )
+
+    def _ensure_host(self):
+        """The live shard host, rebuilt from worker states after a restore."""
+        if self._host is None:
+            if self._worker_states is None:
+                raise ShardHostError(
+                    "shard host is closed and no worker states are available"
+                )
+            self._host = self._build_host(states=self._worker_states)
+            self._worker_states = None
+            self._host_restarts_seen = 0
+            self._validate_workers()
+        return self._host
+
+    def _validate_workers(self) -> None:
+        """Check every worker's identity token against the shard plan.
+
+        A checkpoint restored into the wrong shard slot (or from another
+        run's plan) would silently corrupt the partition; the per-shard
+        RNG tokens make that a hard error instead.
+        """
+        for s in range(self._shard_plan.n_shards):
+            info = self._host.call(s, "info", {})
+            if info["shard_index"] != s or info["token"] != self._shard_plan.tokens[s]:
+                raise ShardHostError(
+                    f"worker in shard slot {s} does not match the shard plan "
+                    f"(got shard {info['shard_index']}, token {info['token']})"
+                )
+
+    def close(self) -> None:
+        """Shut the shard host down (worker processes exit)."""
+        if self._host is not None:
+            self._host.close()
+            self._host = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of box shards."""
+        return self._shard_plan.n_shards
+
+    @property
+    def shard_plan(self) -> ShardPlan:
+        """The box partition in use."""
+        return self._shard_plan
+
+    @property
+    def shard_host_kind(self) -> str:
+        """``"process"`` or ``"inline"``."""
+        return self._host_kind
+
+    @property
+    def shard_restarts(self) -> int:
+        """Worker-process restarts performed so far (crash recoveries)."""
+        return self._shard_restarts_total
+
+    @property
+    def last_round_shard_restarts(self) -> int:
+        """Worker restarts performed during the most recent round."""
+        return self._last_round_shard_restarts
+
+    @property
+    def reconciled_rounds(self) -> int:
+        """Rounds in which at least one video's active swarm spanned shards."""
+        return self._reconciled_rounds
+
+    @property
+    def cross_shard_connections(self) -> int:
+        """Connections served across a shard boundary so far."""
+        return self._cross_shard_total
+
+    @property
+    def last_round_cross_shard_connections(self) -> int:
+        """Cross-shard connections in the most recent round's matching."""
+        return self._last_round_cross_shard
+
+    @property
+    def last_round_boundary_videos(self) -> int:
+        """Videos whose active requests spanned shards in the last round."""
+        return self._last_round_boundary_videos
+
+    def shard_pids(self) -> List[int]:
+        """Hosting process id per shard."""
+        return self._ensure_host().pids()
+
+    def shard_rss(self) -> List[Dict[str, Any]]:
+        """Per-shard ``{"pid", "rss_kib"}`` resident-memory probes."""
+        host = self._ensure_host()
+        return [
+            host.call(s, "rss", {}) for s in range(self._shard_plan.n_shards)
+        ]
+
+    def shard_info(self) -> List[Dict[str, Any]]:
+        """Per-shard state summaries (box range, pool rows, counters)."""
+        host = self._ensure_host()
+        return [
+            host.call(s, "info", {}) for s in range(self._shard_plan.n_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Phase A: partitioned demand admission
+    # ------------------------------------------------------------------ #
+    def _dispatch_admissions(
+        self, box_ids: np.ndarray, video_ids: np.ndarray, time: int
+    ):
+        """Send every shard its arrival slice; gather the accept masks.
+
+        Every worker is called every round — ``begin_round`` also expires
+        the shard's mini-pool rows, which must stay in lockstep with the
+        coordinator's pool even on rounds without arrivals for the shard.
+        """
+        host = self._ensure_host()
+        parts = self._shard_plan.partition_indices(box_ids)
+        accept = np.empty(box_ids.size, dtype=bool)
+        bases: List[int] = []
+        rejected = 0
+        for s, idx in enumerate(parts):
+            response = host.call(
+                s,
+                "begin_round",
+                {
+                    "time": int(time),
+                    "boxes": box_ids[idx],
+                    "videos": video_ids[idx],
+                },
+            )
+            accept[idx] = response["accept"]
+            bases.append(int(response["demand_base"]))
+            rejected += int(response["rejected"])
+        return accept, parts, bases, rejected
+
+    def _register_accepted(
+        self,
+        box_ids: np.ndarray,
+        video_ids: np.ndarray,
+        accept: np.ndarray,
+        parts: List[np.ndarray],
+        bases: List[int],
+        time: int,
+    ) -> Tuple[np.ndarray, np.ndarray, int, int]:
+        """Assign global demand ids in global acceptance order.
+
+        The ids equal the demand-log indices the single-process engine
+        would assign, so everything downstream (scheduler demand columns,
+        postponed-request resolution) sees identical values.  Updates the
+        id translation maps and the coordinator's admission mirrors (busy
+        horizons, last-demand map).
+        """
+        kept = int(accept.sum())
+        lo = self._demand_count
+        hi = lo + kept
+        if kept == 0:
+            self._demand_count = hi
+            return _EMPTY, _EMPTY, lo, hi
+        ensure_column_capacity(self, ("_gd_shard", "_gd_local"), lo, hi)
+        rank = np.cumsum(accept) - 1  # acceptance rank of each arrival
+        for s, idx in enumerate(parts):
+            if not idx.size:
+                continue
+            accepted_positions = idx[accept[idx]]
+            if not accepted_positions.size:
+                continue
+            gids = lo + rank[accepted_positions]
+            self._gd_shard[gids] = s
+            self._gd_local[gids] = bases[s] + np.arange(
+                accepted_positions.size, dtype=np.int64
+            )
+        boxes = box_ids[accept]
+        videos = video_ids[accept]
+        self._busy_until[boxes] = time + self._catalog.duration
+        demand_last = self._demand_last
+        for offset, key in enumerate(zip(boxes.tolist(), videos.tolist())):
+            demand_last[key] = lo + offset
+        self._demand_count = hi
+        return boxes, videos, lo, hi
+
+    def _accept_demand_arrays(
+        self, box_ids: np.ndarray, video_ids: np.ndarray, time: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = int(box_ids.size)
+        if n and int(video_ids.max()) >= self._catalog.num_videos:
+            bad = int(video_ids[video_ids >= self._catalog.num_videos][0])
+            raise ValueError(
+                f"demand for video {bad} outside catalog of size "
+                f"{self._catalog.num_videos}"
+            )
+        accept, parts, bases, rejected = self._dispatch_admissions(
+            box_ids, video_ids, time
+        )
+        self._rejected_demands += rejected
+        boxes, videos, lo, hi = self._register_accepted(
+            box_ids, video_ids, accept, parts, bases, time
+        )
+        if hi == lo:
+            return _EMPTY, _EMPTY, _EMPTY
+        self._swarms.enter_batch(videos, boxes, time)
+        return np.arange(lo, hi, dtype=np.int64), boxes, videos
+
+    def _accept_demands(
+        self, demands: Sequence[Demand], time: int
+    ) -> List[Tuple[int, Demand]]:
+        demands = list(demands)
+        for demand in demands:
+            if demand.time != time:
+                raise ValueError(
+                    f"workload produced a demand for round {demand.time} "
+                    f"during round {time}"
+                )
+            if demand.video_id >= self._catalog.num_videos:
+                raise ValueError(
+                    f"demand for video {demand.video_id} outside catalog of "
+                    f"size {self._catalog.num_videos}"
+                )
+        box_ids = np.fromiter(
+            (d.box_id for d in demands), dtype=np.int64, count=len(demands)
+        )
+        video_ids = np.fromiter(
+            (d.video_id for d in demands), dtype=np.int64, count=len(demands)
+        )
+        accept, parts, bases, rejected = self._dispatch_admissions(
+            box_ids, video_ids, time
+        )
+        self._rejected_demands += rejected
+        _, _, lo, _ = self._register_accepted(
+            box_ids, video_ids, accept, parts, bases, time
+        )
+        accepted: List[Tuple[int, Demand]] = []
+        gid = lo
+        for k, demand in enumerate(demands):
+            if not accept[k]:
+                continue
+            self._swarms.enter(demand.video_id, demand.box_id, time)
+            if self._full_trace:
+                self._trace.record(
+                    DemandEvent(
+                        time=time, box_id=demand.box_id, video_id=demand.video_id
+                    )
+                )
+            accepted.append((gid, demand))
+            gid += 1
+        return accepted
+
+    # ------------------------------------------------------------------ #
+    # Request generation: stage each shard's slice of the new rows
+    # ------------------------------------------------------------------ #
+    def _drop_expired_requests(self, time: int) -> Optional[np.ndarray]:
+        keep = self._pool.drop_expired_keeping(time)
+        if keep is not None:
+            kept = int(keep.sum())
+            self._row_shard[:kept] = self._row_shard[: keep.size][keep]
+            self._recompute_row_locals(kept)
+        return keep
+
+    def _recompute_row_locals(self, count: int) -> None:
+        """Re-rank surviving rows within their shard (order is stable).
+
+        Workers expire exactly the same rows (same per-row expiry rule on
+        the same columns), so the k-th surviving row of shard ``s`` here
+        is the k-th surviving row of worker ``s``'s mini pool.
+        """
+        shards = self._row_shard[:count]
+        for s in range(self._shard_plan.n_shards):
+            positions = np.flatnonzero(shards == s)
+            self._row_local[positions] = np.arange(positions.size, dtype=np.int64)
+
+    def _to_local_demand_ids(self, gids: np.ndarray) -> np.ndarray:
+        """Translate global demand ids to shard-local ones (``-1`` kept)."""
+        if not gids.size:
+            return gids
+        safe = np.where(gids >= 0, gids, 0)
+        return np.where(gids >= 0, self._gd_local[safe], -1)
+
+    def _finish_request_generation(
+        self,
+        pre_stripes: np.ndarray,
+        pre_boxes: np.ndarray,
+        pre_demand: np.ndarray,
+        time: int,
+    ) -> int:
+        post_stripes, post_boxes, post_demand = self._scheduler.due_arrays(time)
+        if post_demand.size and (post_demand < 0).any():
+            post_demand = post_demand.copy()
+            for k in np.flatnonzero(post_demand < 0).tolist():
+                found = self._find_demand_index(
+                    int(post_boxes[k]), int(post_stripes[k]), time
+                )
+                post_demand[k] = -1 if found is None else found
+        survivors = len(self._pool)
+        self._pool.extend_from_arrays(pre_stripes, time, pre_boxes, pre_demand, True)
+        self._pool.extend_from_arrays(
+            post_stripes, time, post_boxes, post_demand, False
+        )
+        self._possession.record_downloads(pre_stripes, pre_boxes, time)
+        self._possession.record_downloads(post_stripes, post_boxes, time)
+        if self._full_trace:
+            for stripes, preload in ((pre_stripes, True), (post_stripes, False)):
+                boxes = pre_boxes if preload else post_boxes
+                for s, b in zip(stripes.tolist(), boxes.tolist()):
+                    self._trace.record(
+                        RequestEvent(
+                            time=time, box_id=b, stripe_id=s, is_preload=preload
+                        )
+                    )
+        self._stage_new_rows(
+            survivors,
+            pre_stripes,
+            pre_boxes,
+            pre_demand,
+            post_stripes,
+            post_boxes,
+            post_demand,
+        )
+        return int(pre_stripes.size + post_stripes.size)
+
+    def _stage_new_rows(
+        self,
+        survivors: int,
+        pre_stripes: np.ndarray,
+        pre_boxes: np.ndarray,
+        pre_demand: np.ndarray,
+        post_stripes: np.ndarray,
+        post_boxes: np.ndarray,
+        post_demand: np.ndarray,
+    ) -> None:
+        """Record shard ownership of the new pool rows; stage Phase B blocks.
+
+        Workers extend their mini pools preload block first, postponed
+        block second — the same order the coordinator extends the global
+        pool — so a shard's mini-pool rows stay a perfect order-preserving
+        projection of the global pool's rows of that shard.
+        """
+        plan = self._shard_plan
+        n_shards = plan.n_shards
+        if survivors:
+            shard_rows = np.bincount(
+                self._row_shard[:survivors], minlength=n_shards
+            )
+        else:
+            shard_rows = np.zeros(n_shards, dtype=np.int64)
+        pre_parts = plan.partition_indices(pre_boxes)
+        post_parts = plan.partition_indices(post_boxes)
+        total = survivors + int(pre_stripes.size) + int(post_stripes.size)
+        ensure_column_capacity(self, ("_row_shard", "_row_local"), survivors, total)
+        blocks: List[Tuple[Dict, Dict]] = []
+        for s in range(n_shards):
+            pi = pre_parts[s]
+            qi = post_parts[s]
+            base = int(shard_rows[s])
+            pre_rows = survivors + pi
+            post_rows = survivors + int(pre_stripes.size) + qi
+            self._row_shard[pre_rows] = s
+            self._row_shard[post_rows] = s
+            self._row_local[pre_rows] = base + np.arange(pi.size, dtype=np.int64)
+            self._row_local[post_rows] = base + pi.size + np.arange(
+                qi.size, dtype=np.int64
+            )
+            blocks.append(
+                (
+                    {
+                        "stripes": pre_stripes[pi],
+                        "boxes": pre_boxes[pi],
+                        "demands": self._to_local_demand_ids(pre_demand[pi]),
+                    },
+                    {
+                        "stripes": post_stripes[qi],
+                        "boxes": post_boxes[qi],
+                        "demands": self._to_local_demand_ids(post_demand[qi]),
+                    },
+                )
+            )
+        self._pending_blocks = blocks
+
+    # ------------------------------------------------------------------ #
+    # Phase B: reconcile matching results, detect playback starts
+    # ------------------------------------------------------------------ #
+    def _detect_playback_starts(self, time: int) -> None:
+        host = self._ensure_host()
+        blocks = self._pending_blocks
+        self._pending_blocks = None
+        if blocks is None:
+            blocks = [
+                (_EMPTY_BLOCK, _EMPTY_BLOCK)
+                for _ in range(self._shard_plan.n_shards)
+            ]
+        n = len(self._pool)
+        row_shard = self._row_shard[:n]
+        row_local = self._row_local[:n]
+        # Rows first served this round: apply_matching just stamped them.
+        newly = np.flatnonzero(self._pool.first_matched == time)
+        want_events = self._full_trace
+        for s in range(self._shard_plan.n_shards):
+            shard_newly = newly[row_shard[newly] == s]
+            response = host.call(
+                s,
+                "end_round",
+                {
+                    "time": int(time),
+                    "pre": blocks[s][0],
+                    "post": blocks[s][1],
+                    "matched_rows": row_local[shard_newly],
+                    "want_events": want_events,
+                },
+            )
+            if response["playbacks"]:
+                self._playbacks_started += int(response["playbacks"])
+                self._metrics.record_startup_delays(response["delays"])
+                if want_events:
+                    event_boxes, event_videos, event_rounds = response["events"]
+                    delays = response["delays"]
+                    for k in range(event_boxes.size):
+                        self._trace.record(
+                            PlaybackStartEvent(
+                                time=int(event_rounds[k]),
+                                box_id=int(event_boxes[k]),
+                                video_id=int(event_videos[k]),
+                                startup_delay=int(delays[k]),
+                            )
+                        )
+        self._update_reconciliation_stats()
+        self._sync_restart_counters()
+        host.checkpoint()
+
+    def _update_reconciliation_stats(self) -> None:
+        """Measure this round's cross-shard coupling.
+
+        *Boundary videos* are videos whose active requests live in more
+        than one shard (their swarm spans the partition); a round with
+        any counts as reconciled.  *Cross-shard connections* are served
+        requests whose server box lives in a different shard than the
+        requesting box — the traffic a real deployment would route
+        between shard hosts.
+        """
+        n = len(self._pool)
+        self._last_round_cross_shard = 0
+        self._last_round_boundary_videos = 0
+        if not n:
+            return
+        plan = self._shard_plan
+        row_shard = self._row_shard[:n]
+        assigned = self._pool.assigned_boxes
+        served = assigned >= 0
+        if served.any():
+            server_shards = plan.shard_of(assigned[served])
+            cross = int((server_shards != row_shard[served]).sum())
+            self._last_round_cross_shard = cross
+            self._cross_shard_total += cross
+        videos = self._pool.stripe_ids // self._catalog.num_stripes_per_video
+        pairs = np.unique(videos * plan.n_shards + row_shard)
+        _, shard_counts = np.unique(pairs // plan.n_shards, return_counts=True)
+        boundary = int((shard_counts > 1).sum())
+        self._last_round_boundary_videos = boundary
+        if boundary:
+            self._reconciled_rounds += 1
+
+    def _sync_restart_counters(self) -> None:
+        current = self._ensure_host().restarts
+        delta = current - self._host_restarts_seen
+        self._host_restarts_seen = current
+        self._last_round_shard_restarts = delta
+        self._shard_restarts_total += delta
+
+    # ------------------------------------------------------------------ #
+    # Unsupported live reconfiguration
+    # ------------------------------------------------------------------ #
+    def join_boxes(self, uploads, storages):
+        raise NotImplementedError(
+            "join_boxes is not supported in sharded mode: the box partition "
+            "is fixed when the shard plan is built"
+        )
+
+    def add_videos(self, num_videos, random_state=None):
+        raise NotImplementedError(
+            "add_videos is not supported in sharded mode"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support (v2 per-shard checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        state = {k: v for k, v in self.__dict__.items() if k != "_host"}
+        if self._host is not None:
+            state["_worker_states"] = self._host.get_states()
+        state["_host_restarts_seen"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._host = None  # rebuilt lazily from _worker_states

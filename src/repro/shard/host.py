@@ -1,0 +1,283 @@
+"""Shard hosts: where the shard workers run and how they survive crashes.
+
+Two hosts implement the same command interface:
+
+* :class:`InlineShardHost` — workers live in the coordinator's process
+  and commands are direct method calls.  No parallelism, no IPC, no
+  crash domain; the reference host for tests and the degenerate
+  ``n_shards=1`` configuration.
+* :class:`ProcessShardHost` — one forked process per shard, commands
+  flow over :class:`multiprocessing.Pipe`.  The host supervises its
+  workers with the checkpoint-and-replay discipline of the orchestrate
+  pool: every ``checkpoint_every`` rounds it captures each worker's
+  pickled state, and it logs every state-mutating command since the last
+  capture.  When a worker process dies mid-run (crash, OOM kill,
+  injected ``SIGKILL``), the host respawns it from the last checkpoint,
+  replays the logged commands — workers are deterministic state
+  machines, so the replayed state is bit-identical — reissues the failed
+  command, and counts the restart.  The run's digest is unchanged by
+  construction.
+
+Worker processes run :func:`repro.faults.process.maybe_inject_worker_fault`
+before every command with the label ``shard-<i>:<command>``, so the
+``REPRO_FAULTS`` chaos machinery can kill a specific shard at a specific
+point, exactly like the campaign workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.shard.worker import ShardWorker
+
+__all__ = ["ShardHostError", "InlineShardHost", "ProcessShardHost"]
+
+#: Commands that do not mutate worker state (not logged for replay).
+_PURE_COMMANDS = frozenset({"get_state", "rss", "info"})
+
+
+class ShardHostError(RuntimeError):
+    """A shard worker failed in a way supervision could not repair."""
+
+
+class _WorkerTimeout(Exception):
+    """A worker exceeded the host's call timeout (treated as a crash)."""
+
+
+class InlineShardHost:
+    """All shards in the coordinator's process; the reference host."""
+
+    kind = "inline"
+
+    def __init__(self, workers: Sequence[ShardWorker]):
+        if not workers:
+            raise ValueError("at least one shard worker is required")
+        self._workers = list(workers)
+
+    @classmethod
+    def from_states(cls, states: Sequence[bytes]) -> "InlineShardHost":
+        """Rebuild a host from pickled worker states (snapshot restore)."""
+        return cls([pickle.loads(state) for state in states])
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards hosted."""
+        return len(self._workers)
+
+    @property
+    def restarts(self) -> int:
+        """Worker restarts performed so far (always 0 inline)."""
+        return 0
+
+    def call(self, shard: int, command: str, payload: Dict[str, Any]) -> Any:
+        """Execute one command on one shard and return its result."""
+        return self._workers[shard].dispatch(command, payload)
+
+    def get_states(self) -> List[bytes]:
+        """Pickled state of every worker (between rounds: a checkpoint)."""
+        return [
+            pickle.dumps(worker, protocol=pickle.HIGHEST_PROTOCOL)
+            for worker in self._workers
+        ]
+
+    def checkpoint(self) -> None:
+        """No-op: inline workers share the coordinator's crash domain."""
+
+    def pids(self) -> List[int]:
+        """Hosting process id per shard (the coordinator's, inline)."""
+        import os
+
+        return [os.getpid()] * len(self._workers)
+
+    def close(self) -> None:
+        """Release the workers."""
+        self._workers = []
+
+
+def _worker_main(conn, state: bytes) -> None:
+    """Entry point of a shard worker process: a command/response loop."""
+    from repro.faults.process import maybe_inject_worker_fault
+
+    worker = pickle.loads(state)
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        command, payload = message
+        maybe_inject_worker_fault(f"shard-{worker.shard_index}:{command}")
+        try:
+            result = worker.dispatch(command, payload)
+        except Exception as exc:  # surfaced to the coordinator, not lost
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            continue
+        conn.send(("ok", result))
+
+
+class ProcessShardHost:
+    """One forked process per shard, supervised with checkpoint + replay."""
+
+    kind = "process"
+
+    def __init__(
+        self,
+        workers: Optional[Sequence[ShardWorker]] = None,
+        *,
+        states: Optional[Sequence[bytes]] = None,
+        checkpoint_every: int = 8,
+        call_timeout: Optional[float] = None,
+    ):
+        if (workers is None) == (states is None):
+            raise ValueError("provide exactly one of workers= or states=")
+        self._call_timeout = call_timeout
+        if workers is not None:
+            states = [
+                pickle.dumps(worker, protocol=pickle.HIGHEST_PROTOCOL)
+                for worker in workers
+            ]
+        self._checkpoints: List[bytes] = list(states)
+        self._logs: List[List[tuple]] = [[] for _ in self._checkpoints]
+        self._checkpoint_every = int(checkpoint_every)
+        self._rounds_since_checkpoint = 0
+        self._restarts = 0
+        self._ctx = multiprocessing.get_context("fork")
+        self._procs: List[Any] = [None] * len(self._checkpoints)
+        self._conns: List[Any] = [None] * len(self._checkpoints)
+        for shard in range(len(self._checkpoints)):
+            self._spawn(shard, self._checkpoints[shard])
+
+    @classmethod
+    def from_states(
+        cls,
+        states: Sequence[bytes],
+        checkpoint_every: int = 8,
+        call_timeout: Optional[float] = None,
+    ) -> "ProcessShardHost":
+        """Rebuild a host from pickled worker states (snapshot restore)."""
+        return cls(
+            states=states,
+            checkpoint_every=checkpoint_every,
+            call_timeout=call_timeout,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of shards hosted."""
+        return len(self._checkpoints)
+
+    @property
+    def restarts(self) -> int:
+        """Worker-process restarts performed so far."""
+        return self._restarts
+
+    def pids(self) -> List[int]:
+        """Worker process id per shard (targets for chaos tests)."""
+        return [proc.pid for proc in self._procs]
+
+    # ------------------------------------------------------------------ #
+    # Supervision
+    # ------------------------------------------------------------------ #
+    def _spawn(self, shard: int, state: bytes) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child, state), daemon=True
+        )
+        proc.start()
+        child.close()
+        self._procs[shard] = proc
+        self._conns[shard] = parent
+
+    def _recover(self, shard: int) -> None:
+        """Rebuild a dead worker from its checkpoint and replay the log."""
+        proc = self._procs[shard]
+        try:
+            self._conns[shard].close()
+        except OSError:
+            pass
+        if proc is not None:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._restarts += 1
+        self._spawn(shard, self._checkpoints[shard])
+        for command, payload in self._logs[shard]:
+            self._roundtrip(shard, command, payload)
+
+    def _roundtrip(self, shard: int, command: str, payload: Dict[str, Any]) -> Any:
+        conn = self._conns[shard]
+        conn.send((command, payload))
+        if self._call_timeout is not None and not conn.poll(self._call_timeout):
+            raise _WorkerTimeout(shard)  # hung worker: treated as crashed
+        status, result = conn.recv()
+        if status != "ok":
+            raise ShardHostError(f"shard {shard} failed {command}: {result}")
+        return result
+
+    def call(self, shard: int, command: str, payload: Dict[str, Any]) -> Any:
+        """Execute one command, recovering the worker once if it died."""
+        try:
+            result = self._roundtrip(shard, command, payload)
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError, _WorkerTimeout):
+            self._recover(shard)
+            result = self._roundtrip(shard, command, payload)
+        if command not in _PURE_COMMANDS:
+            self._logs[shard].append((command, payload))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def get_states(self) -> List[bytes]:
+        """Pickled state of every worker (between rounds: a checkpoint)."""
+        return [
+            self.call(shard, "get_state", {}) for shard in range(self.n_shards)
+        ]
+
+    def checkpoint(self) -> None:
+        """Advance the round counter; capture fresh checkpoints when due.
+
+        Called by the coordinator once per completed round.  Capturing
+        every round would double the per-round IPC, so captures happen
+        every ``checkpoint_every`` rounds and recovery replays at most
+        that many rounds' commands (``checkpoint_every <= 0`` disables
+        periodic captures; recovery then replays from the initial state).
+        """
+        self._rounds_since_checkpoint += 1
+        if (
+            self._checkpoint_every > 0
+            and self._rounds_since_checkpoint >= self._checkpoint_every
+        ):
+            self._checkpoints = self.get_states()
+            self._logs = [[] for _ in self._checkpoints]
+            self._rounds_since_checkpoint = 0
+
+    def close(self) -> None:
+        """Shut every worker process down."""
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for conn, proc in zip(self._conns, self._procs):
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __del__(self):  # best-effort cleanup; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass

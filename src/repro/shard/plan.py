@@ -1,0 +1,104 @@
+"""Shard partition plan: contiguous box ranges plus derived RNG streams.
+
+The box space ``[0, n)`` is split into ``n_shards`` contiguous ranges of
+near-equal size.  Contiguity makes the shard of a box a single integer
+division-free lookup (``searchsorted`` on the range bounds) and keeps
+every per-box array slice of the engine a dense view.
+
+Each shard also receives its own :class:`numpy.random.SeedSequence`,
+derived with :func:`repro.util.rng.spawn_seed_sequences` from one parent
+stream — the same spawn discipline every other stochastic component of a
+compiled scenario uses, so shard streams never collide with workload,
+churn or fault streams and are reproducible from the master seed.  The
+shard data plane is deterministic and consumes no randomness during a
+run; the stream seeds each worker's generator and mints its *identity
+token* (the first draw), which checkpoint restore validates so a shard
+can never be rebuilt from another shard's snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import spawn_seed_sequences
+
+__all__ = ["ShardPlan"]
+
+
+class ShardPlan:
+    """Contiguous partition of ``n_boxes`` into ``n_shards`` ranges."""
+
+    def __init__(self, n_boxes: int, n_shards: int, random_state=None):
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if n_boxes < n_shards:
+            raise ValueError(
+                f"cannot split {n_boxes} boxes into {n_shards} shards: "
+                "every shard needs at least one box"
+            )
+        self._n_boxes = int(n_boxes)
+        self._n_shards = int(n_shards)
+        # bounds[i] .. bounds[i+1] is shard i's box range.
+        self._bounds = np.linspace(0, n_boxes, n_shards + 1).astype(np.int64)
+        self._seed_sequences = spawn_seed_sequences(random_state, n_shards)
+        self._tokens = tuple(
+            int(np.random.default_rng(seq).integers(0, 2**63))
+            for seq in self._seed_sequences
+        )
+
+    @property
+    def n_boxes(self) -> int:
+        """Total number of boxes partitioned."""
+        return self._n_boxes
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self._n_shards
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Range bounds: shard ``i`` owns boxes ``[bounds[i], bounds[i+1])``."""
+        return self._bounds
+
+    @property
+    def seed_sequences(self) -> List[np.random.SeedSequence]:
+        """Per-shard seed sequences (``spawn_seed_sequences`` children)."""
+        return list(self._seed_sequences)
+
+    @property
+    def tokens(self) -> Tuple[int, ...]:
+        """Deterministic per-shard identity tokens (first draw per stream)."""
+        return self._tokens
+
+    def range_of(self, shard: int) -> Tuple[int, int]:
+        """The ``[lo, hi)`` box range of ``shard``."""
+        if not 0 <= shard < self._n_shards:
+            raise ValueError(f"shard {shard} out of range")
+        return int(self._bounds[shard]), int(self._bounds[shard + 1])
+
+    def shard_of(self, box_ids: np.ndarray) -> np.ndarray:
+        """Shard index of each box in ``box_ids`` (vectorized)."""
+        return np.searchsorted(self._bounds, box_ids, side="right") - 1
+
+    def shard_of_box(self, box_id: int) -> int:
+        """Shard index of one box."""
+        if not 0 <= box_id < self._n_boxes:
+            raise ValueError(f"box_id {box_id} out of range")
+        return int(np.searchsorted(self._bounds, box_id, side="right") - 1)
+
+    def partition_indices(self, box_ids: np.ndarray) -> List[np.ndarray]:
+        """Positions of each shard's entries in ``box_ids``, order-preserving.
+
+        ``partition_indices(b)[s]`` are the indices ``i`` (ascending, so
+        relative order survives) with ``b[i]`` owned by shard ``s`` — the
+        round-trip used to scatter per-round arrays to workers and gather
+        their responses back into global arrival order.
+        """
+        shards = self.shard_of(box_ids)
+        return [
+            np.flatnonzero(shards == s).astype(np.int64)
+            for s in range(self._n_shards)
+        ]

@@ -1,0 +1,227 @@
+"""The per-shard worker: the box-partitioned slice of the engine state.
+
+A :class:`ShardWorker` owns, for one contiguous box range:
+
+* the busy horizons of its boxes (demand admission is box-local, so the
+  accept/reject decision partitions exactly across shards);
+* its slice of the demand log (time, box, video, started — the state the
+  playback detector consumes), indexed by *shard-local* demand ids;
+* a mini request pool mirroring the coordinator's global pool rows whose
+  requesting box lives in this shard (same per-row ``first``/``rtime``
+  columns, so both sides expire exactly the same rows every round);
+* playback detection and start-up-delay computation for its demands, via
+  the same :mod:`repro.sim.rules` kernels the single-process engine runs.
+
+Workers are deterministic state machines over the two per-round commands
+(``begin_round``, ``end_round``): replaying the same command log from the
+same checkpoint always reproduces the same state, which is what lets
+:class:`~repro.shard.host.ProcessShardHost` rebuild a crashed worker
+process mid-run without perturbing the run's digest.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.sim.rules import admission_mask, detect_playback_starts
+from repro.sim.scheduler import ActiveRequestPool
+from repro.util.soa import ensure_column_capacity
+
+__all__ = ["ShardWorker"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class ShardWorker:
+    """The deterministic data plane of one shard (see module docstring)."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        box_lo: int,
+        box_hi: int,
+        duration: int,
+        expected_stripes: int,
+        seed_sequence,
+    ):
+        if box_hi <= box_lo:
+            raise ValueError(f"empty box range [{box_lo}, {box_hi})")
+        self.shard_index = int(shard_index)
+        self.box_lo = int(box_lo)
+        self.box_hi = int(box_hi)
+        self._duration = int(duration)
+        self._expected_stripes = int(expected_stripes)
+        self._rng = np.random.default_rng(seed_sequence)
+        #: Identity token: the stream's first draw.  Deterministic per
+        #: (master seed, shard), validated when a checkpoint is restored.
+        self.token = int(self._rng.integers(0, 2**63))
+
+        self._busy_until = np.zeros(self.box_hi - self.box_lo, dtype=np.int64)
+        self._pool = ActiveRequestPool(self._duration)
+        self._demand_count = 0
+        self._demand_time = np.empty(64, dtype=np.int64)
+        self._demand_box = np.empty(64, dtype=np.int64)
+        self._demand_video = np.empty(64, dtype=np.int64)
+        self._demand_started = np.empty(64, dtype=bool)
+        self.rejected_demands = 0
+        self.playbacks_started = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def demand_count(self) -> int:
+        """Shard-local demands logged so far."""
+        return self._demand_count
+
+    @property
+    def pool_rows(self) -> int:
+        """Active mini-pool rows (mirrors the coordinator's rows of this shard)."""
+        return len(self._pool)
+
+    # ------------------------------------------------------------------ #
+    # Per-round phases
+    # ------------------------------------------------------------------ #
+    def begin_round(
+        self, time: int, box_ids: np.ndarray, video_ids: np.ndarray
+    ) -> Dict[str, Any]:
+        """Phase A: expire mini-pool rows, admit this shard's demand arrivals.
+
+        ``box_ids`` are global identifiers (all within this shard's
+        range), in the round's global arrival order restricted to this
+        shard.  Returns the accept mask over that order, the number of
+        rejections and the local demand-id base of the accepted block —
+        accepted arrival ``j`` got local id ``demand_base + j``.
+        """
+        self._pool.drop_expired_keeping(time)
+        base = self._demand_count
+        n = int(box_ids.size)
+        if n == 0:
+            return {"accept": np.empty(0, dtype=bool), "rejected": 0, "demand_base": base}
+        local_boxes = box_ids - self.box_lo
+        accept = admission_mask(self._busy_until, local_boxes, time)
+        kept = int(accept.sum())
+        self.rejected_demands += n - kept
+        if kept:
+            boxes = box_ids[accept]
+            videos = video_ids[accept]
+            ensure_column_capacity(
+                self,
+                ("_demand_time", "_demand_box", "_demand_video", "_demand_started"),
+                base,
+                base + kept,
+            )
+            self._demand_time[base: base + kept] = time
+            self._demand_box[base: base + kept] = boxes
+            self._demand_video[base: base + kept] = videos
+            self._demand_started[base: base + kept] = False
+            self._demand_count = base + kept
+            self._busy_until[boxes - self.box_lo] = time + self._duration
+        return {"accept": accept, "rejected": n - kept, "demand_base": base}
+
+    def end_round(
+        self,
+        time: int,
+        pre: Dict[str, np.ndarray],
+        post: Dict[str, np.ndarray],
+        matched_rows: np.ndarray,
+        want_events: bool,
+    ) -> Dict[str, Any]:
+        """Phase B: mirror new rows and served rows, detect playback starts.
+
+        ``pre``/``post`` hold this shard's slices of the round's preload
+        and postponed request blocks (``stripes``, ``boxes``, ``demands``
+        with *local* demand ids), in the coordinator's order, so the
+        mini-pool rows stay aligned with the global pool's rows of this
+        shard.  ``matched_rows`` are the local row indices (post-expiry,
+        post-extension) first served this round; their ``first`` column is
+        set through the pool's own ``apply_matching`` rule.  Returns the
+        playback starts of the round and their start-up delays (plus the
+        per-start box/video/round arrays when ``want_events``, feeding the
+        coordinator's full event trace).
+        """
+        self._pool.extend_from_arrays(
+            pre["stripes"], time, pre["boxes"], pre["demands"], True
+        )
+        self._pool.extend_from_arrays(
+            post["stripes"], time, post["boxes"], post["demands"], False
+        )
+        if matched_rows.size:
+            assignment = np.full(len(self._pool), -1, dtype=np.int64)
+            assignment[matched_rows] = 0  # synthetic server; only ``first`` matters
+            self._pool.apply_matching(assignment, time)
+        hits = None
+        if len(self._pool):
+            hits = detect_playback_starts(
+                self._pool.demand_indices,
+                self._pool.first_matched,
+                self._demand_count,
+                self._demand_time,
+                self._demand_started,
+                self._expected_stripes,
+                time,
+            )
+        if hits is None:
+            out: Dict[str, Any] = {"playbacks": 0, "delays": _EMPTY}
+            if want_events:
+                out["events"] = (_EMPTY, _EMPTY, _EMPTY)
+            return out
+        ready_idx, playback_rounds, delays = hits
+        self.playbacks_started += int(ready_idx.size)
+        out = {"playbacks": int(ready_idx.size), "delays": delays}
+        if want_events:
+            out["events"] = (
+                self._demand_box[ready_idx].copy(),
+                self._demand_video[ready_idx].copy(),
+                playback_rounds,
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Command dispatch (the host protocol)
+    # ------------------------------------------------------------------ #
+    def dispatch(self, command: str, payload: Dict[str, Any]) -> Any:
+        """Execute one host command; the single entry point of the protocol."""
+        if command == "begin_round":
+            return self.begin_round(
+                payload["time"], payload["boxes"], payload["videos"]
+            )
+        if command == "end_round":
+            return self.end_round(
+                payload["time"],
+                payload["pre"],
+                payload["post"],
+                payload["matched_rows"],
+                payload["want_events"],
+            )
+        if command == "get_state":
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        if command == "rss":
+            return {"pid": os.getpid(), "rss_kib": _process_rss_kib()}
+        if command == "info":
+            return {
+                "shard_index": self.shard_index,
+                "token": self.token,
+                "box_range": (self.box_lo, self.box_hi),
+                "pool_rows": self.pool_rows,
+                "demands": self.demand_count,
+                "rejected_demands": self.rejected_demands,
+                "playbacks_started": self.playbacks_started,
+            }
+        raise ValueError(f"unknown shard command {command!r}")
+
+
+def _process_rss_kib() -> float:
+    """Resident set size of the calling process, in KiB (Linux statm)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE") / 1024.0
+    except (OSError, ValueError, IndexError):
+        import resource
+
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)

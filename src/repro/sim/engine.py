@@ -49,6 +49,7 @@ from repro.sim.events import (
     RequestEvent,
 )
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.rules import admission_mask, detect_playback_starts
 from repro.sim.scheduler import ActiveRequestPool
 from repro.sim.swarm import SwarmRegistry
 from repro.sim.trace import SimulationTrace
@@ -474,7 +475,7 @@ class VodSimulator:
     def _step(self, workload: DemandGenerator) -> bool:
         time = self._clock.now
         self._possession.evict_before(time)
-        keep_mask = self._pool.drop_expired_keeping(time)
+        keep_mask = self._drop_expired_requests(time)
         survivors = len(self._pool)
 
         # 1. Demand arrivals.
@@ -631,6 +632,14 @@ class VodSimulator:
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
+    def _drop_expired_requests(self, time: int) -> Optional[np.ndarray]:
+        """Expire pool rows at the start of a round; returns the keep mask.
+
+        Overridable: the sharded engine keeps per-row shard bookkeeping
+        parallel to the pool and compacts it under the same mask.
+        """
+        return self._pool.drop_expired_keeping(time)
+
     def _generate_requests_batched(
         self, accepted: List[Tuple[int, Demand]], time: int
     ) -> int:
@@ -790,19 +799,7 @@ class VodSimulator:
                 f"demand for video {bad} outside catalog of size "
                 f"{self._catalog.num_videos}"
             )
-        accept = self._busy_until[box_ids] <= time
-        if accept.any():
-            # Keep only each box's first demand of the round: accepting
-            # one makes the box busy, so the object path rejects the rest.
-            order = np.argsort(box_ids, kind="stable")
-            sorted_boxes = box_ids[order]
-            dup_sorted = np.empty(n, dtype=bool)
-            dup_sorted[0] = False
-            np.equal(sorted_boxes[1:], sorted_boxes[:-1], out=dup_sorted[1:])
-            if dup_sorted.any():
-                duplicate = np.empty(n, dtype=bool)
-                duplicate[order] = dup_sorted
-                accept &= ~duplicate
+        accept = admission_mask(self._busy_until, box_ids, time)
         kept = int(accept.sum())
         self._rejected_demands += n - kept
         if kept == 0:
@@ -847,38 +844,25 @@ class VodSimulator:
 
     def _detect_playback_starts(self, time: int) -> None:
         """Emit a playback-start event once all of a demand's stripes were served."""
-        if not len(self._pool) or not self._demand_count:
+        if not len(self._pool):
             return
-        demand_idx = self._pool.demand_indices
-        first = self._pool.first_matched
-        served = (demand_idx >= 0) & (first >= 0)
-        if not served.any():
+        hits = detect_playback_starts(
+            self._pool.demand_indices,
+            self._pool.first_matched,
+            self._demand_count,
+            self._demand_time,
+            self._demand_started,
+            self._catalog.num_stripes_per_video,
+            time,
+        )
+        if hits is None:
             return
-        d = demand_idx[served]
-        # Pool entries expire after ``duration`` rounds, so the demand
-        # indices present span a short window — bincount over that window
-        # instead of the whole (ever-growing) demand log.
-        lo = int(d.min())
-        d = d - lo
-        width = self._demand_count - lo
-        counts = np.bincount(d, minlength=width)
-        last_first = np.full(width, -1, dtype=np.int64)
-        np.maximum.at(last_first, d, first[served])
-        expected = self._catalog.num_stripes_per_video
-        started = self._demand_started[lo: self._demand_count]
-        # All stripes served, playback round reached, not yet started.
-        ready = (counts >= expected) & (last_first + 1 <= time + 1) & ~started
-        ready_idx = np.flatnonzero(ready)
-        if not ready_idx.size:
-            return
-        started[ready_idx] = True
+        ready_idx, playback_rounds, delays = hits
         self._playbacks_started += int(ready_idx.size)
-        playback_rounds = last_first[ready_idx] + 1
-        delays = playback_rounds - self._demand_time[lo + ready_idx] + 1
         self._metrics.record_startup_delays(delays)
         if self._full_trace:
             for k in range(ready_idx.size):
-                demand_index = int(lo + ready_idx[k])
+                demand_index = int(ready_idx[k])
                 self._trace.record(
                     PlaybackStartEvent(
                         time=int(playback_rounds[k]),

@@ -34,6 +34,14 @@ from repro.scenarios.replay import digest_result
 #: runs its registered horizon capped at 20 rounds.
 _ROUND_CAPS = {"scale_tier_10k": 8, "scale_tier_100k": 2, "scale_tier_500k": 2}
 
+#: Tiers whose build alone (allocation draw over millions of boxes) is too
+#: heavy for this sweep; the sharded-engine suite covers their wiring.
+_SWEEP_EXCLUDED = {"scale_tier_2m"}
+
+
+def _sweep_names():
+    return [name for name in scenario_names() if name not in _SWEEP_EXCLUDED]
+
 
 def _rounds_for(name: str) -> int:
     spec = get_scenario(name)
@@ -61,7 +69,7 @@ def _assert_parity(run_inc, run_full) -> None:
         assert run_inc.digest == run_full.digest
 
 
-@pytest.mark.parametrize("name", scenario_names())
+@pytest.mark.parametrize("name", _sweep_names())
 def test_incremental_equals_full_solve(name):
     """Incremental repair reproduces the full solve on every scenario."""
     rounds = _rounds_for(name)

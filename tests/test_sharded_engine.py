@@ -1,0 +1,400 @@
+"""The sharded multi-process engine (:mod:`repro.shard`).
+
+The load-bearing property is *digest parity*: a sharded run — any shard
+count, either host — must reproduce the single-process engine's scenario
+digest bit for bit, because the coordinator keeps every digest-critical
+sequential decision (workload draws, preload stripe rotation, the global
+matcher) and the shards own only the box-partitioned data plane.  The
+tests here pin that parity across scenarios (including a chaos one),
+degenerate shapes (one shard, an empty shard), crash recovery via the
+supervising host, and the v2 per-shard snapshot/restore path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time as time_module
+
+import numpy as np
+import pytest
+
+from repro.api import VodSession, VodSystem
+from repro.api.session import RoundReport
+from repro.scenarios.build import build_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.replay import digest_result, run_scenario
+from repro.shard import ShardedVodSimulator, ShardHostError, ShardPlan
+
+SEED = 4242
+
+#: Scenarios the parity sweep covers: the calibrated baseline, a churn
+#: regime, and one chaos_* fault scenario (driver-injected box crashes).
+PARITY_SCENARIOS = ["steady_state", "churn_storm", "chaos_box_crash"]
+
+
+def _single_process_run(name: str, rounds=None):
+    return run_scenario(name, seed=SEED, num_rounds=rounds)
+
+
+def _sharded_run(name: str, n_shards: int, host: str, rounds=None):
+    return run_scenario(
+        name, seed=SEED, num_rounds=rounds, n_shards=n_shards, shard_host=host
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Digest parity
+# ---------------------------------------------------------------------- #
+class TestDigestParity:
+    @pytest.mark.parametrize("name", PARITY_SCENARIOS)
+    def test_sharded_inline_matches_single_process(self, name):
+        single = _single_process_run(name)
+        sharded = _sharded_run(name, n_shards=3, host="inline")
+        assert sharded.digest == single.digest
+        assert sharded.round_records == single.round_records
+        assert sharded.summary == single.summary
+
+    def test_process_host_matches_single_process(self):
+        single = _single_process_run("steady_state")
+        sharded = _sharded_run("steady_state", n_shards=2, host="process")
+        assert sharded.digest == single.digest
+
+    def test_one_shard_degenerates_to_single_process(self):
+        """n_shards=1 is the identity partition: byte-for-byte identical."""
+        single = _single_process_run("near_threshold_load")
+        sharded = _sharded_run("near_threshold_load", n_shards=1, host="inline")
+        assert sharded.digest == single.digest
+        assert sharded.round_records == single.round_records
+
+    def test_shard_count_does_not_change_the_digest(self):
+        runs = [
+            _sharded_run("steady_state", n_shards=k, host="inline")
+            for k in (2, 4)
+        ]
+        assert runs[0].digest == runs[1].digest
+
+
+# ---------------------------------------------------------------------- #
+# Degenerate partitions: empty shards, single-shard swarms
+# ---------------------------------------------------------------------- #
+def _paired_sessions(n_shards=None):
+    """Two identically seeded facades; one sharded inline, one not."""
+    sessions = []
+    for shards in (None, n_shards):
+        system = VodSystem.configure(
+            catalog={"num_videos": 16, "num_stripes": 4, "duration": 12},
+            population=("homogeneous", {"n": 32, "u": 2.0, "d": 3.0}),
+            mu=1.5,
+        )
+        system.allocate("permutation", replicas_per_stripe=4, seed=7)
+        kwargs = {} if shards is None else {
+            "n_shards": shards, "shard_host": "inline"
+        }
+        sessions.append(system.open_session(horizon=10, **kwargs))
+    return sessions
+
+
+class TestDegenerateShapes:
+    def test_empty_shard_stays_in_lockstep(self):
+        """A shard that never sees a demand still tracks every round.
+
+        All demand goes to shard 0's boxes (0..15), so shard 1's workers
+        stay empty for the whole run — the coordinator must still call
+        them every round (expiry lockstep) and the digest must match the
+        single-process engine fed the same demands.
+        """
+        plain, sharded = _paired_sessions(n_shards=2)
+        engine = sharded.engine
+        assert isinstance(engine, ShardedVodSimulator)
+        lo, hi = engine.shard_plan.range_of(1)
+        for session in (plain, sharded):
+            for round_index in range(10):
+                if round_index % 3 == 0:
+                    box = (round_index * 2) % 8
+                    session.submit_demands([(box, (round_index * 5) % 16)])
+                session.step()
+        info = engine.shard_info()
+        assert info[1]["demands"] == 0
+        assert (lo, hi) == (16, 32)
+        assert sharded.digest() == plain.digest()
+        for session in (plain, sharded):
+            session.close()
+
+    def test_single_shard_swarm_skips_reconciliation(self):
+        """Swarms confined to one shard never trigger reconciliation."""
+        plain, sharded = _paired_sessions(n_shards=2)
+        engine = sharded.engine
+        for session in (plain, sharded):
+            for round_index in range(10):
+                if round_index % 3 == 0:
+                    session.submit_demands([((round_index * 2) % 8, 3)])
+                session.step()
+        assert engine.reconciled_rounds == 0
+        assert engine.last_round_boundary_videos == 0
+        assert sharded.digest() == plain.digest()
+        for session in (plain, sharded):
+            session.close()
+
+    def test_spanning_swarms_are_counted_as_reconciled(self):
+        """The calibrated scenarios do span shards — the stats see it."""
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=3, shard_host="inline"
+        )
+        compiled.run(spec.horizon)
+        sim = compiled.simulator
+        try:
+            assert sim.reconciled_rounds > 0
+            assert sim.cross_shard_connections > 0
+        finally:
+            sim.close()
+
+
+# ---------------------------------------------------------------------- #
+# Construction constraints
+# ---------------------------------------------------------------------- #
+class TestConstruction:
+    def _system(self):
+        system = VodSystem.configure(
+            catalog={"num_videos": 16, "num_stripes": 4, "duration": 12},
+            population=("homogeneous", {"n": 32, "u": 2.0, "d": 3.0}),
+            mu=1.5,
+        )
+        system.allocate("permutation", replicas_per_stripe=4, seed=7)
+        return system
+
+    def test_rejects_bad_shard_host(self):
+        with pytest.raises(ValueError, match="shard_host"):
+            self._system().build_simulator(n_shards=2, shard_host="thread")
+
+    def test_rejects_non_preloading_scheduler(self):
+        with pytest.raises(ValueError, match="PreloadingScheduler"):
+            self._system().build_simulator(
+                n_shards=2, shard_host="inline", scheduler="immediate"
+            )
+
+    def test_rejects_compensation_plan(self):
+        with pytest.raises(ValueError, match="compensation"):
+            self._system().build_simulator(
+                n_shards=2, shard_host="inline", compensation_plan=object()
+            )
+
+    def test_live_reconfiguration_is_refused(self):
+        sim = self._system().build_simulator(n_shards=2, shard_host="inline")
+        try:
+            with pytest.raises(NotImplementedError):
+                sim.join_boxes([2.0], [3.0])
+            with pytest.raises(NotImplementedError):
+                sim.add_videos(1)
+        finally:
+            sim.close()
+
+
+# ---------------------------------------------------------------------- #
+# ShardPlan
+# ---------------------------------------------------------------------- #
+class TestShardPlan:
+    def test_contiguous_cover(self):
+        plan = ShardPlan(100, 3)
+        ranges = [plan.range_of(s) for s in range(3)]
+        assert ranges[0][0] == 0 and ranges[-1][1] == 100
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_shard_of_matches_ranges(self):
+        plan = ShardPlan(97, 4)
+        boxes = np.arange(97)
+        shards = plan.shard_of(boxes)
+        for s in range(4):
+            lo, hi = plan.range_of(s)
+            assert (shards[lo:hi] == s).all()
+            assert plan.shard_of_box(lo) == s
+
+    def test_partition_preserves_arrival_order(self):
+        plan = ShardPlan(40, 4)
+        boxes = np.array([39, 1, 12, 0, 35, 11], dtype=np.int64)
+        parts = plan.partition_indices(boxes)
+        recovered = np.concatenate([p for p in parts if p.size])
+        assert sorted(recovered.tolist()) == list(range(boxes.size))
+        for idx in parts:  # positions stay ascending = arrival order
+            assert (np.diff(idx) > 0).all() if idx.size > 1 else True
+
+    def test_tokens_are_seed_deterministic(self):
+        a = ShardPlan(50, 3, np.random.SeedSequence(9))
+        b = ShardPlan(50, 3, np.random.SeedSequence(9))
+        c = ShardPlan(50, 3, np.random.SeedSequence(10))
+        assert a.tokens == b.tokens
+        assert a.tokens != c.tokens
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot / restore (v2 per-shard checkpoints)
+# ---------------------------------------------------------------------- #
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("host", ["inline", "process"])
+    def test_mid_run_restore_is_bit_identical(self, host):
+        spec = get_scenario("steady_state")
+        rounds = spec.horizon
+        compiled = build_scenario(
+            spec, seed=SEED, min_horizon=rounds, n_shards=2, shard_host=host
+        )
+        session = compiled.session(horizon=rounds)
+        session.step_until(round=rounds // 2)
+        snapshot = session.snapshot()
+        session.step_until(round=rounds)
+        reference = session.digest()
+
+        restored = VodSession.restore(snapshot)
+        restored.step_until(round=rounds)
+        assert restored.digest() == reference
+        assert isinstance(restored.engine, ShardedVodSimulator)
+        assert restored.engine.shard_host_kind == host
+        for handle in (session, restored):
+            handle.close()
+
+    def test_restore_validates_worker_identity(self):
+        """Worker states in the wrong shard slots are a hard error."""
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=2, shard_host="inline"
+        )
+        sim = compiled.simulator
+        compiled.run(4)
+        clone = pickle.loads(pickle.dumps(sim))
+        sim.close()
+        clone._worker_states = list(reversed(clone._worker_states))
+        with pytest.raises(ShardHostError, match="shard plan"):
+            clone.shard_info()
+
+
+# ---------------------------------------------------------------------- #
+# Crash recovery through the supervising host
+# ---------------------------------------------------------------------- #
+class TestCrashRecovery:
+    def test_sigkill_one_worker_preserves_the_digest(self):
+        spec = get_scenario("steady_state")
+        rounds = spec.horizon
+        reference = _single_process_run("steady_state")
+
+        compiled = build_scenario(
+            spec, seed=SEED, min_horizon=rounds, n_shards=2, shard_host="process"
+        )
+        session = compiled.session(horizon=rounds)
+        sim = compiled.simulator
+        session.step_until(round=rounds // 2)
+        victim = sim.shard_pids()[1]
+        os.kill(victim, signal.SIGKILL)
+        time_module.sleep(0.1)
+        session.step_until(round=rounds)
+        run = digest_result(spec, SEED, rounds, session.result())
+        try:
+            assert run.digest == reference.digest
+            assert sim.shard_restarts >= 1
+            assert sim.shard_pids()[1] != victim
+            # The restart surfaced in exactly the reports of the rounds
+            # that performed a recovery, nowhere else.
+            restarts = sum(r.shard_restarts for r in session.reports)
+            assert restarts == sim.shard_restarts
+        finally:
+            session.close()
+
+    def test_host_replays_the_log_since_the_last_checkpoint(self):
+        """Kill between checkpoints: the replayed worker has caught up."""
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=2, shard_host="process"
+        )
+        sim = compiled.simulator
+        session = compiled.session(horizon=12)
+        session.step_until(round=11)  # checkpoint_every=8: log is non-empty
+        before = sim.shard_info()
+        os.kill(sim.shard_pids()[0], signal.SIGKILL)
+        after = sim.shard_info()  # forces recovery on this very call
+        session.step()  # the counters sync at the end of the next round
+        try:
+            assert after == before
+            assert sim.shard_restarts == 1
+        finally:
+            session.close()
+
+
+# ---------------------------------------------------------------------- #
+# RoundReport plumbing
+# ---------------------------------------------------------------------- #
+class TestRoundReportField:
+    def _report(self, **overrides):
+        base = dict(
+            time=3,
+            active_requests=5,
+            new_requests=2,
+            matched=5,
+            unmatched=0,
+            feasible=True,
+            upload_used=5,
+            upload_capacity=9,
+            demands_injected=1,
+            demands_rejected=0,
+            playback_starts=1,
+            offline_boxes=0,
+        )
+        base.update(overrides)
+        return RoundReport(**base)
+
+    def test_serialized_only_when_set(self):
+        assert "shard_restarts" not in self._report().to_dict()
+        payload = self._report(shard_restarts=2).to_dict()
+        assert payload["shard_restarts"] == 2
+
+    def test_roundtrip(self):
+        report = self._report(shard_restarts=1)
+        assert RoundReport.from_dict(report.to_dict()) == report
+        plain = self._report()
+        assert RoundReport.from_dict(plain.to_dict()) == plain
+
+
+# ---------------------------------------------------------------------- #
+# Host details
+# ---------------------------------------------------------------------- #
+class TestHosts:
+    def test_inline_and_process_hosts_agree(self):
+        single = _sharded_run("churn_storm", n_shards=2, host="inline")
+        process = _sharded_run("churn_storm", n_shards=2, host="process")
+        assert process.digest == single.digest
+
+    def test_process_host_exposes_distinct_pids(self):
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=3, shard_host="process"
+        )
+        sim = compiled.simulator
+        try:
+            pids = sim.shard_pids()
+            assert len(set(pids)) == 3
+            assert os.getpid() not in pids
+            for probe in sim.shard_rss():
+                assert probe["rss_kib"] > 0
+        finally:
+            sim.close()
+
+    def test_inline_host_runs_in_this_process(self):
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=2, shard_host="inline"
+        )
+        sim = compiled.simulator
+        try:
+            assert sim.shard_pids() == [os.getpid()] * 2
+        finally:
+            sim.close()
+
+    def test_host_error_on_closed_host_without_states(self):
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=2, shard_host="inline"
+        )
+        sim = compiled.simulator
+        sim.close()
+        with pytest.raises(ShardHostError, match="closed"):
+            sim.shard_info()
