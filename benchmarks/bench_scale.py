@@ -189,6 +189,50 @@ def measure_sharded_relative(rounds: int, repeats: int = 2, seed: int = 7) -> di
     }
 
 
+def measure_event_relative(rounds: int, repeats: int = 2, seed: int = 7) -> dict:
+    """Event-vs-round 10k throughput ratio, same machine, same process.
+
+    Both engines run the identical ``scale_tier_10k`` build; the event
+    run's round-binned records must equal the round engine's record for
+    record (a divergence fails the benchmark).  The ratio — continuous
+    clock over synchronous clock — is machine-relative like the sharded
+    row: both sides see the same hardware, so a drop means the event
+    layer's per-round overhead itself grew.  The event run's latency
+    percentiles ride along, since only that engine can report them.
+    """
+    from repro.scenarios.replay import _round_records
+
+    spec = get_scenario("scale_tier_10k")
+    best: dict = {}
+    results = {}
+    for engine in ("round", "event"):
+        engine_spec = spec.with_overrides(engine=engine)
+        runs = []
+        for _ in range(repeats):
+            compiled = build_scenario(engine_spec, seed=seed, min_horizon=rounds)
+            start = time.perf_counter()
+            result = compiled.run(rounds)
+            runs.append(rounds / (time.perf_counter() - start))
+            results[engine] = result
+        best[engine] = max(runs)
+    assert _round_records(results["round"]) == _round_records(results["event"]), (
+        "event-engine 10k round records diverged from the round engine"
+    )
+    metrics = results["event"].metrics
+    return {
+        "tier": "10k",
+        "rounds": rounds,
+        "round_rounds_per_sec": best["round"],
+        "event_rounds_per_sec": best["event"],
+        "event_ratio": best["event"] / best["round"],
+        "parity": True,
+        "admission_latency_p50": metrics.admission_latency_p50,
+        "admission_latency_p99": metrics.admission_latency_p99,
+        "startup_delay_p50": metrics.startup_delay_p50,
+        "startup_delay_p99": metrics.startup_delay_p99,
+    }
+
+
 def check_regression(committed_path: str, rounds: int, tolerance: float) -> int:
     """Gate on the machine-relative incremental-vs-full ratio.
 
@@ -255,6 +299,35 @@ def check_regression(committed_path: str, rounds: int, tolerance: float) -> int:
         if measured_sharded < sharded_floor:
             print(
                 f"FAIL: sharded-vs-single throughput dropped more than "
+                f"{tolerance * 100:.0f}% below the committed ratio baseline",
+                file=sys.stderr,
+            )
+            failures += 1
+
+    # The event-engine row: gate on the event-vs-round throughput ratio
+    # re-measured here (record-for-record parity is asserted inside).
+    try:
+        recorded_event = float(committed["event_engine"]["event_ratio"])
+    except (KeyError, TypeError, ValueError):
+        print(
+            "event regression       : no committed event_engine baseline — "
+            "run benchmarks/bench_scale.py to create one (skipping)"
+        )
+        recorded_event = None
+    if recorded_event is not None:
+        event = measure_event_relative(rounds)
+        measured_event = event["event_ratio"]
+        event_floor = recorded_event * (1.0 - tolerance)
+        verdict = "OK" if measured_event >= event_floor else "FAIL"
+        print(
+            f"event regression       : event/round ratio {measured_event:.2f}x "
+            f"(event {event['event_rounds_per_sec']:.1f} r/s, round "
+            f"{event['round_rounds_per_sec']:.1f} r/s) vs committed "
+            f"{recorded_event:.2f}x (floor {event_floor:.2f}x) -> {verdict}"
+        )
+        if measured_event < event_floor:
+            print(
+                f"FAIL: event-vs-round throughput dropped more than "
                 f"{tolerance * 100:.0f}% below the committed ratio baseline",
                 file=sys.stderr,
             )
@@ -357,6 +430,16 @@ def main() -> int:
             )
             return 1
 
+    # Event-engine row: same 10k workload on the continuous clock, parity
+    # asserted, machine-relative ratio recorded for the CI gate.
+    event_relative = measure_event_relative(min(rounds, 20))
+    print(
+        f"  10k: event engine {event_relative['event_rounds_per_sec']:8.2f} "
+        f"rounds/s  ({event_relative['event_ratio']:.2f}x round)  "
+        f"parity OK  admission p99 "
+        f"{event_relative['admission_latency_p99']:.3f}"
+    )
+
     measured_10k = records[0]["rounds_per_sec"]
     speedup = measured_10k / BASELINE_10K_ROUNDS_PER_SEC
     print(
@@ -426,6 +509,7 @@ def main() -> int:
         ) and "relative" in previous["sharded"]:
             section["sharded"]["relative"] = previous["sharded"]["relative"]
     artifact["scale"] = section
+    artifact["event_engine"] = event_relative
     with open(output, "w") as handle:
         json.dump(artifact, handle, indent=2)
         handle.write("\n")

@@ -142,17 +142,24 @@ _DEPRECATED_FACADE_ALIASES = {
     ),
 }
 
+#: Alias names that have already warned this process: the shim fires once
+#: per name, not once per attribute access, so a hot loop over the legacy
+#: name cannot flood logs.  Tests reset this set to re-arm the warning.
+_warned_aliases: set = set()
+
 
 def __getattr__(name):
-    """Serve deprecated legacy names lazily, with a migration warning."""
+    """Serve deprecated legacy names lazily, with a one-shot migration warning."""
     alias = _DEPRECATED_FACADE_ALIASES.get(name)
     if alias is not None:
         module_name, attr, hint = alias
-        _warnings.warn(
-            f"repro.{name} is deprecated; {hint}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        if name not in _warned_aliases:
+            _warned_aliases.add(name)
+            _warnings.warn(
+                f"repro.{name} is deprecated; {hint}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         import importlib
 
         return getattr(importlib.import_module(module_name), attr)

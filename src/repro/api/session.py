@@ -103,6 +103,16 @@ class RoundReport:
     #: during this round (always 0 single-process).  Serialized only when
     #: set (same digest-stability rule as ``degraded``).
     shard_restarts: int = 0
+    #: Per-request latency percentiles of this round, reported only by the
+    #: event-driven engine (:mod:`repro.events`): the continuous time from
+    #: a demand's arrival to its admission boundary, and from arrival to
+    #: playback start.  ``None`` on round-engine steps and on rounds with
+    #: no accepted demand / no playback start; serialized only when set,
+    #: so round-engine digests are unchanged.
+    admission_latency_p50: Optional[float] = None
+    admission_latency_p99: Optional[float] = None
+    startup_delay_p50: Optional[float] = None
+    startup_delay_p99: Optional[float] = None
 
     @property
     def utilization(self) -> float:
@@ -121,6 +131,12 @@ class RoundReport:
                 # Only rounds that tripped the flag serialize it: digests of
                 # fault-free runs are byte-identical to earlier recordings.
                 del payload[flag]
+        for name in _LATENCY_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                # Event-engine rounds only: round-engine payloads keep
+                # their historical key set.
+                payload[name] = float(value)
         return payload
 
     @classmethod
@@ -129,6 +145,10 @@ class RoundReport:
         return cls.from_round_stats(
             RoundStats.from_dict(data),
             **{name: int(data.get(name, 0)) for name in _SESSION_ONLY_FIELDS},
+            **{
+                name: None if data.get(name) is None else float(data[name])
+                for name in _LATENCY_FIELDS
+            },
         )
 
     @classmethod
@@ -155,10 +175,21 @@ class RoundReport:
         return RoundStats(**{name: getattr(self, name) for name in _ROUND_STATS_FIELDS})
 
 
-#: RoundReport = the engine's RoundStats fields + these session-only ones.
+#: Optional per-round latency percentiles (event-engine steps only).
+_LATENCY_FIELDS = (
+    "admission_latency_p50",
+    "admission_latency_p99",
+    "startup_delay_p50",
+    "startup_delay_p99",
+)
+
+#: RoundReport = the engine's RoundStats fields + these session-only ones
+#: (all integer counters; the optional latency floats are kept separate).
 _ROUND_STATS_FIELDS = tuple(f.name for f in fields(RoundStats))
 _SESSION_ONLY_FIELDS = tuple(
-    f.name for f in fields(RoundReport) if f.name not in _ROUND_STATS_FIELDS
+    f.name
+    for f in fields(RoundReport)
+    if f.name not in _ROUND_STATS_FIELDS and f.name not in _LATENCY_FIELDS
 )
 
 
@@ -530,6 +561,10 @@ class VodSession:
             degraded=int(engine.last_round_degraded),
             repair_fallback=int(getattr(engine, "last_round_repair_fallback", False)),
             shard_restarts=int(getattr(engine, "last_round_shard_restarts", 0)),
+            **{
+                name: getattr(engine, f"last_round_{name}", None)
+                for name in _LATENCY_FIELDS
+            },
         )
         self._reports.append(report)
         if not feasible and engine._stop_on_infeasible:

@@ -47,6 +47,7 @@ __all__ = [
     "PossessionIndex",
     "ConnectionMatching",
     "ConnectionMatcher",
+    "SortKeyOverflowError",
     "check_feasibility_hall",
 ]
 
@@ -130,6 +131,27 @@ _GREEDY_MAX_CACHE_EDGES = 48
 #: Bits reserved for the time component of the download-log view's
 #: cached ``(stripe, time)`` composite keys — good for 2M rounds.
 _KEY_SHIFT = 21
+
+#: Largest stripe id whose shifted key still fits int64: the cached
+#: encoding spends ``_KEY_SHIFT`` bits on time, leaving 42 for stripes.
+_MAX_KEYABLE_STRIPE = (1 << (63 - _KEY_SHIFT)) - 1
+
+
+def _stripes_keyable(stripes: np.ndarray) -> bool:
+    """True when every stripe id's shifted composite key fits int64."""
+    return stripes.size == 0 or int(stripes.max()) <= _MAX_KEYABLE_STRIPE
+
+
+class SortKeyOverflowError(OverflowError):
+    """A packed ``(stripe, time)`` sort key would exceed the int64 range.
+
+    Raised instead of letting NumPy wrap silently: a wrapped key breaks
+    the per-stripe monotonicity the cache-window ``searchsorted`` relies
+    on, turning overflow into wrong (not just failed) matchings.  Seeing
+    this error means the stripe-id universe outgrew the composite-key
+    encoding — widen ``_KEY_SHIFT``'s complement by moving to a wider key
+    dtype, or shrink the id space.
+    """
 
 
 @dataclass(frozen=True)
@@ -409,7 +431,7 @@ class _DownloadLog:
                 self._view_stripes = stripes[order]
                 self._view_times = self.times[live][order]
                 self._view_boxes = self.boxes[live][order]
-                if self._times_keyable():
+                if self._times_keyable() and _stripes_keyable(self._view_stripes):
                     self._view_keys = (
                         (self._view_stripes << _KEY_SHIFT) + self._view_times
                     )
@@ -421,7 +443,12 @@ class _DownloadLog:
         return self._view_stripes, self._view_times, self._view_boxes
 
     def _times_keyable(self) -> bool:
-        """True when live times fit the fixed composite-key encoding."""
+        """True when live times fit the fixed composite-key encoding.
+
+        Stripe magnitude is checked separately (:func:`_stripes_keyable`)
+        at the two key-build sites, so oversized stripe universes fall
+        back to the dynamic-scale keys instead of wrapping int64.
+        """
         if self.head == self.tail:
             return True
         if not self.sorted:
@@ -491,7 +518,7 @@ class _DownloadLog:
         self._view_stripes = merged_s
         self._view_times = merged_t
         self._view_boxes = merged_b
-        if old_k is not None and self._times_keyable():
+        if old_k is not None and self._times_keyable() and _stripes_keyable(add_s):
             merged_k = np.empty(live_n, dtype=np.int64)
             merged_k[idx] = (add_s << _KEY_SHIFT) + add_t
             merged_k[old_slots] = old_k
@@ -701,6 +728,7 @@ class PossessionIndex:
             and times.size
             and int(times.min()) >= 0
             and int(times.max()) < (1 << _KEY_SHIFT)
+            and _stripes_keyable(stripes)
         ):
             lo = max(current_time - self._window, 0)
             shifted = stripes << _KEY_SHIFT
@@ -716,6 +744,16 @@ class PossessionIndex:
                 current_time - self._window,
             )
             scale = span - base + 2
+            max_stripe = int(sorted_stripes.max()) if sorted_stripes.size else 0
+            if times.size:
+                max_stripe = max(max_stripe, int(stripes.max()))
+            if max_stripe > (np.iinfo(np.int64).max - (span - base)) // scale:
+                raise SortKeyOverflowError(
+                    f"cannot pack (stripe, time) sort keys: max stripe id "
+                    f"{max_stripe} with time span {span - base} overflows "
+                    f"int64 under the dynamic scale {scale}; shrink the "
+                    "stripe-id universe or widen the key dtype"
+                )
             keys = sorted_stripes * scale + (sorted_times - base)
             lo = max(current_time - self._window - base, 0)
             win_lo = np.searchsorted(keys, stripes * scale + lo, side="left")

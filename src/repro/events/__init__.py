@@ -1,0 +1,35 @@
+"""Event-driven continuous-time engine mode.
+
+Layers a deterministic heap-ordered event loop — arrival, expiry, churn,
+fault and playback-start events on a continuous clock — over the round
+engine's state machine, keeping every round record bit-identical to
+:class:`~repro.sim.engine.VodSimulator` while adding the metric the
+round clock cannot express: per-request admission-latency and
+startup-delay distributions.  Select it through the facade
+(``VodSystem.build_simulator(engine="event")``) or a scenario spec's
+``engine`` field; :mod:`repro.events.crosscheck` proves the round
+parity record for record.
+"""
+
+from repro.events.crosscheck import CrosscheckReport, crosscheck_scenario
+from repro.events.engine import EventDrivenVodSimulator
+from repro.events.queue import (
+    Arrival,
+    ChurnTransition,
+    EventQueue,
+    Expiry,
+    FaultInjection,
+    PlaybackStart,
+)
+
+__all__ = [
+    "Arrival",
+    "ChurnTransition",
+    "CrosscheckReport",
+    "EventDrivenVodSimulator",
+    "EventQueue",
+    "Expiry",
+    "FaultInjection",
+    "PlaybackStart",
+    "crosscheck_scenario",
+]

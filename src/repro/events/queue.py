@@ -1,0 +1,130 @@
+"""Deterministic heap-ordered event queue for the continuous-time engine.
+
+Events are plain frozen dataclasses carrying a continuous ``time`` (a
+float — round ``t`` spans ``[t, t + 1)``); the queue orders them by
+``(time, priority, seq)`` where ``priority`` is the fixed per-kind rank
+below and ``seq`` is the push order, so two runs that push the same
+events drain them in exactly the same order — no dict iteration, no id()
+comparisons, nothing address-dependent.  The shape follows the rotorsim
+exemplar (a ``heapq`` of ``(time, priority, seq, event)`` tuples) rather
+than a framework: the queue is a value type the engine owns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "Arrival",
+    "Expiry",
+    "ChurnTransition",
+    "FaultInjection",
+    "PlaybackStart",
+    "EventQueue",
+    "EVENT_PRIORITY",
+]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """A demand arriving at continuous ``time`` within round ``round``."""
+
+    time: float
+    round: int
+    box_id: int
+    video_id: int
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class Expiry:
+    """A box's playback finishing: its busy horizon expires at ``time``."""
+
+    time: float
+    round: int
+    box_id: int
+    demand_index: int
+
+
+@dataclass(frozen=True)
+class ChurnTransition:
+    """A box going offline (``online=False``) or returning, at a boundary."""
+
+    time: float
+    round: int
+    box_id: int
+    online: bool
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A live mutation applied through the session's fault driver."""
+
+    time: float
+    round: int
+    action: str
+    box_id: int
+
+
+@dataclass(frozen=True)
+class PlaybackStart:
+    """A demand's playback starting once all its stripes were served."""
+
+    time: float
+    round: int
+    demand_index: int
+    startup_delay: float
+
+
+#: Drain rank of simultaneous events: expiries free boxes before the
+#: boundary's churn/fault mutations, which land before new arrivals are
+#: admitted; playback starts are observed last (they describe the round
+#: that just completed).
+EVENT_PRIORITY = {
+    Expiry: 0,
+    ChurnTransition: 1,
+    FaultInjection: 2,
+    Arrival: 3,
+    PlaybackStart: 4,
+}
+
+
+class EventQueue:
+    """A deterministic min-heap of simulation events.
+
+    ``push`` accepts any of the event dataclasses above; ``drain_until``
+    pops every event with ``time <= horizon`` in ``(time, priority,
+    seq)`` order.  The queue never compares event payloads, so equal
+    timestamps are always broken by kind rank and then push order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event) -> None:
+        """Add ``event`` to the queue."""
+        priority = EVENT_PRIORITY[type(event)]
+        heapq.heappush(self._heap, (float(event.time), priority, self._seq, event))
+        self._seq += 1
+
+    def drain_until(self, horizon: float) -> Iterator[object]:
+        """Pop and yield every event with ``time < horizon``, in order.
+
+        The bound is exclusive so that events stamped exactly on an
+        integer boundary (expiries, next-round playback starts) belong to
+        the round *starting* there, matching the ``[t, t + 1)`` interval
+        convention.
+        """
+        heap = self._heap
+        while heap and heap[0][0] < horizon:
+            yield heapq.heappop(heap)[3]
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event (raises ``IndexError`` when empty)."""
+        return self._heap[0][0]

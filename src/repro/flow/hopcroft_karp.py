@@ -107,6 +107,18 @@ def csr_from_edges(
     return indptr, right[order]
 
 
+def _stable_right_order(seq_b: np.ndarray) -> np.ndarray:
+    """Stable argsort of right-node ids, radix-friendly when they fit.
+
+    The int32 cast halves the radix passes, but past ``2**31 - 1`` it
+    would wrap negative and silently scramble the CSR adoption order —
+    so ids beyond int32 take the full-width sort instead of the cast.
+    """
+    if seq_b.size and int(seq_b.max()) > np.iinfo(np.int32).max:
+        return np.argsort(seq_b, kind="stable")
+    return np.argsort(seq_b.astype(np.int32), kind="stable")
+
+
 class _LazyRightMatches:
     """Per-right matched-left lists, materialized on first touch.
 
@@ -135,9 +147,8 @@ class _LazyRightMatches:
             seq_i[warm_i.size + k] = i
             seq_b[warm_i.size + k] = b
         # Stable sort by right node keeps, per node, the exact adoption
-        # order (warm pairs in left order, then greedy first-fits).  The
-        # int32 cast halves the radix passes; node ids always fit.
-        order = np.argsort(seq_b.astype(np.int32), kind="stable")
+        # order (warm pairs in left order, then greedy first-fits).
+        order = _stable_right_order(seq_b)
         self._lefts = seq_i[order]
         counts = np.bincount(seq_b, minlength=num_right) if seq_b.size else np.zeros(
             num_right, dtype=np.int64

@@ -127,6 +127,12 @@ def build_scenario(
     ``(spec, seed)``: the shard entropy is a dedicated child stream
     spawned after every other stream (append-stable), and the shard
     data plane consumes no randomness during the run.
+
+    ``spec.engine`` selects the clock: ``"event"`` compiles onto the
+    continuous-time engine (:mod:`repro.events`), whose intra-round
+    arrival offsets come from a dedicated child stream spawned after
+    every other stream — so event-mode compilation never perturbs a
+    round-mode digest of the same seed, and vice versa.
     """
     if seed is None:
         seed = spec.default_seed
@@ -141,10 +147,15 @@ def build_scenario(
     # never perturbs the population/allocation/churn/workload draws, and
     # fault-free specs keep their recorded randomness bit-identical.
     fault_streams = root.spawn(len(spec.faults)) if spec.faults else []
-    # Shard entropy comes last in the spawn order for the same
+    # Shard entropy comes after every earlier stream for the same
     # append-stability reason; it is spawned even for unsharded builds so
     # that turning sharding on (or off) never perturbs any later spawn.
     shard_stream = root.spawn(1)[0]
+    # Event-engine entropy (the intra-round arrival offsets) comes last
+    # and is likewise spawned unconditionally: adding the event engine
+    # perturbed no pre-existing digest, and any stream added later must
+    # follow it.
+    event_stream = root.spawn(1)[0]
     population_rng = np.random.default_rng(streams[0])
     allocation_rng = np.random.default_rng(streams[1])
     churn_rng = np.random.default_rng(streams[2])
@@ -218,6 +229,8 @@ def build_scenario(
         n_shards=n_shards,
         shard_host=shard_host,
         shard_random_state=shard_stream,
+        engine=spec.engine,
+        event_random_state=event_stream,
     )
     return CompiledScenario(
         spec=spec,

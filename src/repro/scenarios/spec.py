@@ -302,6 +302,13 @@ class ScenarioSpec:
         by the compiled scenario: box crash/rejoin bursts, capacity
         brownouts, solver-budget windows.  Serialized only when
         non-empty, for the same golden-compatibility reason.
+    engine:
+        Engine clock mode: ``"round"`` (default, the paper's round
+        engine) or ``"event"`` (the continuous-time event-queue engine of
+        :mod:`repro.events` — round records stay bit-identical, and
+        per-request latency percentiles are additionally reported).
+        Serialized only when non-default, for the same
+        golden-compatibility reason.
     """
 
     name: str
@@ -319,6 +326,7 @@ class ScenarioSpec:
     default_seed: int = 0
     trace_level: str = "full"
     faults: Tuple[FaultSpec, ...] = ()
+    engine: str = "round"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -337,6 +345,10 @@ class ScenarioSpec:
         if self.trace_level not in ("full", "lean"):
             raise ValueError(
                 f"trace_level must be 'full' or 'lean', got {self.trace_level!r}"
+            )
+        if self.engine not in ("round", "event"):
+            raise ValueError(
+                f"engine must be 'round' or 'event', got {self.engine!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -365,6 +377,8 @@ class ScenarioSpec:
             payload["trace_level"] = self.trace_level
         if self.faults:
             payload["faults"] = [fault.to_dict() for fault in self.faults]
+        if self.engine != "round":
+            payload["engine"] = self.engine
         return payload
 
     @classmethod
@@ -391,6 +405,7 @@ class ScenarioSpec:
             faults=tuple(
                 FaultSpec.from_dict(fault) for fault in data.get("faults", ())
             ),
+            engine=str(data.get("engine", "round")),
         )
 
     def with_overrides(
@@ -398,6 +413,7 @@ class ScenarioSpec:
         horizon: Optional[int] = None,
         solver: Optional[str] = None,
         warm_start: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> "ScenarioSpec":
         """Copy with selected fields replaced (used by the CLI and tests)."""
         return ScenarioSpec(
@@ -416,4 +432,5 @@ class ScenarioSpec:
             default_seed=self.default_seed,
             trace_level=self.trace_level,
             faults=self.faults,
+            engine=self.engine if engine is None else engine,
         )

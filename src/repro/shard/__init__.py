@@ -13,7 +13,12 @@ partition/reconcile data flow and the determinism argument.
 """
 
 from repro.shard.coordinator import ShardedVodSimulator
-from repro.shard.host import InlineShardHost, ProcessShardHost, ShardHostError
+from repro.shard.host import (
+    InlineShardHost,
+    ProcessShardHost,
+    ShardHostError,
+    ShardTopologyError,
+)
 from repro.shard.plan import ShardPlan
 from repro.shard.worker import ShardWorker
 
@@ -23,5 +28,6 @@ __all__ = [
     "InlineShardHost",
     "ProcessShardHost",
     "ShardHostError",
+    "ShardTopologyError",
     "ShardedVodSimulator",
 ]

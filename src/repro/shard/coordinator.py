@@ -45,7 +45,12 @@ import numpy as np
 from repro.core.preloading import Demand, PreloadingScheduler
 from repro.sim.engine import VodSimulator
 from repro.sim.events import DemandEvent, PlaybackStartEvent, RequestEvent
-from repro.shard.host import InlineShardHost, ProcessShardHost, ShardHostError
+from repro.shard.host import (
+    InlineShardHost,
+    ProcessShardHost,
+    ShardHostError,
+    ShardTopologyError,
+)
 from repro.shard.plan import ShardPlan
 from repro.shard.worker import ShardWorker
 from repro.util.soa import ensure_column_capacity
@@ -203,6 +208,14 @@ class ShardedVodSimulator(VodSimulator):
                 raise ShardHostError(
                     "shard host is closed and no worker states are available"
                 )
+            if len(self._worker_states) != self._shard_plan.n_shards:
+                raise ShardTopologyError(
+                    f"snapshot carries {len(self._worker_states)} shard worker "
+                    f"state(s) but this coordinator's shard plan expects "
+                    f"{self._shard_plan.n_shards}; restore the checkpoint onto "
+                    "a simulator built with the same n_shards, or re-record "
+                    "it from a matching run"
+                )
             self._host = self._build_host(states=self._worker_states)
             self._worker_states = None
             self._host_restarts_seen = 0
@@ -221,7 +234,10 @@ class ShardedVodSimulator(VodSimulator):
             if info["shard_index"] != s or info["token"] != self._shard_plan.tokens[s]:
                 raise ShardHostError(
                     f"worker in shard slot {s} does not match the shard plan "
-                    f"(got shard {info['shard_index']}, token {info['token']})"
+                    f"(got shard {info['shard_index']}, token {info['token']}); "
+                    "the checkpoint was recorded by a different run or its "
+                    "worker states were reordered — restore it onto the "
+                    "coordinator that recorded it"
                 )
 
     def close(self) -> None:

@@ -32,7 +32,12 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.shard.worker import ShardWorker
 
-__all__ = ["ShardHostError", "InlineShardHost", "ProcessShardHost"]
+__all__ = [
+    "ShardHostError",
+    "ShardTopologyError",
+    "InlineShardHost",
+    "ProcessShardHost",
+]
 
 #: Commands that do not mutate worker state (not logged for replay).
 _PURE_COMMANDS = frozenset({"get_state", "rss", "info"})
@@ -40,6 +45,16 @@ _PURE_COMMANDS = frozenset({"get_state", "rss", "info"})
 
 class ShardHostError(RuntimeError):
     """A shard worker failed in a way supervision could not repair."""
+
+
+class ShardTopologyError(ShardHostError):
+    """Restored worker states do not fit the coordinator's shard plan.
+
+    Raised before any worker is built, so a checkpoint recorded with a
+    different ``n_shards`` (or with missing/extra worker states) fails
+    loudly instead of corrupting the box partition — previously this
+    surfaced as a bare ``IndexError`` deep inside the host.
+    """
 
 
 class _WorkerTimeout(Exception):

@@ -842,10 +842,18 @@ class VodSimulator:
         best = max(direct, relayed)
         return None if best < 0 else best
 
-    def _detect_playback_starts(self, time: int) -> None:
-        """Emit a playback-start event once all of a demand's stripes were served."""
+    def _detect_playback_starts(
+        self, time: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Emit a playback-start event once all of a demand's stripes were served.
+
+        Returns the ``(demand_indices, playback_rounds, startup_delays)``
+        hits (``None`` when nothing starts) so engine subclasses — the
+        event-driven mode in :mod:`repro.events` — can post-process the
+        round's playback starts without re-deriving them.
+        """
         if not len(self._pool):
-            return
+            return None
         hits = detect_playback_starts(
             self._pool.demand_indices,
             self._pool.first_matched,
@@ -856,7 +864,7 @@ class VodSimulator:
             time,
         )
         if hits is None:
-            return
+            return None
         ready_idx, playback_rounds, delays = hits
         self._playbacks_started += int(ready_idx.size)
         self._metrics.record_startup_delays(delays)
@@ -871,6 +879,7 @@ class VodSimulator:
                         startup_delay=int(delays[k]),
                     )
                 )
+        return hits
 
     # ------------------------------------------------------------------ #
     # Live reconfiguration (the repro.api session mutation hooks)

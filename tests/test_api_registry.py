@@ -166,13 +166,29 @@ def test_non_components_fail_protocol_checks():
 # Legacy deprecation shim
 # ---------------------------------------------------------------------- #
 def test_top_level_vodsimulator_warns_and_resolves():
+    repro._warned_aliases.clear()  # re-arm the one-shot warning
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         legacy = repro.VodSimulator
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    # stacklevel=2 must attribute the warning to this file (the caller of
+    # the attribute access), not to repro/__init__.py.
+    assert deprecations[0].filename == __file__
     from repro.sim.engine import VodSimulator
 
     assert legacy is VodSimulator
+
+
+def test_top_level_vodsimulator_warns_exactly_once():
+    repro._warned_aliases.clear()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = repro.VodSimulator
+        second = repro.VodSimulator
+    assert first is second
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
 
 
 def test_engine_path_does_not_warn():

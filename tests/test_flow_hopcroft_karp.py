@@ -195,3 +195,36 @@ class TestKernelEdgeCases:
         assert not result.feasible
         assert result.unsatisfied_witness is not None
         assert len(result.unsatisfied_witness) == num_left
+
+
+class TestStableRightOrder:
+    """The radix-friendly int32 argsort must not wrap large node ids."""
+
+    def test_small_ids_use_int32_and_stay_stable(self):
+        from repro.flow.hopcroft_karp import _stable_right_order
+
+        seq = np.array([5, 2, 5, 2, 0], dtype=np.int64)
+        expected = np.argsort(seq, kind="stable")
+        assert list(_stable_right_order(seq)) == list(expected)
+
+    def test_ids_past_int32_sort_correctly(self):
+        from repro.flow.hopcroft_karp import _stable_right_order
+
+        boundary = np.iinfo(np.int32).max
+        # Just past the int32 boundary: the old unconditional cast wrapped
+        # these negative and scrambled the stable CSR adoption order.
+        seq = np.array(
+            [boundary + 1, 3, boundary + 1, 2, boundary + 2], dtype=np.int64
+        )
+        expected = np.argsort(seq, kind="stable")
+        assert list(_stable_right_order(seq)) == list(expected)
+        wrapped = np.argsort(seq.astype(np.int32), kind="stable")
+        assert list(wrapped) != list(expected)
+
+    def test_boundary_id_still_uses_the_cast(self):
+        from repro.flow.hopcroft_karp import _stable_right_order
+
+        boundary = np.iinfo(np.int32).max
+        seq = np.array([boundary, 0, boundary], dtype=np.int64)
+        expected = np.argsort(seq, kind="stable")
+        assert list(_stable_right_order(seq)) == list(expected)

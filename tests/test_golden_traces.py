@@ -39,6 +39,10 @@ GOLDEN_SCENARIOS = [
     ("chaos_box_crash", 1234),
     ("chaos_brownout", 1234),
     ("chaos_degraded_solver", 1234),
+    # event_steady_state pins the event-driven engine: its summary carries
+    # the latency-percentile keys, so the digest covers the continuous
+    # clock's arrival-offset stream as well as the round-binned records.
+    ("event_steady_state", 1234),
 ]
 
 #: CI budget: heavyweight tiers record fewer rounds than their spec

@@ -5,9 +5,11 @@ import pytest
 
 from repro.core.allocation import Allocation
 from repro.core.matching import (
+    _MAX_KEYABLE_STRIPE,
     ConnectionMatcher,
     PossessionIndex,
     RequestSet,
+    SortKeyOverflowError,
     StripeRequest,
     check_feasibility_hall,
 )
@@ -300,3 +302,65 @@ class TestPossessionSubclassOverrides:
         oracle = ConnectionMatcher(slots, solver="dinic").match(requests, index, current_time=1)
         assert fast.feasible and oracle.feasible
         assert fast.matched == oracle.matched == len(requests)
+
+
+class TestSortKeyOverflowGuards:
+    """Packed ``(stripe, time)`` sort keys must never wrap int64 silently."""
+
+    def _index(self):
+        return PossessionIndex(crafted_allocation(), cache_window=20)
+
+    def test_cached_keys_built_at_the_stripe_boundary(self):
+        index = self._index()
+        index._log.append(_MAX_KEYABLE_STRIPE, 1, 3)
+        keys = index._log.view_keys()
+        assert keys is not None
+        assert int(keys[-1]) == (_MAX_KEYABLE_STRIPE << 21) + 3
+
+    def test_cached_keys_fall_back_just_past_the_stripe_boundary(self):
+        index = self._index()
+        index._log.append(_MAX_KEYABLE_STRIPE + 1, 1, 3)
+        assert index._log.view_keys() is None
+
+    def test_incremental_patch_drops_keys_past_the_boundary(self):
+        index = self._index()
+        index._log.append(0, 1, 0)
+        assert index._log.view_keys() is not None
+        # Appending an oversized stripe patches the existing view; the
+        # cached keys must be dropped rather than wrapped.
+        index._log.append(_MAX_KEYABLE_STRIPE + 1, 2, 1)
+        assert index._log.view_keys() is None
+
+    def test_cache_windows_correct_past_the_boundary(self):
+        """The dynamic-key fallback still finds the cache server."""
+        big = _MAX_KEYABLE_STRIPE + 1
+        index = self._index()
+        index._log.append(big, 4, 3)
+        stripes = np.array([big], dtype=np.int64)
+        times = np.array([5], dtype=np.int64)
+        _, sorted_boxes, win_lo, win_hi = index._cache_windows(
+            stripes, times, current_time=5
+        )
+        assert list(sorted_boxes[int(win_lo[0]): int(win_hi[0])]) == [4]
+
+    def test_fast_path_skips_oversized_request_stripes(self):
+        """Keyable log + oversized *request* stripe routes to the fallback."""
+        big = _MAX_KEYABLE_STRIPE + 1
+        index = self._index()
+        index.record_download(stripe_id=0, box_id=4, time=3)
+        assert index._log.view_keys() is not None
+        stripes = np.array([0, big], dtype=np.int64)
+        times = np.array([5, 5], dtype=np.int64)
+        _, sorted_boxes, win_lo, win_hi = index._cache_windows(
+            stripes, times, current_time=5
+        )
+        assert list(sorted_boxes[int(win_lo[0]): int(win_hi[0])]) == [4]
+        assert int(win_hi[1]) - int(win_lo[1]) <= 0
+
+    def test_dynamic_scale_overflow_raises_typed_error(self):
+        index = self._index()
+        index._log.append(2**62, 1, 3)
+        stripes = np.array([2**62], dtype=np.int64)
+        times = np.array([5], dtype=np.int64)
+        with pytest.raises(SortKeyOverflowError, match="stripe"):
+            index._cache_windows(stripes, times, current_time=5)

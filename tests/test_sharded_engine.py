@@ -25,7 +25,12 @@ from repro.api.session import RoundReport
 from repro.scenarios.build import build_scenario
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.replay import digest_result, run_scenario
-from repro.shard import ShardedVodSimulator, ShardHostError, ShardPlan
+from repro.shard import (
+    ShardedVodSimulator,
+    ShardHostError,
+    ShardPlan,
+    ShardTopologyError,
+)
 
 SEED = 4242
 
@@ -266,6 +271,52 @@ class TestSnapshotRestore:
         sim.close()
         clone._worker_states = list(reversed(clone._worker_states))
         with pytest.raises(ShardHostError, match="shard plan"):
+            clone.shard_info()
+
+    def test_restore_rejects_mismatched_shard_count(self):
+        """Fewer worker states than the plan is a typed error, not IndexError."""
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=3, shard_host="inline"
+        )
+        sim = compiled.simulator
+        compiled.run(4)
+        clone = pickle.loads(pickle.dumps(sim))
+        sim.close()
+        clone._worker_states = clone._worker_states[:-1]
+        with pytest.raises(ShardTopologyError, match="n_shards"):
+            clone.shard_info()
+
+    def test_restore_rejects_extra_worker_states(self):
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=2, shard_host="inline"
+        )
+        sim = compiled.simulator
+        compiled.run(4)
+        clone = pickle.loads(pickle.dumps(sim))
+        sim.close()
+        clone._worker_states = clone._worker_states + [clone._worker_states[0]]
+        with pytest.raises(ShardTopologyError, match="expects 2"):
+            clone.shard_info()
+
+    def test_restore_rejects_states_from_a_different_plan(self):
+        """Worker states recorded under another seed's plan fail identity."""
+        spec = get_scenario("steady_state")
+        compiled = build_scenario(
+            spec, seed=SEED, n_shards=2, shard_host="inline"
+        )
+        other = build_scenario(
+            spec, seed=SEED + 1, n_shards=2, shard_host="inline"
+        )
+        compiled.run(4)
+        other.run(4)
+        clone = pickle.loads(pickle.dumps(compiled.simulator))
+        foreign = pickle.loads(pickle.dumps(other.simulator))
+        compiled.simulator.close()
+        other.simulator.close()
+        clone._worker_states = foreign._worker_states
+        with pytest.raises(ShardHostError, match="different run"):
             clone.shard_info()
 
 
