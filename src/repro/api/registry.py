@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.api.errors import ComponentLookupError
 from repro.baselines.full_replication import full_replication_allocation
+from repro.baselines.hierarchy import hierarchical_cache_allocation, tiered_population
 from repro.core.allocation import (
     random_independent_allocation,
     random_permutation_allocation,
@@ -60,9 +61,11 @@ from repro.workloads.adversarial import (
     MissingVideoAdversary,
 )
 from repro.workloads.base import StaticDemandSchedule
+from repro.workloads.drift import DriftingZipfWorkload, FlashRotationWorkload
 from repro.workloads.flashcrowd import FlashCrowdWorkload, StaggeredFlashCrowdWorkload
 from repro.workloads.popularity import UniformDemandWorkload, ZipfDemandWorkload
 from repro.workloads.sequential import SequentialViewingWorkload
+from repro.workloads.trace import TraceDemandWorkload
 
 __all__ = [
     "COMPONENT_KINDS",
@@ -261,6 +264,35 @@ def _build_cold_start(p: Mapping[str, Any], start: int, mu: float, rng):
     )
 
 
+def _build_drift(p: Mapping[str, Any], start: int, mu: float, rng):
+    return DriftingZipfWorkload(
+        arrival_rate=float(p["arrival_rate"]),
+        exponent=float(p.get("exponent", 0.8)),
+        drift_period=int(p.get("drift_period", 8)),
+        start_time=start,
+        random_state=rng,
+    )
+
+
+def _build_flash_rotation(p: Mapping[str, Any], start: int, mu: float, rng):
+    return FlashRotationWorkload(
+        arrival_rate=float(p["arrival_rate"]),
+        hot_videos=int(p.get("hot_videos", 4)),
+        rotation_period=int(p.get("rotation_period", 6)),
+        boost=float(p.get("boost", 8.0)),
+        start_time=start,
+        random_state=rng,
+    )
+
+
+def _build_trace(p: Mapping[str, Any], start: int, mu: float, rng):
+    return TraceDemandWorkload(
+        trace=str(p["trace"]),
+        start_time=start,
+        random_state=rng,
+    )
+
+
 def _build_static(p: Mapping[str, Any], start: int, mu: float, rng):
     demands = [
         Demand(time=int(d["time"]), box_id=int(d["box_id"]), video_id=int(d["video_id"]))
@@ -288,6 +320,13 @@ for _name, _factory, _desc in (
         "adaptive adversary flooding the least-replicated videos",
     ),
     ("cold_start", _build_cold_start, "adversary demanding only cold videos"),
+    ("drift", _build_drift, "Zipf popularity whose ranks reshuffle on a schedule"),
+    (
+        "flash_rotation",
+        _build_flash_rotation,
+        "rotating promoted hot set over a flat catalog",
+    ),
+    ("trace", _build_trace, "replay a recorded on-disk demand trace"),
     ("static", _build_static, "fixed precomputed demand schedule"),
 ):
     register_component("workload", _name, _factory, _desc)
@@ -349,10 +388,19 @@ def _build_pareto_population(params: Mapping[str, Any], rng):
     )
 
 
+def _build_tiered_population(params: Mapping[str, Any], rng):
+    return tiered_population(params)
+
+
 for _name, _factory, _desc in (
     ("homogeneous", _build_homogeneous_population, "identical (u, d) boxes"),
     ("two_class", _build_two_class_population, "rich/poor upload tiers"),
     ("pareto", _build_pareto_population, "truncated-Pareto upload distribution"),
+    (
+        "tiered",
+        _build_tiered_population,
+        "CDN / vCDN / µCDN / client capacity hierarchy",
+    ),
 ):
     register_component("population", _name, _factory, _desc)
 
@@ -386,6 +434,14 @@ def _build_full_replication_allocation(
     return full_replication_allocation(catalog, population, replicas_per_stripe=k)
 
 
+def _build_hierarchical_cache_allocation(
+    catalog, population, k, params: Mapping[str, Any], rng
+):
+    return hierarchical_cache_allocation(
+        catalog, population, k, params=params, random_state=rng
+    )
+
+
 for _name, _factory, _desc in (
     ("permutation", _build_permutation_allocation, "random permutation over storage slots"),
     ("independent", _build_independent_allocation, "independent storage-weighted draws"),
@@ -394,6 +450,11 @@ for _name, _factory, _desc in (
         "full_replication",
         _build_full_replication_allocation,
         "Push-to-Peer baseline: every box stores a stripe of every video",
+    ),
+    (
+        "hierarchical_cache",
+        _build_hierarchical_cache_allocation,
+        "CDN origin copy plus tier-preferred whole-video helper caches",
     ),
 ):
     register_component("allocation", _name, _factory, _desc)

@@ -4,13 +4,21 @@
   pure sourcing (:mod:`repro.baselines.full_replication`);
 * Sourcing-only random allocation (the authors' preliminary work [3]) —
   swarming disabled (:mod:`repro.baselines.sourcing_only`);
-* Centralized / peer-assisted server (:mod:`repro.baselines.central_server`).
+* Centralized / peer-assisted server (:mod:`repro.baselines.central_server`);
+* Hierarchical CDN / vCDN / µCDN caches — the operator deployment shape
+  (:mod:`repro.baselines.hierarchy`).
 """
 
 from repro.baselines.central_server import CentralServerModel
 from repro.baselines.full_replication import (
     full_replication_allocation,
     max_catalog_full_replication,
+)
+from repro.baselines.hierarchy import (
+    TierLayout,
+    hierarchical_cache_allocation,
+    tier_layout,
+    tiered_population,
 )
 from repro.baselines.sourcing_only import (
     SourcingOnlyPossessionIndex,
@@ -21,6 +29,10 @@ __all__ = [
     "CentralServerModel",
     "full_replication_allocation",
     "max_catalog_full_replication",
+    "TierLayout",
+    "hierarchical_cache_allocation",
+    "tier_layout",
+    "tiered_population",
     "SourcingOnlyPossessionIndex",
     "sourcing_capacity_bound",
 ]

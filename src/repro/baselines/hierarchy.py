@@ -1,0 +1,222 @@
+"""Hierarchical CDN / vCDN / µCDN baseline (what operators deploy).
+
+The paper's scheme spreads catalog and upload across *all* boxes; the
+operator alternative is a capacity hierarchy (per the algotel2016 vCDN
+placement spec shape): a few big **CDN** origin boxes that hold
+everything they are asked to, a middle tier of **vCDN** helper caches,
+and a wide edge of small **µCDN** caches, with ordinary client boxes
+contributing nothing.  This module builds such populations and a
+matching cache-aware allocation so the catalog-vs-replication tradeoff
+can be measured against that deployment on the same engine, goldens and
+campaign machinery as the paper's schemes.
+
+Two registry components:
+
+* population kind ``tiered`` — :func:`tiered_population`: boxes laid out
+  deterministically as CDN, then vCDN, then µCDN, then clients, each
+  tier with its own ``(u, d)``;
+* allocation scheme ``hierarchical_cache`` —
+  :func:`hierarchical_cache_allocation`: every video keeps one full copy
+  on a CDN origin box, and its remaining ``k-1`` replicas are cached
+  whole-video on helper boxes filled hottest-video-first (under a
+  stationary Zipf law that greedy fill is exactly the LRU fixed point:
+  the caches end up holding the most popular videos), preferring vCDN
+  over µCDN over clients, with ``rng`` breaking ties uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation, AllocationError
+from repro.core.parameters import BoxPopulation
+from repro.core.video import Catalog
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_non_negative, check_non_negative_integer
+
+__all__ = [
+    "TIER_NAMES",
+    "TierLayout",
+    "tier_layout",
+    "tiered_population",
+    "hierarchical_cache_allocation",
+]
+
+#: Tier order is part of the contract: box ids are assigned in this order.
+TIER_NAMES = ("cdn", "vcdn", "mucdn", "client")
+
+#: Default tier shape, a scenario-sized scaling of the algotel2016 spec
+#: family (6 CDNs of capacity 500 / 100 vCDNs of 30 / 500 µCDNs).
+_DEFAULTS: Dict[str, Tuple[int, float, float]] = {
+    # name: (count, upload u, storage d)
+    "cdn": (2, 8.0, 24.0),
+    "vcdn": (6, 3.0, 6.0),
+    "mucdn": (12, 1.5, 2.0),
+    "client": (16, 1.0, 0.0),
+}
+
+
+@dataclass(frozen=True)
+class TierLayout:
+    """Box-id ranges of each tier inside a tiered population."""
+
+    counts: Tuple[int, int, int, int]
+
+    @property
+    def n(self) -> int:
+        return sum(self.counts)
+
+    def slice_of(self, tier: str) -> slice:
+        """Contiguous ``slice`` of box ids belonging to ``tier``."""
+        index = TIER_NAMES.index(tier)
+        start = sum(self.counts[:index])
+        return slice(start, start + self.counts[index])
+
+    def boxes_of(self, tier: str) -> np.ndarray:
+        """Box ids of ``tier`` as an array."""
+        s = self.slice_of(tier)
+        return np.arange(s.start, s.stop, dtype=np.int64)
+
+
+def _tier_params(params: Mapping[str, Any]) -> Dict[str, Tuple[int, float, float]]:
+    tiers: Dict[str, Tuple[int, float, float]] = {}
+    for name in TIER_NAMES:
+        count, upload, storage = _DEFAULTS[name]
+        count = check_non_negative_integer(
+            params.get(f"{name}_count", count), f"{name}_count"
+        )
+        upload = check_non_negative(params.get(f"{name}_u", upload), f"{name}_u")
+        storage = check_non_negative(params.get(f"{name}_d", storage), f"{name}_d")
+        tiers[name] = (count, upload, storage)
+    return tiers
+
+
+def tier_layout(params: Mapping[str, Any]) -> TierLayout:
+    """The :class:`TierLayout` implied by tier parameters (or defaults)."""
+    tiers = _tier_params(params)
+    return TierLayout(counts=tuple(tiers[name][0] for name in TIER_NAMES))
+
+
+def tiered_population(params: Mapping[str, Any]) -> BoxPopulation:
+    """Build a CDN / vCDN / µCDN / client population.
+
+    Parameters are ``<tier>_count``, ``<tier>_u`` and ``<tier>_d`` for
+    each tier in :data:`TIER_NAMES`; omitted values fall back to the
+    scenario-sized defaults.  Box ids are deterministic: all CDN boxes
+    first, then vCDN, then µCDN, then clients.
+    """
+    tiers = _tier_params(params)
+    if sum(count for count, _, _ in tiers.values()) <= 0:
+        raise ValueError(
+            "tiered population is empty: every <tier>_count is 0 — give at "
+            "least one tier a positive count"
+        )
+    uploads: list = []
+    storages: list = []
+    for name in TIER_NAMES:
+        count, upload, storage = tiers[name]
+        uploads.extend([upload] * count)
+        storages.extend([storage] * count)
+    return BoxPopulation(uploads=uploads, storages=storages)
+
+
+def hierarchical_cache_allocation(
+    catalog: Catalog,
+    population: BoxPopulation,
+    replicas_per_stripe: int,
+    params: Mapping[str, Any] | None = None,
+    random_state: RandomState = None,
+) -> Allocation:
+    """Origin-plus-helper-cache allocation over a tiered population.
+
+    For every video ``v`` (in popularity-rank order, hottest first —
+    under a stationary Zipf law this greedy order is the LRU fixed point
+    of the helper caches):
+
+    1. replica 0 of each of its ``c`` stripes goes to a CDN origin box,
+       round-robin by video with capacity fallback to the next CDN box;
+    2. each of the remaining ``k-1`` replicas caches the *whole video*
+       (all ``c`` stripes) on one helper box with at least ``c`` free
+       slots, preferring vCDN over µCDN over client boxes, ``rng``
+       picking uniformly inside the preferred tier; a box never holds
+       two replicas of the same video.
+
+    The tier geometry is read from ``params`` exactly as in
+    :func:`tiered_population`, so a scenario passes the same tier
+    parameters to both components.  Raises :class:`AllocationError`
+    with an actionable message when the hierarchy cannot absorb the
+    requested catalog.
+    """
+    params = params or {}
+    k = int(replicas_per_stripe)
+    layout = tier_layout(params)
+    if layout.n != population.n:
+        raise AllocationError(
+            f"tier layout describes {layout.n} boxes but the population has "
+            f"{population.n}; pass the same <tier>_count parameters to the "
+            "'tiered' population and the 'hierarchical_cache' allocation"
+        )
+    cdn = layout.boxes_of("cdn")
+    if cdn.size == 0:
+        raise AllocationError(
+            "hierarchical_cache needs at least one CDN origin box "
+            "(cdn_count >= 1): every video keeps one full copy at the origin"
+        )
+    c = catalog.num_stripes_per_video
+    m = catalog.num_videos
+    free = population.storage_slots(c).astype(np.int64).copy()
+    helper_order = [layout.boxes_of(t) for t in ("vcdn", "mucdn", "client")]
+    rng = as_generator(random_state)
+
+    replica_box = np.empty(catalog.total_stripes * k, dtype=np.int64)
+    for v in range(m):
+        # 1. origin copy on the CDN tier.
+        origin = -1
+        for probe in range(cdn.size):
+            box = int(cdn[(v + probe) % cdn.size])
+            if free[box] >= c:
+                origin = box
+                break
+        if origin < 0:
+            raise AllocationError(
+                f"CDN tier overflow at video {v}/{m}: no origin box has {c} "
+                f"free slots left — raise cdn_d or cdn_count (or shrink the "
+                "catalog); the origin tier must hold one full copy of every "
+                "video"
+            )
+        free[origin] -= c
+        chosen = [origin]
+        # 2. helper caches, whole-video, tier-preferred.
+        for _replica in range(k - 1):
+            box = -1
+            for tier_boxes in helper_order:
+                eligible = tier_boxes[
+                    (free[tier_boxes] >= c)
+                    & ~np.isin(tier_boxes, chosen, assume_unique=True)
+                ]
+                if eligible.size:
+                    box = int(rng.choice(eligible))
+                    break
+            else:
+                raise AllocationError(
+                    f"helper tiers overflow at video {v}/{m}: no vCDN/µCDN/"
+                    f"client box has {c} free slots for replica "
+                    f"{len(chosen)}/{k} — raise vcdn_d/mucdn_d, add helper "
+                    "boxes, or lower the replication factor k"
+                )
+            free[box] -= c
+            chosen.append(box)
+        for stripe in range(c):
+            base = (v * c + stripe) * k
+            for j, box in enumerate(chosen):
+                replica_box[base + j] = box
+    return Allocation(
+        catalog=catalog,
+        population=population,
+        replicas_per_stripe=k,
+        replica_box=replica_box,
+        scheme="hierarchical_cache",
+    )

@@ -41,10 +41,10 @@ __all__ = [
 ]
 
 #: Population constructors the compiler knows how to build.
-POPULATION_KINDS = ("homogeneous", "two_class", "pareto")
+POPULATION_KINDS = ("homogeneous", "two_class", "pareto", "tiered")
 
 #: Allocation schemes the compiler knows how to draw.
-ALLOCATION_SCHEMES = ("permutation", "independent", "round_robin")
+ALLOCATION_SCHEMES = ("permutation", "independent", "round_robin", "hierarchical_cache")
 
 #: Workload generators usable as scenario phases.
 WORKLOAD_KINDS = (
@@ -56,6 +56,9 @@ WORKLOAD_KINDS = (
     "missing_video",
     "least_replicated",
     "cold_start",
+    "drift",
+    "flash_rotation",
+    "trace",
 )
 
 #: Matching kernels a scenario may pin.

@@ -12,13 +12,22 @@ from repro.workloads.adversarial import (
     LeastReplicatedAdversary,
     MissingVideoAdversary,
 )
+from repro.workloads.drift import DriftingZipfWorkload, FlashRotationWorkload
 from repro.workloads.flashcrowd import FlashCrowdWorkload, StaggeredFlashCrowdWorkload
 from repro.workloads.popularity import (
     UniformDemandWorkload,
     ZipfDemandWorkload,
+    check_zipf_exponent,
     zipf_weights,
 )
 from repro.workloads.sequential import SequentialViewingWorkload
+from repro.workloads.trace import (
+    TraceDemandWorkload,
+    iter_trace,
+    load_trace,
+    resolve_trace_path,
+    write_trace,
+)
 
 __all__ = [
     "DemandGenerator",
@@ -27,10 +36,18 @@ __all__ = [
     "ColdStartAdversary",
     "LeastReplicatedAdversary",
     "MissingVideoAdversary",
+    "DriftingZipfWorkload",
+    "FlashRotationWorkload",
     "FlashCrowdWorkload",
     "StaggeredFlashCrowdWorkload",
     "UniformDemandWorkload",
     "ZipfDemandWorkload",
+    "check_zipf_exponent",
     "zipf_weights",
     "SequentialViewingWorkload",
+    "TraceDemandWorkload",
+    "iter_trace",
+    "load_trace",
+    "resolve_trace_path",
+    "write_trace",
 ]

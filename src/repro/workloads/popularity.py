@@ -9,6 +9,7 @@ workloads are contrasted in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -18,9 +19,29 @@ from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_non_negative_integer, check_positive
 from repro.workloads.base import SystemView
 
-__all__ = ["zipf_weights", "ZipfDemandWorkload", "UniformDemandWorkload"]
+__all__ = ["check_zipf_exponent", "zipf_weights", "ZipfDemandWorkload", "UniformDemandWorkload"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+def check_zipf_exponent(exponent: float, name: str = "exponent") -> float:
+    """Validate a Zipf exponent ``alpha``, with an actionable message.
+
+    The popularity law ``p_v ∝ 1/rank^alpha`` is only a skewed
+    distribution for ``alpha > 0``; empirical VoD fits put alpha around
+    0.8-1.2.  ``alpha <= 0`` (or a non-finite value) is almost always a
+    sign/units mistake, so it is rejected rather than silently producing
+    an anti-popular or degenerate law.
+    """
+    exponent = float(exponent)
+    if not math.isfinite(exponent) or exponent <= 0:
+        raise ValueError(
+            f"{name} must be a finite positive float, got {exponent!r}; "
+            "Zipf popularity needs alpha > 0 (VoD fits are typically "
+            "0.8-1.2) — for flat popularity use the 'uniform' workload "
+            "instead of alpha <= 0"
+        )
+    return exponent
 
 
 def _materialize(time: int, boxes: np.ndarray, videos: np.ndarray) -> List[Demand]:
@@ -34,8 +55,14 @@ def _materialize(time: int, boxes: np.ndarray, videos: np.ndarray) -> List[Deman
 def zipf_weights(num_videos: int, exponent: float = 0.8) -> np.ndarray:
     """Normalized Zipf popularity weights ``p_v ∝ 1/(v+1)^exponent``."""
     if num_videos <= 0:
-        raise ValueError("num_videos must be positive")
-    exponent = check_positive(exponent, "exponent")
+        raise ValueError(f"num_videos must be positive, got {num_videos}")
+    if num_videos == 1:
+        raise ValueError(
+            "a Zipf popularity law over a single-video catalog is degenerate "
+            "(every demand hits video 0); grow the catalog to >= 2 videos or "
+            "use the 'flashcrowd' workload to target one video deliberately"
+        )
+    exponent = check_zipf_exponent(exponent)
     ranks = np.arange(1, num_videos + 1, dtype=np.float64)
     weights = ranks ** (-exponent)
     return weights / weights.sum()
@@ -64,7 +91,7 @@ class ZipfDemandWorkload:
         random_state: RandomState = None,
     ):
         self._rate = check_positive(arrival_rate, "arrival_rate")
-        self._exponent = check_positive(exponent, "exponent")
+        self._exponent = check_zipf_exponent(exponent)
         self._start = check_non_negative_integer(start_time, "start_time")
         self._rng = as_generator(random_state)
         self._weights: Optional[np.ndarray] = None

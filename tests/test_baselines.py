@@ -8,6 +8,11 @@ from repro.baselines.full_replication import (
     full_replication_allocation,
     max_catalog_full_replication,
 )
+from repro.baselines.hierarchy import (
+    hierarchical_cache_allocation,
+    tier_layout,
+    tiered_population,
+)
 from repro.baselines.sourcing_only import (
     SourcingOnlyPossessionIndex,
     sourcing_capacity_bound,
@@ -143,3 +148,131 @@ class TestCentralServer:
     def test_describe(self):
         server = CentralServerModel(upload_capacity=10.0, storage_capacity=10.0)
         assert server.describe()["catalog_size"] == 10
+
+
+class TestHierarchicalCdn:
+    PARAMS = {"cdn_count": 2, "vcdn_count": 4, "mucdn_count": 8, "client_count": 10}
+
+    def _population(self):
+        return tiered_population(self.PARAMS)
+
+    def test_tiered_population_layout_is_deterministic(self):
+        pop = self._population()
+        layout = tier_layout(self.PARAMS)
+        assert pop.n == layout.n == 24
+        # CDN boxes come first, then vCDN, then muCDN, then clients.
+        assert pop.storages[layout.slice_of("cdn")].min() > pop.storages[
+            layout.slice_of("vcdn")
+        ].max()
+        assert np.all(pop.storages[layout.slice_of("client")] == 0.0)
+        np.testing.assert_array_equal(layout.boxes_of("cdn"), [0, 1])
+        np.testing.assert_array_equal(layout.boxes_of("vcdn"), [2, 3, 4, 5])
+
+    def test_tier_parameter_overrides(self):
+        pop = tiered_population({**self.PARAMS, "vcdn_u": 9.0, "client_count": 0})
+        assert pop.n == 14
+        assert np.all(pop.uploads[2:6] == 9.0)
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ValueError, match="every <tier>_count is 0"):
+            tiered_population(
+                {"cdn_count": 0, "vcdn_count": 0, "mucdn_count": 0, "client_count": 0}
+            )
+
+    def test_allocation_places_origin_copies_on_cdn(self):
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=10)
+        pop = self._population()
+        alloc = hierarchical_cache_allocation(
+            catalog, pop, 3, params=self.PARAMS, random_state=5
+        )
+        assert alloc.scheme == "hierarchical_cache"
+        assert alloc.respects_storage()
+        replicas = alloc.replica_box.reshape(catalog.total_stripes, 3)
+        layout = tier_layout(self.PARAMS)
+        cdn = set(layout.boxes_of("cdn").tolist())
+        assert set(replicas[:, 0].tolist()) <= cdn
+
+    def test_helper_replicas_cache_whole_videos(self):
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=10)
+        alloc = hierarchical_cache_allocation(
+            catalog, self._population(), 3, params=self.PARAMS, random_state=5
+        )
+        replicas = alloc.replica_box.reshape(catalog.num_videos, 4, 3)
+        for v in range(catalog.num_videos):
+            for j in range(3):
+                # Each replica slot holds all c stripes of the video on one box.
+                assert np.unique(replicas[v, :, j]).size == 1
+            # And no box carries two replicas of the same video.
+            assert np.unique(replicas[v, 0, :]).size == 3
+
+    def test_allocation_is_deterministic_per_rng(self):
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=10)
+        pop = self._population()
+        a = hierarchical_cache_allocation(catalog, pop, 3, params=self.PARAMS, random_state=5)
+        b = hierarchical_cache_allocation(catalog, pop, 3, params=self.PARAMS, random_state=5)
+        np.testing.assert_array_equal(a.replica_box, b.replica_box)
+
+    def test_layout_population_mismatch_rejected(self):
+        catalog = Catalog(num_videos=4, num_stripes=4, duration=10)
+        pop = homogeneous_population(8, u=2.0, d=3.0)
+        with pytest.raises(AllocationError, match="same <tier>_count"):
+            hierarchical_cache_allocation(catalog, pop, 2, params=self.PARAMS)
+
+    def test_origin_tier_required(self):
+        params = {**self.PARAMS, "cdn_count": 0}
+        catalog = Catalog(num_videos=4, num_stripes=4, duration=10)
+        with pytest.raises(AllocationError, match="at least one CDN origin box"):
+            hierarchical_cache_allocation(
+                catalog, tiered_population(params), 2, params=params
+            )
+
+    def test_cdn_overflow_is_actionable(self):
+        params = {
+            "cdn_count": 1,
+            "cdn_d": 1.0,
+            "vcdn_count": 4,
+            "mucdn_count": 4,
+            "client_count": 0,
+        }
+        catalog = Catalog(num_videos=10, num_stripes=4, duration=10)
+        with pytest.raises(AllocationError, match="CDN tier overflow"):
+            hierarchical_cache_allocation(
+                catalog, tiered_population(params), 2, params=params, random_state=0
+            )
+
+    def test_helper_overflow_is_actionable(self):
+        params = {
+            "cdn_count": 2,
+            "vcdn_count": 1,
+            "vcdn_d": 1.0,
+            "mucdn_count": 0,
+            "client_count": 0,
+        }
+        catalog = Catalog(num_videos=8, num_stripes=4, duration=10)
+        with pytest.raises(AllocationError, match="helper tiers overflow"):
+            hierarchical_cache_allocation(
+                catalog, tiered_population(params), 3, params=params, random_state=0
+            )
+
+    def test_hot_videos_prefer_vcdn_caches(self):
+        """Popularity-first fill: the hottest videos land on the vCDN tier."""
+        params = {
+            "cdn_count": 2,
+            "vcdn_count": 2,
+            "vcdn_d": 8.0,
+            "mucdn_count": 8,
+            "mucdn_d": 8.0,
+            "client_count": 0,
+        }
+        catalog = Catalog(num_videos=12, num_stripes=4, duration=10)
+        alloc = hierarchical_cache_allocation(
+            catalog, tiered_population(params), 2, params=params, random_state=1
+        )
+        layout = tier_layout(params)
+        vcdn = set(layout.boxes_of("vcdn").tolist())
+        replicas = alloc.replica_box.reshape(catalog.num_videos, 4, 2)
+        # Each vCDN box holds 8 video-cache slots (d=8, c=4 -> 32 slots / 4);
+        # the first 2*8=16 helper replicas, i.e. the hottest videos, fill
+        # them before any muCDN box is touched.
+        helpers = [int(replicas[v, 0, 1]) for v in range(catalog.num_videos)]
+        assert all(h in vcdn for h in helpers[:4])

@@ -43,7 +43,31 @@ GOLDEN_SCENARIOS = [
     # the latency-percentile keys, so the digest covers the continuous
     # clock's arrival-offset stream as well as the round-binned records.
     ("event_steady_state", 1234),
+    # The workload-realism tier: Zipf/drift/trace demand and the
+    # hierarchical CDN baseline (population + allocation components).
+    ("zipf_steady", 1234),
+    ("zipf_drift", 1234),
+    ("trace_replay", 1234),
+    ("cdn_hybrid_baseline", 1234),
 ]
+
+#: Digests of the goldens that predate the workload-realism tier, frozen
+#: at their committed values.  The new workload kinds draw from the
+#: existing per-phase child streams of the master seed, so adding them
+#: must leave every one of these recordings byte-identical; a mismatch
+#: here means the stream discipline (or a recording) changed by accident
+#: rather than through a deliberate --regen-golden.
+PRE_WORKLOAD_TIER_DIGESTS = {
+    "chaos_box_crash": "cd16266ec0a257c123faed2f0ac1f3d3d084c7dcd0354034e39ad85f68711ce3",
+    "chaos_brownout": "74dca888b31f2850e0ee19ee3a2c8380624f18f7c02251deebf4d1808a7b2643",
+    "chaos_degraded_solver": "377ade9de49170fa0c83a0375ab7d193a3907ef2f3f5c9ce4c4952efddaa97a8",
+    "churn_storm": "2cc505a467cbdec10c457feb589a8c4c058bb8d4e189c5b9705e5333ece4de5a",
+    "event_steady_state": "b93efdfe737e1909dc4f27a84cc4daaec9a32dae7561d67ec38cf81730d75b3b",
+    "flashcrowd_spike": "519f5ea4c09fe6e7e34041013a90652a784b4aebca05000daf40ecc90f194451",
+    "scale_tier_100k": "d0c45edbbcca27aa6127dde148e6141db09cb75551845380c4900ef62a5a01ba",
+    "scale_tier_10k": "0a39300db870e7a5e66d71ba93933585ff882ffec1e79990586200ae99fd1535",
+    "steady_state": "d158f7f07f976f5d6ae94513e6e42f50fd92e35fcb9a848b664dc1930658b765",
+}
 
 #: CI budget: heavyweight tiers record fewer rounds than their spec
 #: horizon (the golden file stores the recorded count; replays honour it).
@@ -101,6 +125,27 @@ def test_golden_file_embeds_registry_spec(name, seed, regen_golden):
     assert golden["scenario"] == name
     assert golden["seed"] == seed
     assert golden["spec"]["name"] == name
+
+
+def test_pre_workload_tier_goldens_pinned_byte_identical():
+    """The 9 goldens recorded before the workload tier are untouched.
+
+    One sweep over the frozen digest table: both the committed file and
+    the names list must match exactly — catching silent regeneration as
+    well as accidental stream-order drift from the new workload kinds.
+    """
+    assert sorted(PRE_WORKLOAD_TIER_DIGESTS) == sorted(
+        p.stem
+        for p in GOLDEN_DIR.glob("*.json")
+        if p.stem in PRE_WORKLOAD_TIER_DIGESTS
+    )
+    for name, digest in sorted(PRE_WORKLOAD_TIER_DIGESTS.items()):
+        golden = load_golden(_golden_path(name))
+        assert golden["digest"] == digest, (
+            f"golden {name} was re-recorded: digest {golden['digest']} != "
+            f"frozen {digest}; the workload-realism tier must not disturb "
+            "pre-existing recordings"
+        )
 
 
 def test_diff_golden_detects_tampered_rounds(regen_golden):

@@ -72,6 +72,30 @@ class TestSerialization:
         spec = get_scenario(name)
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec
 
+    def test_golden_embedded_specs_serialize_byte_stable(self):
+        """Pre-existing golden spec dicts survive the workload tier untouched.
+
+        The tier added new *values* to the kind enums but no new
+        ScenarioSpec fields, so parsing and re-serializing each committed
+        golden's embedded spec must reproduce the committed JSON byte for
+        byte (canonical form).  A mismatch means a new field leaked into
+        default serialization instead of being omitted-when-default.
+        """
+        import json
+        from pathlib import Path
+
+        golden_dir = Path(__file__).parent / "golden"
+        checked = 0
+        for path in sorted(golden_dir.glob("*.json")):
+            embedded = json.loads(path.read_text())["spec"]
+            reserialized = ScenarioSpec.from_dict(embedded).to_dict()
+            canonical = lambda d: json.dumps(d, sort_keys=True, separators=(",", ":"))
+            assert canonical(reserialized) == canonical(embedded), (
+                f"embedded spec of {path.name} changed shape on round-trip"
+            )
+            checked += 1
+        assert checked >= 13  # the 9 pre-existing + the 4 workload-tier goldens
+
     def test_churn_and_overrides_roundtrip(self):
         spec = _minimal_spec(
             churn=ChurnSpec(0.05, 3, protected_boxes=(0, 1)),
@@ -160,6 +184,12 @@ class TestCompiler:
             ("missing_video", {"max_demands_per_round": 2, "respect_growth": True}),
             ("least_replicated", {"num_target_videos": 1}),
             ("cold_start", {"max_demands_per_round": 2}),
+            ("drift", {"arrival_rate": 1.0, "exponent": 0.9, "drift_period": 2}),
+            (
+                "flash_rotation",
+                {"arrival_rate": 1.0, "hot_videos": 2, "rotation_period": 2,
+                 "boost": 4.0},
+            ),
         ],
     )
     def test_every_workload_kind_compiles_and_runs(self, kind, params):
@@ -179,6 +209,30 @@ class TestCompiler:
         )
         compiled = build_scenario(spec, seed=3)
         assert compiled.allocation.scheme == scheme
+
+    def test_trace_workload_compiles_and_runs(self):
+        # The bundled fixture was recorded over 16 videos, so the trace
+        # kind gets its own catalog rather than the 4-video minimal one.
+        spec = _minimal_spec(
+            catalog=CatalogSpec(num_videos=16, num_stripes=3, duration=6),
+            population=PopulationSpec("homogeneous", {"n": 24, "u": 2.0, "d": 4.0}),
+            workload=(WorkloadPhaseSpec("trace", params={"trace": "zipf_small"}),),
+            horizon=3,
+        )
+        result = build_scenario(spec, seed=2).run()
+        assert result.metrics.rounds == 3
+
+    def test_hierarchical_cache_allocation_compiles(self):
+        tiers = {"cdn_count": 2, "vcdn_count": 4, "mucdn_count": 6, "client_count": 0}
+        spec = _minimal_spec(
+            population=PopulationSpec("tiered", tiers),
+            allocation=AllocationSpec(
+                "hierarchical_cache", replicas_per_stripe=2, params=tiers
+            ),
+        )
+        compiled = build_scenario(spec, seed=3)
+        assert compiled.allocation.scheme == "hierarchical_cache"
+        assert compiled.population.n == 12
 
     def test_pareto_population_compiles(self):
         spec = _minimal_spec(

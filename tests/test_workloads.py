@@ -14,9 +14,16 @@ from repro.workloads.adversarial import (
     MissingVideoAdversary,
 )
 from repro.workloads.base import StaticDemandSchedule, SystemView
+from repro.workloads.drift import DriftingZipfWorkload, FlashRotationWorkload
 from repro.workloads.flashcrowd import FlashCrowdWorkload, StaggeredFlashCrowdWorkload
-from repro.workloads.popularity import UniformDemandWorkload, ZipfDemandWorkload, zipf_weights
+from repro.workloads.popularity import (
+    UniformDemandWorkload,
+    ZipfDemandWorkload,
+    check_zipf_exponent,
+    zipf_weights,
+)
 from repro.workloads.sequential import SequentialViewingWorkload
+from repro.workloads.trace import TraceDemandWorkload, load_trace, resolve_trace_path
 
 
 def make_view(time=0, n=30, m=20, c=4, u=1.5, d=3.0, k=3, mu=2.0, busy=(), seed=0):
@@ -252,3 +259,149 @@ class TestSequentialViewing:
     def test_empty_playlist_rejected(self):
         with pytest.raises(ValueError):
             SequentialViewingWorkload(playlist=[])
+
+
+class TestDegenerateZipfParameters:
+    """Typed, actionable rejections of degenerate popularity parameters."""
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.5, float("nan"), float("inf")])
+    def test_check_zipf_exponent_rejects(self, alpha):
+        with pytest.raises(ValueError, match="alpha > 0"):
+            check_zipf_exponent(alpha)
+
+    def test_check_zipf_exponent_message_names_the_parameter(self):
+        with pytest.raises(ValueError, match="drift_exponent"):
+            check_zipf_exponent(-1.0, name="drift_exponent")
+
+    def test_zipf_weights_rejects_empty_catalog_with_value(self):
+        with pytest.raises(ValueError, match="got -3"):
+            zipf_weights(-3)
+
+    def test_zipf_weights_rejects_single_video_catalog(self):
+        with pytest.raises(ValueError, match="single-video catalog is degenerate"):
+            zipf_weights(1)
+
+    @pytest.mark.parametrize("alpha", [0.0, -2.0, float("nan")])
+    def test_zipf_workload_rejects_bad_exponent_at_construction(self, alpha):
+        with pytest.raises(ValueError, match="alpha > 0"):
+            ZipfDemandWorkload(arrival_rate=1.0, exponent=alpha)
+
+    def test_drift_workload_rejects_bad_exponent_at_construction(self):
+        with pytest.raises(ValueError, match="alpha > 0"):
+            DriftingZipfWorkload(arrival_rate=1.0, exponent=-0.8)
+
+
+class TestDriftWorkload:
+    def test_array_and_object_paths_agree(self):
+        a = DriftingZipfWorkload(4.0, exponent=1.0, drift_period=3, random_state=11)
+        b = DriftingZipfWorkload(4.0, exponent=1.0, drift_period=3, random_state=11)
+        for t in range(10):
+            boxes, videos = a.demand_arrays_for_round(make_view(time=t))
+            demands = b.demands_for_round(make_view(time=t))
+            assert [(d.box_id, d.video_id) for d in demands] == list(
+                zip(boxes.tolist(), videos.tolist())
+            )
+
+    def test_same_seed_reproduces_sequence(self):
+        runs = []
+        for _ in range(2):
+            workload = DriftingZipfWorkload(
+                4.0, exponent=1.0, drift_period=3, random_state=17
+            )
+            runs.append(
+                [
+                    tuple(workload.demand_arrays_for_round(make_view(time=t))[1].tolist())
+                    for t in range(12)
+                ]
+            )
+        assert runs[0] == runs[1]
+
+    def test_start_time_gates_arrivals(self):
+        workload = DriftingZipfWorkload(4.0, start_time=3, random_state=0)
+        assert workload.demands_for_round(make_view(time=2)) == []
+
+    def test_prefix_stability_across_horizons(self):
+        """Rounds [0, 8) are identical whether the run lasts 8 or 20 rounds."""
+        short = DriftingZipfWorkload(4.0, exponent=1.0, drift_period=3, random_state=23)
+        long = DriftingZipfWorkload(4.0, exponent=1.0, drift_period=3, random_state=23)
+        short_seq = [
+            short.demand_arrays_for_round(make_view(time=t))[1].tolist()
+            for t in range(8)
+        ]
+        long_seq = [
+            long.demand_arrays_for_round(make_view(time=t))[1].tolist()
+            for t in range(20)
+        ]
+        assert long_seq[:8] == short_seq
+
+
+class TestFlashRotationWorkload:
+    def test_boost_must_exceed_one(self):
+        with pytest.raises(ValueError, match="boost must exceed 1"):
+            FlashRotationWorkload(arrival_rate=1.0, boost=1.0)
+
+    def test_hot_window_must_fit_catalog(self):
+        workload = FlashRotationWorkload(arrival_rate=1.0, hot_videos=50)
+        with pytest.raises(ValueError, match="exceeds the catalog size"):
+            workload.demands_for_round(make_view())
+
+    def test_demand_concentrates_on_hot_window(self):
+        workload = FlashRotationWorkload(
+            10.0, hot_videos=2, rotation_period=100, boost=50.0, random_state=3
+        )
+        hits = hot_hits = 0
+        for t in range(40):
+            for d in workload.demands_for_round(make_view(time=t)):
+                hits += 1
+                hot_hits += d.video_id in (0, 1)
+        assert hits > 0 and hot_hits / hits > 0.6
+
+    def test_window_rotates(self):
+        workload = FlashRotationWorkload(
+            1.0, hot_videos=4, rotation_period=2, boost=8.0, random_state=3
+        )
+        assert workload.hot_set(0, 20).tolist() == [0, 1, 2, 3]
+        assert workload.hot_set(2, 20).tolist() == [4, 5, 6, 7]
+        assert workload.hot_set(9, 20).tolist() == [16, 17, 18, 19]
+        assert workload.hot_set(10, 20).tolist() == [0, 1, 2, 3]
+
+
+class TestTraceWorkload:
+    def test_replays_fixture_videos_in_order(self):
+        header, events = load_trace(resolve_trace_path("zipf_small"))
+        workload = TraceDemandWorkload("zipf_small", random_state=1)
+        replayed = []
+        for t in range(25):
+            _, videos = workload.demand_arrays_for_round(make_view(time=t, m=16, n=200))
+            replayed.extend(videos.tolist())
+        assert replayed == [v for _, v in events]
+
+    def test_unknown_trace_is_actionable(self):
+        with pytest.raises(FileNotFoundError, match="bundled traces: "):
+            TraceDemandWorkload("no_such_trace")
+
+    def test_catalog_smaller_than_trace_rejected(self):
+        workload = TraceDemandWorkload("zipf_small", random_state=1)
+        with pytest.raises(ValueError, match="at least 16 videos"):
+            workload.demand_arrays_for_round(make_view(time=0, m=8))
+
+    def test_surplus_events_drop_when_boxes_scarce(self):
+        workload = TraceDemandWorkload("zipf_small", random_state=1)
+        view = make_view(time=0, m=16, busy=tuple(range(29)))  # 1 free box
+        demands = workload.demands_for_round(view)
+        assert len(demands) == 1
+
+    def test_start_time_shifts_the_replay(self):
+        workload = TraceDemandWorkload("zipf_small", start_time=5, random_state=1)
+        assert workload.demands_for_round(make_view(time=4, m=16)) == []
+        assert len(workload.demands_for_round(make_view(time=5, m=16))) > 0
+
+    def test_array_and_object_paths_agree(self):
+        a = TraceDemandWorkload("zipf_small", random_state=7)
+        b = TraceDemandWorkload("zipf_small", random_state=7)
+        for t in range(10):
+            boxes, videos = a.demand_arrays_for_round(make_view(time=t, m=16))
+            demands = b.demands_for_round(make_view(time=t, m=16))
+            assert [(d.box_id, d.video_id) for d in demands] == list(
+                zip(boxes.tolist(), videos.tolist())
+            )
